@@ -1,0 +1,102 @@
+"""The J&K black-box model (the paper's "other solution", section 4 + [6]).
+
+Extracts a K-model-style surrogate of the complete RF subsystem from
+SpectreRF-style measurements and verifies it against the structural model
+inside the system simulation: same BER at the operating points, same
+sensitivity region, and a wall-clock advantage (the reason black-box
+models exist).
+"""
+
+import time
+
+import numpy as np
+
+from repro.channel.awgn import AwgnChannel
+from repro.core.reporting import render_table
+from repro.dsp.receiver import Receiver, RxConfig
+from repro.dsp.transmitter import Transmitter, TxConfig, random_psdu
+from repro.flow.blackbox import extract_blackbox
+from repro.rf.frontend import DoubleConversionReceiver, FrontendConfig
+from repro.rf.signal import Signal
+
+LEVELS_DBM = [-60.0, -80.0, -88.0, -92.0, -95.0]
+N_PACKETS = 5
+
+
+def _ber_and_time(block, level, seed=11):
+    rng = np.random.default_rng(seed)
+    errors, bits = 0.0, 0
+    start = time.perf_counter()
+    for _ in range(N_PACKETS):
+        psdu = random_psdu(60, rng)
+        wave = Transmitter(TxConfig(rate_mbps=24, oversample=4)).transmit(psdu)
+        sig = Signal(
+            np.concatenate(
+                [np.zeros(600, complex), wave, np.zeros(600, complex)]
+            ),
+            80e6,
+            5.2e9,
+        ).scaled_to_dbm(level)
+        sig = AwgnChannel(include_thermal_floor=True).process(sig, rng)
+        out = block.process(sig, rng)
+        res = Receiver(RxConfig()).receive(
+            out.samples / np.sqrt(out.power_watts())
+        )
+        bits += 480
+        if res.success and res.psdu.size == 60:
+            errors += int(np.unpackbits(res.psdu ^ psdu).sum())
+        else:
+            errors += 240
+    return errors / bits, time.perf_counter() - start
+
+
+def _compare():
+    cfg = FrontendConfig()
+    extraction_start = time.perf_counter()
+    surrogate = extract_blackbox(cfg, rng=np.random.default_rng(0))
+    extraction_time = time.perf_counter() - extraction_start
+    full = DoubleConversionReceiver(cfg)
+    rows = []
+    t_full_total = t_bb_total = 0.0
+    for level in LEVELS_DBM:
+        ber_full, t_full = _ber_and_time(full, level)
+        ber_bb, t_bb = _ber_and_time(surrogate, level)
+        t_full_total += t_full
+        t_bb_total += t_bb
+        rows.append((level, ber_full, ber_bb))
+    return surrogate, extraction_time, rows, t_full_total, t_bb_total
+
+
+def test_blackbox_surrogate_fidelity(benchmark, save_result):
+    surrogate, t_extract, rows, t_full, t_bb = benchmark.pedantic(
+        _compare, rounds=1, iterations=1
+    )
+    c = surrogate.characterization
+    table = render_table(
+        ["input [dBm]", "structural BER", "black-box BER"],
+        [[f"{l:+.0f}", f"{a:.4f}", f"{b:.4f}"] for l, a, b in rows],
+    )
+    save_result(
+        "blackbox_model",
+        "J&K black-box RF model vs structural model\n"
+        + table
+        + f"\n\nextraction time: {t_extract:.2f} s; simulation time "
+        f"structural {t_full:.2f} s vs surrogate {t_bb:.2f} s\n"
+        f"extracted NF {c.noise_figure_db:.2f} dB, ENB "
+        f"{c.equivalent_noise_bandwidth_hz / 1e6:.1f} MHz",
+    )
+    # Fidelity: identical verdict at the clean levels; near the waterfall
+    # edge the surrogate may be marginally (<1 dB) pessimistic.
+    for level, ber_full, ber_bb in rows:
+        if level >= -80.0:
+            assert ber_full == 0.0
+            assert ber_bb == 0.0
+        elif level >= -88.0:
+            assert ber_full == 0.0
+            assert ber_bb < 0.01
+    deep_full = [b for l, b, _ in rows if l <= -95.0]
+    deep_bb = [b for l, _, b in rows if l <= -95.0]
+    assert deep_full[0] > 0.1
+    assert deep_bb[0] > 0.1
+    # The surrogate must not be slower than the structural model.
+    assert t_bb <= t_full * 1.2

@@ -1,0 +1,100 @@
+"""Section 5.2: error vector magnitude measurements.
+
+"An error vector magnitude (EVM) measurement was only performed while
+simulating a WLAN system which includes an ideal receiver model."  This
+bench reproduces that configuration — EVM vs. SNR with the ideal (genie)
+receiver for each constellation — plus an EVM-vs-impairment table through
+the RF front end using the practical receiver (which this implementation
+can capture symbols from).
+"""
+
+import numpy as np
+
+from repro.core.metrics import snr_to_evm_percent
+from repro.core.reporting import render_table
+from repro.core.testbench import TestbenchConfig, WlanTestbench
+from repro.rf.frontend import FrontendConfig, ideal_frontend_config
+
+SNRS = [10.0, 15.0, 20.0, 25.0, 30.0]
+RATES_BY_MOD = {"BPSK": 6, "QPSK": 12, "QAM16": 24, "QAM64": 54}
+
+
+def _evm_vs_snr():
+    table = {}
+    for mod, rate in RATES_BY_MOD.items():
+        row = []
+        for snr in SNRS:
+            bench = WlanTestbench(
+                TestbenchConfig(
+                    rate_mbps=rate,
+                    psdu_bytes=60,
+                    snr_db=snr,
+                    genie_rx=True,
+                )
+            )
+            row.append(bench.measure_evm(n_packets=2, seed=80).evm_percent)
+        table[mod] = row
+    return table
+
+
+def _evm_through_frontend():
+    results = {}
+    for name, fe in (
+        ("ideal front end", ideal_frontend_config()),
+        ("default front end", FrontendConfig()),
+        ("compressed LNA (P1dB -45 dBm)",
+         FrontendConfig(lna_p1db_dbm=-45.0)),
+    ):
+        bench = WlanTestbench(
+            TestbenchConfig(
+                rate_mbps=24,
+                psdu_bytes=60,
+                thermal_floor=True,
+                frontend=fe,
+                input_level_dbm=-45.0,
+            )
+        )
+        results[name] = bench.measure_evm(n_packets=2, seed=81).evm_percent
+    return results
+
+
+def test_evm_vs_snr_ideal_receiver(benchmark, save_result):
+    table = benchmark.pedantic(_evm_vs_snr, rounds=1, iterations=1)
+    rows = []
+    for mod, evms in table.items():
+        rows.append([mod] + [f"{e:.1f}" for e in evms])
+    rows.append(
+        ["(theory)"] + [f"{snr_to_evm_percent(s):.1f}" for s in SNRS]
+    )
+    rendered = render_table(
+        ["modulation"] + [f"{s:.0f} dB" for s in SNRS], rows
+    )
+    save_result(
+        "evm_vs_snr",
+        "EVM [%] vs. SNR, ideal receiver model (section 5.2)\n" + rendered,
+    )
+    # EVM is constellation-independent (it is a channel property) and must
+    # track the AWGN theory closely.
+    for mod, evms in table.items():
+        for snr, evm in zip(SNRS, evms):
+            assert evm == pytest.approx(
+                snr_to_evm_percent(snr), rel=0.25
+            ), (mod, snr)
+
+
+def test_evm_through_rf_frontend(benchmark, save_result):
+    results = benchmark.pedantic(_evm_through_frontend, rounds=1, iterations=1)
+    rows = [[k, f"{v:.1f}"] for k, v in results.items()]
+    save_result(
+        "evm_frontend",
+        "EVM [%] through the RF front end (-45 dBm input, practical "
+        "receiver)\n" + render_table(["configuration", "EVM [%]"], rows),
+    )
+    assert results["ideal front end"] < results["default front end"] * 1.5 + 1
+    assert (
+        results["compressed LNA (P1dB -45 dBm)"]
+        > results["default front end"]
+    )
+
+
+import pytest  # noqa: E402  (used in assertions above)

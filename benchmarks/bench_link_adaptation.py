@@ -1,0 +1,67 @@
+"""Link adaptation study: throughput-optimal rate vs SNR.
+
+A natural application of the full PHY: for each SNR, measure the PER of
+every 802.11a rate and compute the effective throughput
+``rate * (1 - PER)``.  The envelope of these curves is the classic rate
+adaptation staircase — the reason the standard defines eight rates.
+"""
+
+import numpy as np
+
+from repro.core.reporting import render_table
+from repro.core.testbench import TestbenchConfig, WlanTestbench
+
+SNRS_DB = [4.0, 8.0, 12.0, 16.0, 20.0, 24.0]
+RATES = [6, 12, 24, 36, 54]
+N_PACKETS = 5
+PSDU_BYTES = 150
+
+
+def _per(rate, snr, seed=77):
+    bench = WlanTestbench(
+        TestbenchConfig(rate_mbps=rate, psdu_bytes=PSDU_BYTES, snr_db=snr)
+    )
+    rng = np.random.default_rng(seed)
+    errored = 0
+    for _ in range(N_PACKETS):
+        outcome = bench.run_packet(rng)
+        if outcome.lost or outcome.bit_errors > 0:
+            errored += 1
+    return errored / N_PACKETS
+
+
+def _study():
+    throughput = {}
+    for rate in RATES:
+        throughput[rate] = [
+            rate * (1.0 - _per(rate, snr)) for snr in SNRS_DB
+        ]
+    best = [
+        max(RATES, key=lambda r: throughput[r][i])
+        for i in range(len(SNRS_DB))
+    ]
+    return throughput, best
+
+
+def test_link_adaptation_staircase(benchmark, save_result):
+    throughput, best = benchmark.pedantic(_study, rounds=1, iterations=1)
+    rows = []
+    for rate in RATES:
+        rows.append(
+            [f"{rate} Mbps"]
+            + [f"{t:.1f}" for t in throughput[rate]]
+        )
+    rows.append(["best rate"] + [f"{b}" for b in best])
+    table = render_table(
+        ["throughput [Mbps]"] + [f"{s:.0f} dB" for s in SNRS_DB], rows
+    )
+    save_result("link_adaptation", "Effective throughput vs SNR\n" + table)
+
+    # The staircase: the optimal rate is non-decreasing with SNR, starts
+    # at a robust mode and ends at 54 Mbps.
+    assert best == sorted(best)
+    assert best[0] <= 12
+    assert best[-1] == 54
+    # At every SNR the best throughput is positive.
+    for i in range(len(SNRS_DB)):
+        assert max(throughput[r][i] for r in RATES) > 0.0

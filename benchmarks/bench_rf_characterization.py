@@ -1,0 +1,87 @@
+"""SpectreRF-style standalone RF characterization (section 4.2).
+
+"Other test benches with two tone signals allow in combination with the RF
+specific Periodic Steady State analysis several measurements of RF
+specific parameters."  This bench characterizes the front end's active
+blocks — P1dB via a swept-power analysis, IIP3 via the two-tone test, NF
+against the thermal floor — and compares the measurements with the model
+parameters (the calibration contract), plus demonstrates the Spectre
+band-pass validity limitation and its HP+LP workaround.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.reporting import render_table
+from repro.flow.rfsim import (
+    measure_noise_figure,
+    swept_power_compression,
+    two_tone_intermod,
+)
+from repro.rf.amplifier import Amplifier
+from repro.rf.filters import (
+    BandwidthLimitError,
+    chebyshev_bandpass,
+    wideband_bandpass,
+)
+from repro.rf.frontend import FrontendConfig
+from repro.rf.nonlinearity import iip3_from_p1db
+
+
+def _characterize():
+    cfg = FrontendConfig()
+    lna = Amplifier.spw_style(cfg.lna_gain_db, cfg.lna_nf_db, cfg.lna_p1db_dbm)
+    rng = np.random.default_rng(0)
+    comp = swept_power_compression(lna)
+    im = two_tone_intermod(lna, tone_power_dbm=cfg.lna_p1db_dbm - 25.0)
+    quiet = Amplifier.spw_style(cfg.lna_gain_db, 0.0, cfg.lna_p1db_dbm)
+    nf = measure_noise_figure(lna, rng=rng, n_trials=10)
+    return cfg, comp, im, nf
+
+
+def test_rf_block_characterization(benchmark, save_result):
+    cfg, comp, im, nf = benchmark.pedantic(_characterize, rounds=1, iterations=1)
+    rows = [
+        ["gain [dB]", f"{cfg.lna_gain_db:.1f}",
+         f"{comp.small_signal_gain_db:.2f}"],
+        ["input P1dB [dBm]", f"{cfg.lna_p1db_dbm:.1f}",
+         f"{comp.input_p1db_dbm:.2f}"],
+        ["IIP3 [dBm]", f"{iip3_from_p1db(cfg.lna_p1db_dbm):.1f}",
+         f"{im.iip3_dbm:.2f}"],
+        ["NF [dB]", f"{cfg.lna_nf_db:.1f}", f"{nf.noise_figure_db:.2f}"],
+    ]
+    table = render_table(["parameter", "model spec", "measured"], rows)
+    save_result(
+        "rf_characterization",
+        "SpectreRF-style LNA characterization (swept power, two-tone, "
+        "noise)\n" + table,
+    )
+    assert comp.small_signal_gain_db == pytest.approx(cfg.lna_gain_db, abs=0.2)
+    assert comp.input_p1db_dbm == pytest.approx(cfg.lna_p1db_dbm, abs=0.3)
+    assert im.iip3_dbm == pytest.approx(
+        iip3_from_p1db(cfg.lna_p1db_dbm), abs=0.5
+    )
+    assert nf.noise_figure_db == pytest.approx(cfg.lna_nf_db, abs=0.5)
+
+
+def test_bandpass_library_limitation(benchmark, save_result):
+    """Section 4.2: no band-pass wider than half its center frequency."""
+
+    def demo():
+        try:
+            chebyshev_bandpass(10e6, 8e6, 80e6)
+            raised = False
+        except BandwidthLimitError:
+            raised = True
+        workaround = wideband_bandpass(6e6, 14e6, 80e6)
+        return raised, workaround.description
+
+    raised, description = benchmark(demo)
+    save_result(
+        "bandpass_limitation",
+        "Spectre rflib band-pass limitation (bw > 0.5 * center rejected)\n"
+        f"wide request raised BandwidthLimitError: {raised}\n"
+        f"workaround filter: {description}",
+    )
+    assert raised
+    assert "composite" in description

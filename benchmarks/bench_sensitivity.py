@@ -1,0 +1,100 @@
+"""Receiver compliance: minimum sensitivity and adjacent-channel rejection.
+
+The paper's requirements section (2.2) quotes the 802.11a numbers this
+bench verifies against: wanted input range from -88 dBm, adjacent channel
++16 dB, non-adjacent +32 dB.  The front end must meet IEEE 802.11a table
+91 at every measured rate.
+"""
+
+from repro.core.reporting import render_table
+from repro.core.sensitivity import (
+    STANDARD_ADJACENT_REJECTION_DB,
+    find_sensitivity,
+    measure_adjacent_rejection,
+)
+from repro.rf.frontend import FrontendConfig
+
+#: (rate, search start level) — starts chosen just above the requirement.
+RATE_STARTS = [(6, -84.0), (12, -82.0), (24, -78.0), (54, -66.0)]
+
+
+def _sensitivity_table():
+    results = []
+    for rate, start in RATE_STARTS:
+        results.append(
+            find_sensitivity(
+                rate, n_packets=6, psdu_bytes=120, start_dbm=start, seed=2
+            )
+        )
+    return results
+
+
+def _rejection_at_24():
+    sens = find_sensitivity(
+        24, n_packets=5, psdu_bytes=100, start_dbm=-78.0, seed=3
+    )
+    return sens, measure_adjacent_rejection(
+        24,
+        sensitivity_dbm=sens.sensitivity_dbm,
+        n_packets=5,
+        psdu_bytes=100,
+        step_db=4.0,
+        max_excess_db=36.0,
+        seed=3,
+    )
+
+
+def test_minimum_sensitivity_table91(benchmark, save_result):
+    results = benchmark.pedantic(_sensitivity_table, rounds=1, iterations=1)
+    rows = [
+        [
+            f"{r.rate_mbps}",
+            f"{r.sensitivity_dbm:.0f}",
+            f"{r.standard_requirement_dbm:.0f}",
+            f"{r.margin_db:+.0f}",
+            "PASS" if r.meets_standard else "FAIL",
+        ]
+        for r in results
+    ]
+    table = render_table(
+        ["rate [Mbps]", "measured [dBm]", "required [dBm]", "margin [dB]",
+         "verdict"],
+        rows,
+    )
+    save_result(
+        "sensitivity",
+        "Minimum receiver sensitivity vs IEEE 802.11a table 91\n" + table
+        + "\n(margin reflects the front end's 3.5 dB cascade NF vs the "
+        "standard's assumed 10 dB NF + 5 dB margin)",
+    )
+    for r in results:
+        assert r.meets_standard, r
+        assert 5.0 < r.margin_db < 20.0
+    # Sensitivity must degrade monotonically with the data rate.
+    levels = [r.sensitivity_dbm for r in results]
+    assert levels == sorted(levels)
+
+
+def test_adjacent_channel_rejection(benchmark, save_result):
+    sens, rejection = benchmark.pedantic(
+        _rejection_at_24, rounds=1, iterations=1
+    )
+    save_result(
+        "adjacent_rejection",
+        "Adjacent channel rejection at 24 Mbps\n"
+        + render_table(
+            ["quantity", "value"],
+            [
+                ["sensitivity", f"{sens.sensitivity_dbm:.0f} dBm"],
+                ["wanted level (sens + 3 dB)",
+                 f"{sens.sensitivity_dbm + 3:.0f} dBm"],
+                ["measured rejection", f"{rejection.rejection_db:+.0f} dB"],
+                ["table-91 requirement",
+                 f"{STANDARD_ADJACENT_REJECTION_DB[24]:+.0f} dB"],
+                ["verdict",
+                 "PASS" if rejection.meets_standard else "FAIL"],
+            ],
+        ),
+    )
+    assert rejection.meets_standard
+    assert rejection.rejection_db >= 16.0  # comfortably beyond +8 dB

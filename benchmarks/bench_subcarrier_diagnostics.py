@@ -1,0 +1,90 @@
+"""Per-subcarrier error diagnostics (impairment fingerprinting).
+
+Different RF impairments leave different signatures across the 48 data
+subcarriers: a zero-IF DC-block notch inflates the innermost carriers, a
+narrow channel filter the outermost, AWGN none.  This bench measures the
+EVM profile for each case, demonstrating the diagnostic the paper's EVM
+discussion (section 5.2) points toward.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.metrics import subcarrier_error_profile
+from repro.core.reporting import render_table
+from repro.core.testbench import TestbenchConfig, WlanTestbench
+from repro.dsp.params import DATA_CARRIER_INDICES
+from repro.rf.frontend import FrontendConfig, ideal_frontend_config
+from repro.rf.zeroif import ZeroIfConfig
+
+
+def _profile(frontend, seed=5):
+    bench = WlanTestbench(
+        TestbenchConfig(
+            rate_mbps=24,
+            psdu_bytes=200,
+            thermal_floor=True,
+            frontend=frontend,
+            input_level_dbm=-60.0,
+        )
+    )
+    rng = np.random.default_rng(seed)
+    outcome = bench.run_packet(rng)
+    if outcome.lost:
+        return None
+    n = min(outcome.rx_result.data_symbols.shape[0],
+            outcome.tx_symbols.shape[0])
+    return subcarrier_error_profile(
+        outcome.rx_result.data_symbols[:n], outcome.tx_symbols[:n]
+    )
+
+
+def _measure_all():
+    cases = {
+        "reference (ideal RF)": ideal_frontend_config(hpf_enabled=False),
+        "zero-IF wide DC notch": ZeroIfConfig(
+            dc_block_cutoff_hz=2.5e6, dc_block_order=2,
+            dc_offset_dbm=None, flicker_power_dbm=None,
+        ),
+        "narrow channel filter": replace(
+            FrontendConfig(), lpf_edge_hz=7.2e6
+        ),
+    }
+    return {name: _profile(fe) for name, fe in cases.items()}
+
+
+def test_subcarrier_fingerprints(benchmark, save_result):
+    profiles = benchmark.pedantic(_measure_all, rounds=1, iterations=1)
+    inner = np.abs(DATA_CARRIER_INDICES) <= 2
+    outer = np.abs(DATA_CARRIER_INDICES) >= 24
+    rows = []
+    for name, profile in profiles.items():
+        assert profile is not None, f"{name}: packet lost"
+        rows.append(
+            [
+                name,
+                f"{100 * profile[inner].mean():.1f}",
+                f"{100 * profile[outer].mean():.1f}",
+                f"{100 * np.median(profile):.1f}",
+            ]
+        )
+    table = render_table(
+        ["impairment", "inner-carrier EVM [%]", "outer-carrier EVM [%]",
+         "median EVM [%]"],
+        rows,
+    )
+    save_result(
+        "subcarrier_diagnostics",
+        "Per-subcarrier EVM fingerprints of RF impairments\n" + table,
+    )
+    ref = profiles["reference (ideal RF)"]
+    notch = profiles["zero-IF wide DC notch"]
+    narrow = profiles["narrow channel filter"]
+    # Fingerprints, each relative to its own band median: the DC notch
+    # hits the inner carriers, the narrow channel filter the outer ones.
+    assert notch[inner].mean() > 3.0 * np.median(notch)
+    assert narrow[outer].mean() > 2.0 * np.median(narrow)
+    # The reference profile is flat by comparison.
+    assert ref[inner].mean() < 2.5 * np.median(ref)
+    assert ref[outer].mean() < 2.5 * np.median(ref)

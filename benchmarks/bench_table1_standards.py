@@ -1,0 +1,38 @@
+"""Table 1 of the paper: IEEE WLAN standards overview.
+
+Regenerates the table (approval year, frequency band, data rates) from the
+standards data in :mod:`repro.dsp.params`.
+"""
+
+from repro.core.reporting import render_table
+from repro.dsp.params import WLAN_STANDARDS
+
+
+def _render_table1() -> str:
+    rows = []
+    for s in WLAN_STANDARDS:
+        rates = ", ".join(
+            f"{r:g}" for r in sorted(s.data_rates_mbps, reverse=True)
+        )
+        rows.append(
+            [
+                s.name,
+                str(s.approval_year),
+                f"{s.freq_band_ghz[0]:g}-{s.freq_band_ghz[1]:g}",
+                rates,
+            ]
+        )
+    return render_table(
+        ["Standard", "Approval", "Freq. Band [GHz]", "Data Rate [Mbps]"],
+        rows,
+    )
+
+
+def test_table1_wlan_standards(benchmark, save_result):
+    table = benchmark(_render_table1)
+    save_result("table1_standards", "Table 1 — IEEE WLAN standards\n" + table)
+    # Paper's key rows: 802.11a at 54 Mbps in the 5 GHz band, 802.11b at
+    # 11 Mbps at 2.4 GHz.
+    assert "802.11a" in table
+    assert "54" in table
+    assert "11" in table

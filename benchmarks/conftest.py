@@ -1,0 +1,25 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper, prints it and
+writes it to ``benchmarks/results/<name>.txt`` so the rendered artefacts
+survive pytest's output capturing.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_result():
+    """Return a callable ``save(name, text)`` that persists bench output."""
+
+    def _save(name: str, text: str):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

@@ -1,0 +1,88 @@
+"""J&K black-box model extraction (the paper's "other solution").
+
+Characterizes the complete double-conversion front end with SpectreRF-style
+measurements and builds the K-model surrogate that can be "instantiated in
+SPW" — then validates the surrogate against the structural model across
+input levels.
+
+Run:  python examples/blackbox_extraction.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.channel.awgn import AwgnChannel
+from repro.core.reporting import render_ascii_plot, render_table
+from repro.dsp.receiver import Receiver, RxConfig
+from repro.dsp.transmitter import Transmitter, TxConfig, random_psdu
+from repro.flow.blackbox import extract_blackbox
+from repro.rf.frontend import DoubleConversionReceiver, FrontendConfig
+from repro.rf.signal import Signal
+
+
+def ber_through(block, level_dbm, n_packets=4, seed=11):
+    rng = np.random.default_rng(seed)
+    errors, bits = 0.0, 0
+    for _ in range(n_packets):
+        psdu = random_psdu(60, rng)
+        wave = Transmitter(TxConfig(rate_mbps=24, oversample=4)).transmit(psdu)
+        sig = Signal(
+            np.concatenate([np.zeros(600, complex), wave,
+                            np.zeros(600, complex)]),
+            80e6, 5.2e9,
+        ).scaled_to_dbm(level_dbm)
+        sig = AwgnChannel(include_thermal_floor=True).process(sig, rng)
+        out = block.process(sig, rng)
+        res = Receiver(RxConfig()).receive(
+            out.samples / np.sqrt(out.power_watts())
+        )
+        bits += 480
+        if res.success and res.psdu.size == 60:
+            errors += int(np.unpackbits(res.psdu ^ psdu).sum())
+        else:
+            errors += 240
+    return errors / bits
+
+
+def main():
+    cfg = FrontendConfig()
+    print("extracting the black-box model from SpectreRF-style "
+          "measurements...")
+    t0 = time.perf_counter()
+    surrogate = extract_blackbox(cfg)
+    print(f"  done in {time.perf_counter() - t0:.2f} s")
+    c = surrogate.characterization
+
+    print("\n=== extracted characterization ===")
+    print(f"noise figure : {c.noise_figure_db:.2f} dB")
+    print(f"noise bandwidth: {c.equivalent_noise_bandwidth_hz / 1e6:.1f} MHz")
+    print(f"DC offset    : {abs(c.dc_offset)**2 * 1e3:.2e} mW residual")
+    print("\nAM/AM lookup (relative gain vs drive):")
+    rel_gain_db = 20 * np.log10(np.abs(c.complex_gain / c.complex_gain[0]))
+    print(
+        render_ascii_plot(
+            c.drive_dbm, rel_gain_db, width=56, height=10,
+            title="compression characteristic",
+            x_label="drive [dBm]", y_label="gain delta [dB]",
+        )
+    )
+
+    print("\n=== surrogate vs structural model (BER) ===")
+    full = DoubleConversionReceiver(cfg)
+    rows = []
+    for level in (-60.0, -85.0, -92.0, -95.0):
+        rows.append(
+            [f"{level:+.0f}",
+             f"{ber_through(full, level):.4f}",
+             f"{ber_through(surrogate, level):.4f}"]
+        )
+    print(render_table(["input [dBm]", "structural", "black-box"], rows))
+    print("\nNote: the surrogate captures in-band behavior; effects that "
+          "depend on the\ninternal filter/sampling order (adjacent-channel "
+          "aliasing) stay with the\nstructural model — the documented "
+          "K-model validity envelope.")
+
+
+if __name__ == "__main__":
+    main()

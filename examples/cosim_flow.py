@@ -1,0 +1,49 @@
+"""The section-4 design flow, end to end.
+
+Executes all five steps the paper suggests — SPW system verification,
+SpectreRF standalone verification, circuit-level design, behavioral-model
+calibration and Verilog-AMS co-simulation — printing each step's report,
+the generated netlist, the compiler's noise warning and the table-2-style
+timing comparison.
+
+Run:  python examples/cosim_flow.py
+"""
+
+from repro.core.reporting import render_table
+from repro.core.verification import DesignFlow
+from repro.flow.cosim import CoSimConfig, CoSimulation
+from repro.flow.netlist import frontend_to_netlist
+from repro.rf.frontend import FrontendConfig
+
+
+def main():
+    print("=== executable design flow (paper section 4) ===\n")
+    flow = DesignFlow(n_packets=3, psdu_bytes=60)
+    flow.run_all()
+    print(flow.summary())
+    print(f"\nflow verdict: {'PASS' if flow.all_passed else 'FAIL'}\n")
+
+    print("=== generated Verilog-AMS-style netlist ===\n")
+    print(frontend_to_netlist(FrontendConfig()))
+
+    print("=== table 2: system simulation vs co-simulation ===\n")
+    cosim = CoSimulation(
+        FrontendConfig(),
+        CoSimConfig(rate_mbps=24, psdu_bytes=60, input_level_dbm=-55.0),
+    )
+    rows = cosim.compare(packet_counts=(1, 2, 4))
+    print(
+        render_table(
+            ["packets", "system [s]", "co-sim [s]", "slowdown"],
+            [
+                [str(r["packets"]), f"{r['system_time_s']:.3f}",
+                 f"{r['cosim_time_s']:.3f}", f"{r['slowdown']:.1f}x"]
+                for r in rows
+            ],
+        )
+    )
+    print("\n(the paper measured a 30-40x slowdown on its Sun server)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Multi-packet stream reception with MAC-layer verification.
+
+Extends figure 1 to its "MAC PDU stream" terminus: several MAC frames are
+transmitted back to back at different rates, the stream receiver recovers
+them without knowing the boundaries, and the MAC checks each frame by its
+FCS — the way a real station decides what to pass up the stack.
+
+Run:  python examples/stream_and_mac.py
+"""
+
+import numpy as np
+
+from repro.core.reporting import render_table
+from repro.dsp.mac import MacFrame, parse_mpdu
+from repro.dsp.stream import StreamReceiver
+from repro.dsp.transmitter import Transmitter, TxConfig
+from repro.flow.sigcalc import render_constellation, waveform_stats
+from repro.rf.signal import Signal
+
+
+def main():
+    rng = np.random.default_rng(7)
+    messages = [
+        (b"beacon: ssid=HGDAT-lab", 6),
+        (b"data: the quick brown fox jumps over the lazy dog " * 4, 24),
+        (b"ack-heavy bulk transfer payload " * 8, 54),
+    ]
+
+    # --- build the burst --------------------------------------------------
+    pieces = [np.zeros(400, complex)]
+    for seq, (body, rate) in enumerate(messages):
+        mpdu = MacFrame(body=body, sequence=seq).to_bytes()
+        pieces.append(Transmitter(TxConfig(rate_mbps=rate)).transmit(mpdu))
+        pieces.append(np.zeros(400, complex))
+    samples = np.concatenate(pieces)
+    noise = 10 ** (-27 / 20) / np.sqrt(2)
+    samples = samples + noise * (
+        rng.standard_normal(samples.size)
+        + 1j * rng.standard_normal(samples.size)
+    )
+    stats = waveform_stats(Signal(samples, 20e6))
+    print(f"air time: {samples.size / 20e6 * 1e6:.0f} us, "
+          f"crest factor {stats.crest_factor_db:.1f} dB\n")
+
+    # --- receive the stream -----------------------------------------------
+    report = StreamReceiver().receive_stream(samples)
+    rows = []
+    for packet in report.packets:
+        parsed = parse_mpdu(packet.result.psdu)
+        body = parsed.frame.body if parsed.frame else b""
+        rows.append(
+            [
+                str(packet.start_index),
+                f"{packet.result.rate.data_rate_mbps}",
+                str(packet.result.length_bytes),
+                "OK" if parsed.fcs_ok else "BAD",
+                (body[:30] + b"...").decode(errors="replace")
+                if len(body) > 30 else body.decode(errors="replace"),
+            ]
+        )
+    print(
+        render_table(
+            ["start", "rate [Mbps]", "MPDU [B]", "FCS", "body"], rows
+        )
+    )
+    print(f"\n{len(report.packets)} packets recovered, "
+          f"{report.failures} decode failures")
+
+    # --- constellation of the last packet (SigCalc view) ------------------
+    last = report.packets[-1].result
+    print()
+    print(
+        render_constellation(
+            last.data_symbols.reshape(-1)[:400],
+            title=f"received constellation "
+                  f"({last.rate.modulation}, {last.rate.data_rate_mbps} Mbps)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

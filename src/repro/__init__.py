@@ -1,0 +1,21 @@
+"""repro — reproduction of "Verification of the RF Subsystem within Wireless
+LAN System Level Simulation" (Knöchel et al., DATE 2003).
+
+The package provides:
+
+* :mod:`repro.dsp` — a complete IEEE 802.11a OFDM physical layer,
+* :mod:`repro.rf` — complex-baseband behavioral models of the analog RF
+  front-end (the paper's double-conversion receiver),
+* :mod:`repro.channel` — AWGN/fading channels and adjacent-channel
+  interference,
+* :mod:`repro.spectrum` — spectral measurements (PSD, ACPR, mask),
+* :mod:`repro.flow` — the simulation-tool substrate (dataflow engine, RF
+  characterization analyses, netlisting, co-simulation),
+* :mod:`repro.core` — the paper's verification methodology: test benches,
+  BER/EVM metrics, parameter sweeps, model calibration and the suggested
+  top-down design flow.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["dsp", "rf", "channel", "spectrum", "flow", "core"]

@@ -1,0 +1,66 @@
+"""Additive white Gaussian noise channel.
+
+Two operating styles are supported:
+
+* *normalized*: specify an SNR (or Eb/N0) relative to the measured signal
+  power — the classic BER-curve setup of the SPW demo system;
+* *absolute*: inject the physical thermal floor ``kT * fs`` at an antenna
+  reference temperature — used when driving the RF front end with signals
+  at real dBm levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.dsp.params import N_DATA_CARRIERS, N_FFT, N_SYMBOL, RateParameters
+from repro.rf.noise import T0, thermal_noise_power, white_noise
+from repro.rf.signal import Signal
+
+
+def ebn0_to_snr_db(ebn0_db: float, rate: RateParameters) -> float:
+    """Convert Eb/N0 to the signal-to-noise ratio in the 20 MHz band.
+
+    SNR = Eb/N0 * (bits per OFDM symbol) / (samples per OFDM symbol), since
+    the noise bandwidth equals the sample rate.
+    """
+    factor = rate.n_dbps / N_SYMBOL
+    return ebn0_db + 10.0 * np.log10(factor)
+
+
+def snr_to_ebn0_db(snr_db: float, rate: RateParameters) -> float:
+    """Inverse of :func:`ebn0_to_snr_db`."""
+    factor = rate.n_dbps / N_SYMBOL
+    return snr_db - 10.0 * np.log10(factor)
+
+
+@dataclass
+class AwgnChannel:
+    """AWGN channel.
+
+    Attributes:
+        snr_db: target SNR relative to the average signal power; None
+            disables normalized noise.
+        include_thermal_floor: add ``kT * fs`` antenna noise (used for
+            absolute-level RF simulations).
+        temperature_k: antenna reference temperature.
+    """
+
+    snr_db: Optional[float] = None
+    include_thermal_floor: bool = False
+    temperature_k: float = T0
+
+    def process(self, signal: Signal, rng: np.random.Generator) -> Signal:
+        """Add noise to ``signal``."""
+        x = signal.samples.copy()
+        if self.snr_db is not None:
+            signal_power = signal.power_watts()
+            noise_power = signal_power / 10.0 ** (self.snr_db / 10.0)
+            x += white_noise(x.size, noise_power, rng)
+        if self.include_thermal_floor:
+            floor = thermal_noise_power(signal.sample_rate, self.temperature_k)
+            x += white_noise(x.size, floor, rng)
+        return signal.with_samples(x)

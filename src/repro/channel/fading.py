@@ -1,0 +1,86 @@
+"""Multipath fading channel (the SPW demo system's "fading channel").
+
+A block-static tapped-delay-line model: taps are complex Gaussian with an
+exponential power-delay profile, drawn once per packet (indoor WLAN
+channels are quasi-static over a packet duration).  The RMS delay spread
+parameterization matches the common 802.11a evaluation channels
+(50-150 ns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rf.signal import Signal
+
+
+def exponential_power_delay_profile(
+    rms_delay_spread_s: float, sample_rate: float, cutoff_db: float = 30.0
+) -> np.ndarray:
+    """Tap powers of an exponential PDP, normalized to unit total power.
+
+    Args:
+        rms_delay_spread_s: RMS delay spread in seconds.
+        sample_rate: tap spacing is one sample.
+        cutoff_db: taps below the first tap by more than this are dropped.
+
+    Returns:
+        Array of tap powers summing to 1 (length >= 1).
+    """
+    if rms_delay_spread_s < 0:
+        raise ValueError("delay spread must be non-negative")
+    if rms_delay_spread_s == 0:
+        return np.array([1.0])
+    ts = 1.0 / sample_rate
+    n_taps = max(int(np.ceil(cutoff_db / 10.0 * np.log(10.0)
+                             * rms_delay_spread_s / ts)), 1)
+    k = np.arange(n_taps + 1)
+    powers = np.exp(-k * ts / rms_delay_spread_s)
+    powers /= powers.sum()
+    return powers
+
+
+@dataclass
+class FadingChannel:
+    """Block-static Rayleigh tapped-delay-line channel.
+
+    Attributes:
+        rms_delay_spread_s: RMS delay spread (0 gives a single Rayleigh
+            tap, i.e. flat fading).
+        rice_factor_db: K-factor of the first tap; -inf for pure Rayleigh.
+        normalize: scale each realization to unit average power so BER
+            curves condition on the average channel gain.
+    """
+
+    rms_delay_spread_s: float = 50e-9
+    rice_factor_db: float = -np.inf
+    normalize: bool = True
+
+    def realize(
+        self, sample_rate: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw one channel impulse response (complex taps)."""
+        powers = exponential_power_delay_profile(
+            self.rms_delay_spread_s, sample_rate
+        )
+        taps = np.sqrt(powers / 2.0) * (
+            rng.standard_normal(powers.size)
+            + 1j * rng.standard_normal(powers.size)
+        )
+        if np.isfinite(self.rice_factor_db):
+            k = 10.0 ** (self.rice_factor_db / 10.0)
+            los = np.sqrt(powers[0] * k / (k + 1.0))
+            taps[0] = los + taps[0] / np.sqrt(k + 1.0)
+        if self.normalize:
+            norm = np.sqrt(np.sum(np.abs(taps) ** 2))
+            if norm > 0:
+                taps = taps / norm
+        return taps
+
+    def process(self, signal: Signal, rng: np.random.Generator) -> Signal:
+        """Convolve the signal with one channel realization."""
+        taps = self.realize(signal.sample_rate, rng)
+        y = np.convolve(signal.samples, taps)[: signal.samples.size]
+        return signal.with_samples(y)

@@ -1,0 +1,157 @@
+"""Adjacent-channel interference (section 4.1 of the paper).
+
+"Additionally an adjacent channel was added to the system.  Therefore the
+transmitter model was duplicated and its OFDM signal was shifted by 20 MHz
+in the frequency domain.  The baseband signal was over-sampled to fulfill
+the sampling theorem."
+
+The 802.11a receiver requirement (17.3.10.2, quoted in section 2.2 of the
+paper): the adjacent channel may be 16 dB above the wanted level, the
+non-adjacent (alternate) channel 32 dB above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.dsp.params import CHANNEL_SPACING
+from repro.dsp.transmitter import Transmitter, TxConfig, random_psdu
+from repro.rf.signal import Signal
+
+#: Adjacent-channel excess level over the wanted signal (dB).
+ADJACENT_EXCESS_DB = 16.0
+
+#: Non-adjacent (alternate) channel excess level (dB).
+NON_ADJACENT_EXCESS_DB = 32.0
+
+
+@dataclass
+class AdjacentChannelSource:
+    """An interfering 802.11a transmitter on a neighbouring channel.
+
+    Attributes:
+        offset_channels: channel offset from the wanted signal (+1 is the
+            first adjacent channel at +20 MHz, +2 the non-adjacent at
+            +40 MHz; negative offsets are allowed).
+        excess_db: interferer power relative to the wanted signal power.
+        rate_mbps: data rate of the interfering transmitter.
+        psdu_bytes: payload size of the interfering packets.
+        timing_jitter_samples: maximum random start-time offset.
+    """
+
+    offset_channels: int = 1
+    excess_db: float = ADJACENT_EXCESS_DB
+    rate_mbps: int = 24
+    psdu_bytes: int = 256
+    timing_jitter_samples: int = 400
+
+    @property
+    def offset_hz(self) -> float:
+        """Frequency offset of the interferer in Hz."""
+        return self.offset_channels * CHANNEL_SPACING
+
+    def generate(
+        self,
+        n_samples: int,
+        sample_rate: float,
+        wanted_power_watts: float,
+        rng: np.random.Generator,
+    ) -> Signal:
+        """Generate the interfering waveform.
+
+        The interferer is a stream of back-to-back packets from a duplicate
+        transmitter, frequency-shifted to its channel and scaled to
+        ``wanted_power + excess_db``.
+
+        Args:
+            n_samples: number of samples to cover.
+            sample_rate: envelope sample rate (must be an oversampled
+                multiple of 20 MHz large enough to represent the offset).
+            wanted_power_watts: average power of the wanted signal.
+            rng: random generator.
+        """
+        oversample = sample_rate / 20e6
+        if abs(oversample - round(oversample)) > 1e-9:
+            raise ValueError("sample rate must be a multiple of 20 MHz")
+        oversample = int(round(oversample))
+        needed_band = abs(self.offset_hz) + 10e6
+        if needed_band > sample_rate / 2.0:
+            raise ValueError(
+                f"sample rate {sample_rate:g} Hz cannot represent an "
+                f"interferer at {self.offset_hz:g} Hz offset; oversample "
+                f"the baseband (sampling theorem)"
+            )
+        tx = Transmitter(
+            TxConfig(rate_mbps=self.rate_mbps, oversample=oversample)
+        )
+        pieces = []
+        total = 0
+        start = int(rng.integers(0, self.timing_jitter_samples + 1))
+        pieces.append(np.zeros(start, dtype=complex))
+        total += start
+        while total < n_samples:
+            wave = tx.transmit(random_psdu(self.psdu_bytes, rng))
+            gap = np.zeros(10 * oversample, dtype=complex)
+            pieces.append(wave)
+            pieces.append(gap)
+            total += wave.size + gap.size
+        samples = np.concatenate(pieces)[:n_samples]
+        interferer = Signal(samples, sample_rate).shifted(self.offset_hz)
+        # Scale relative to the wanted signal power (excess in dB).
+        current = np.mean(np.abs(interferer.samples[interferer.samples != 0]) ** 2) \
+            if np.any(interferer.samples != 0) else 0.0
+        if current > 0 and wanted_power_watts > 0:
+            target = wanted_power_watts * 10.0 ** (self.excess_db / 10.0)
+            interferer = interferer.with_samples(
+                interferer.samples * np.sqrt(target / current)
+            )
+        return interferer
+
+
+@dataclass
+class InterferenceScenario:
+    """A set of interfering channels added to the wanted signal.
+
+    Factory helpers build the two standard cases of the paper's figure 6:
+    ``adjacent()`` (+16 dB at +20 MHz) and ``non_adjacent()`` (+32 dB at
+    +40 MHz).
+    """
+
+    sources: List[AdjacentChannelSource] = field(default_factory=list)
+
+    @classmethod
+    def none(cls) -> "InterferenceScenario":
+        """No interference."""
+        return cls(sources=[])
+
+    @classmethod
+    def adjacent(cls, excess_db: float = ADJACENT_EXCESS_DB) -> "InterferenceScenario":
+        """First adjacent channel at +20 MHz."""
+        return cls(sources=[
+            AdjacentChannelSource(offset_channels=1, excess_db=excess_db)
+        ])
+
+    @classmethod
+    def non_adjacent(
+        cls, excess_db: float = NON_ADJACENT_EXCESS_DB
+    ) -> "InterferenceScenario":
+        """Non-adjacent (alternate) channel at +40 MHz."""
+        return cls(sources=[
+            AdjacentChannelSource(offset_channels=2, excess_db=excess_db)
+        ])
+
+    def apply(self, wanted: Signal, rng: np.random.Generator) -> Signal:
+        """Sum all interferers onto the wanted signal."""
+        if not self.sources:
+            return wanted
+        out = wanted.samples.copy()
+        power = wanted.power_watts()
+        for source in self.sources:
+            interferer = source.generate(
+                out.size, wanted.sample_rate, power, rng
+            )
+            out += interferer.samples[: out.size]
+        return wanted.with_samples(out)

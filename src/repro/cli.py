@@ -1,0 +1,251 @@
+"""Command-line interface: run the reproduction's experiments by name.
+
+Usage::
+
+    python -m repro quickstart
+    python -m repro fig5 [--packets N]
+    python -m repro fig6 [--packets N]
+    python -m repro table2
+    python -m repro sensitivity [--rates 6,24,54]
+    python -m repro flow
+    python -m repro netlist
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_quickstart(args) -> int:
+    from repro.channel.awgn import AwgnChannel
+    from repro.dsp.receiver import Receiver, RxConfig
+    from repro.dsp.transmitter import Transmitter, TxConfig, random_psdu
+    from repro.rf.frontend import DoubleConversionReceiver, FrontendConfig
+    from repro.rf.signal import Signal
+
+    rng = np.random.default_rng(args.seed)
+    tx = Transmitter(TxConfig(rate_mbps=args.rate, oversample=4))
+    psdu = random_psdu(args.bytes, rng)
+    wave = tx.transmit(psdu)
+    sig = Signal(
+        np.concatenate([np.zeros(600, complex), wave, np.zeros(600, complex)]),
+        80e6,
+        5.2e9,
+    ).scaled_to_dbm(args.level)
+    sig = AwgnChannel(include_thermal_floor=True).process(sig, rng)
+    out = DoubleConversionReceiver(FrontendConfig()).process(sig, rng)
+    result = Receiver(RxConfig()).receive(
+        out.samples / np.sqrt(out.power_watts())
+    )
+    if not result.success:
+        print(f"reception failed: {result.failure}")
+        return 1
+    errors = int(np.unpackbits(result.psdu ^ psdu).sum())
+    print(
+        f"{args.rate} Mbps packet at {args.level} dBm: "
+        f"{errors}/{8 * args.bytes} bit errors "
+        f"(CFO estimate {result.cfo_hz / 1e3:.1f} kHz)"
+    )
+    return 0 if errors == 0 else 1
+
+
+def _cmd_fig5(args) -> int:
+    from repro.channel.interference import InterferenceScenario
+    from repro.core.sweep import ParameterSweep
+    from repro.core.testbench import TestbenchConfig
+    from repro.rf.frontend import FrontendConfig
+
+    cfg = TestbenchConfig(
+        rate_mbps=36,
+        psdu_bytes=60,
+        thermal_floor=True,
+        frontend=FrontendConfig(),
+        interference=InterferenceScenario.adjacent(),
+        input_level_dbm=-60.0,
+    )
+    sweep = ParameterSweep(
+        base_config=cfg,
+        parameter="frontend.lpf_edge_hz",
+        values=[r * 1e8 for r in (0.04, 0.06, 0.08, 0.10, 0.14, 0.20)],
+        n_packets=args.packets,
+        seed=args.seed,
+    )
+    result = sweep.run(progress=print)
+    print()
+    print(result.as_table())
+    return 0
+
+
+def _cmd_fig6(args) -> int:
+    from repro.channel.interference import InterferenceScenario
+    from repro.core.sweep import ParameterSweep
+    from repro.core.testbench import TestbenchConfig
+    from repro.rf.frontend import FrontendConfig
+
+    for name, scenario in (
+        ("no interferer", InterferenceScenario.none()),
+        ("adjacent +16 dB", InterferenceScenario.adjacent()),
+    ):
+        cfg = TestbenchConfig(
+            rate_mbps=36,
+            psdu_bytes=60,
+            thermal_floor=True,
+            frontend=FrontendConfig(),
+            interference=scenario,
+            input_level_dbm=-60.0,
+        )
+        result = ParameterSweep(
+            base_config=cfg,
+            parameter="frontend.lna_p1db_dbm",
+            values=[-55.0, -45.0, -40.0, -35.0, -25.0, -15.0],
+            n_packets=args.packets,
+            seed=args.seed,
+        ).run()
+        print(f"\n== {name} ==")
+        print(result.as_table())
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from repro.core.reporting import render_table
+    from repro.flow.cosim import CoSimConfig, CoSimulation
+    from repro.rf.frontend import FrontendConfig
+
+    cosim = CoSimulation(
+        FrontendConfig(),
+        CoSimConfig(rate_mbps=24, psdu_bytes=60, input_level_dbm=-55.0),
+    )
+    rows = cosim.compare(packet_counts=(1, 2, 4), seed=args.seed)
+    print(
+        render_table(
+            ["packets", "system [s]", "co-sim [s]", "slowdown"],
+            [
+                [str(r["packets"]), f"{r['system_time_s']:.3f}",
+                 f"{r['cosim_time_s']:.3f}", f"{r['slowdown']:.1f}x"]
+                for r in rows
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_sensitivity(args) -> int:
+    from repro.core.reporting import render_table
+    from repro.core.sensitivity import find_sensitivity
+
+    starts = {6: -84.0, 9: -84.0, 12: -82.0, 18: -80.0,
+              24: -78.0, 36: -72.0, 48: -68.0, 54: -66.0}
+    rates = [int(r) for r in args.rates.split(",")]
+    rows = []
+    ok = True
+    for rate in rates:
+        result = find_sensitivity(
+            rate, n_packets=args.packets, psdu_bytes=120,
+            start_dbm=starts.get(rate, -70.0), seed=args.seed,
+        )
+        ok &= result.meets_standard
+        rows.append(
+            [str(rate), f"{result.sensitivity_dbm:.0f}",
+             f"{result.standard_requirement_dbm:.0f}",
+             "PASS" if result.meets_standard else "FAIL"]
+        )
+    print(render_table(
+        ["rate [Mbps]", "measured [dBm]", "required [dBm]", "verdict"], rows
+    ))
+    return 0 if ok else 1
+
+
+def _cmd_flow(args) -> int:
+    from repro.core.verification import DesignFlow
+
+    flow = DesignFlow(n_packets=args.packets, psdu_bytes=60, seed=args.seed)
+    flow.run_all()
+    print(flow.summary())
+    return 0 if flow.all_passed else 1
+
+
+def _cmd_campaign(args) -> int:
+    from repro.core.campaign import VerificationCampaign
+
+    campaign = VerificationCampaign(depth=args.depth, seed=args.seed)
+    report = campaign.run()
+    print(report.as_table())
+    print(f"\ncampaign verdict: {'PASS' if report.passed else 'FAIL'}")
+    return 0 if report.passed else 1
+
+
+def _cmd_netlist(args) -> int:
+    from repro.flow.netlist import NetlistCompiler, frontend_to_netlist
+    from repro.rf.frontend import FrontendConfig
+
+    text = frontend_to_netlist(FrontendConfig())
+    print(text)
+    design = NetlistCompiler(target=args.target).compile(text)
+    for warning in design.warnings:
+        print(f"WARNING: {warning}", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the repro CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Verification of the RF Subsystem within "
+            "Wireless LAN System Level Simulation' (DATE 2003)"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("quickstart", help="one packet end to end")
+    p.add_argument("--rate", type=int, default=54)
+    p.add_argument("--bytes", type=int, default=200)
+    p.add_argument("--level", type=float, default=-60.0)
+    p.set_defaults(func=_cmd_quickstart)
+
+    p = sub.add_parser("fig5", help="BER vs channel-filter bandwidth")
+    p.add_argument("--packets", type=int, default=3)
+    p.set_defaults(func=_cmd_fig5)
+
+    p = sub.add_parser("fig6", help="BER vs LNA compression point")
+    p.add_argument("--packets", type=int, default=3)
+    p.set_defaults(func=_cmd_fig6)
+
+    p = sub.add_parser("table2", help="co-simulation slowdown")
+    p.set_defaults(func=_cmd_table2)
+
+    p = sub.add_parser("sensitivity", help="receiver sensitivity vs table 91")
+    p.add_argument("--rates", default="6,24,54")
+    p.add_argument("--packets", type=int, default=5)
+    p.set_defaults(func=_cmd_sensitivity)
+
+    p = sub.add_parser("flow", help="the section-4 design flow")
+    p.add_argument("--packets", type=int, default=3)
+    p.set_defaults(func=_cmd_flow)
+
+    p = sub.add_parser(
+        "campaign", help="run the full verification acceptance campaign"
+    )
+    p.add_argument("--depth", choices=("quick", "full"), default="quick")
+    p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser("netlist", help="emit + compile the RF netlist")
+    p.add_argument("--target", choices=("ams", "spectre"), default="ams")
+    p.set_defaults(func=_cmd_netlist)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

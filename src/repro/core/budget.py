@@ -1,0 +1,191 @@
+"""RF cascade (link-budget) analysis.
+
+The designer-side companion to the simulation experiments: given the
+stage lineup of a receiver front end, compute the running cascade gain,
+noise figure (Friis) and input intercept point, plus the resulting
+sensitivity estimate — the numbers an RF systems engineer writes down
+*before* running the paper's BER simulations, and against which the
+measured results are sanity-checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.reporting import render_table
+from repro.rf.noise import thermal_noise_psd_dbm_hz
+from repro.rf.signal import dbm_to_watts, watts_to_dbm
+
+
+@dataclass
+class Stage:
+    """One cascade stage.
+
+    Attributes:
+        name: stage label.
+        gain_db: power gain.
+        nf_db: noise figure.
+        iip3_dbm: input-referred third-order intercept; ``inf`` for an
+            ideally linear stage.
+    """
+
+    name: str
+    gain_db: float
+    nf_db: float = 0.0
+    iip3_dbm: float = np.inf
+
+
+@dataclass
+class CascadeRow:
+    """Cumulative cascade figures after a stage."""
+
+    name: str
+    gain_db: float
+    cumulative_gain_db: float
+    cumulative_nf_db: float
+    cumulative_iip3_dbm: float
+
+
+@dataclass
+class CascadeAnalysis:
+    """Friis cascade analysis of a stage lineup.
+
+    Example:
+        >>> analysis = CascadeAnalysis([
+        ...     Stage("LNA", 16.0, 3.0, -2.4),
+        ...     Stage("MIX1", 8.0, 9.0, 14.0),
+        ... ])
+        >>> analysis.total_nf_db  # doctest: +SKIP
+        3.4
+    """
+
+    stages: List[Stage]
+
+    def __post_init__(self):
+        if not self.stages:
+            raise ValueError("cascade needs at least one stage")
+
+    def rows(self) -> List[CascadeRow]:
+        """Per-stage cumulative gain/NF/IIP3."""
+        out: List[CascadeRow] = []
+        gain_lin = 1.0
+        f_total = 1.0
+        inv_iip3 = 0.0
+        for stage in self.stages:
+            f_stage = 10.0 ** (stage.nf_db / 10.0)
+            f_total += (f_stage - 1.0) / gain_lin
+            if np.isfinite(stage.iip3_dbm):
+                inv_iip3 += gain_lin / dbm_to_watts(stage.iip3_dbm)
+            gain_lin *= 10.0 ** (stage.gain_db / 10.0)
+            iip3 = (
+                watts_to_dbm(1.0 / inv_iip3) if inv_iip3 > 0 else np.inf
+            )
+            out.append(
+                CascadeRow(
+                    name=stage.name,
+                    gain_db=stage.gain_db,
+                    cumulative_gain_db=10.0 * np.log10(gain_lin),
+                    cumulative_nf_db=10.0 * np.log10(f_total),
+                    cumulative_iip3_dbm=iip3,
+                )
+            )
+        return out
+
+    @property
+    def total_gain_db(self) -> float:
+        """Cascade power gain."""
+        return self.rows()[-1].cumulative_gain_db
+
+    @property
+    def total_nf_db(self) -> float:
+        """Cascade noise figure (Friis)."""
+        return self.rows()[-1].cumulative_nf_db
+
+    @property
+    def total_iip3_dbm(self) -> float:
+        """Cascade input IP3."""
+        return self.rows()[-1].cumulative_iip3_dbm
+
+    def sensitivity_dbm(
+        self,
+        required_snr_db: float,
+        bandwidth_hz: float = 16.6e6,
+        implementation_margin_db: float = 0.0,
+    ) -> float:
+        """Link-budget sensitivity estimate.
+
+        ``S = -174 + 10log10(B) + NF + SNR_req + margin`` [dBm].
+        """
+        if bandwidth_hz <= 0:
+            raise ValueError("bandwidth must be positive")
+        return (
+            thermal_noise_psd_dbm_hz()
+            + 10.0 * np.log10(bandwidth_hz)
+            + self.total_nf_db
+            + required_snr_db
+            + implementation_margin_db
+        )
+
+    def spurious_free_range_db(self, input_dbm: float) -> float:
+        """Distance of the third-order products below the signal.
+
+        For an input at ``input_dbm`` the IM3 products sit
+        ``2 * (IIP3 - input)`` dB below it.
+        """
+        if not np.isfinite(self.total_iip3_dbm):
+            return np.inf
+        return 2.0 * (self.total_iip3_dbm - input_dbm)
+
+    def as_table(self) -> str:
+        """Rendered cascade table."""
+        rows = [
+            [
+                r.name,
+                f"{r.gain_db:+.1f}",
+                f"{r.cumulative_gain_db:+.1f}",
+                f"{r.cumulative_nf_db:.2f}",
+                ("inf" if not np.isfinite(r.cumulative_iip3_dbm)
+                 else f"{r.cumulative_iip3_dbm:+.1f}"),
+            ]
+            for r in self.rows()
+        ]
+        return render_table(
+            ["stage", "gain [dB]", "cum gain [dB]", "cum NF [dB]",
+             "cum IIP3 [dBm]"],
+            rows,
+        )
+
+
+def frontend_cascade(config) -> CascadeAnalysis:
+    """Cascade analysis of a :class:`FrontendConfig`'s active stages.
+
+    Only the gain/noise/IP3-carrying stages enter the budget (filters are
+    treated as lossless here; their selectivity is a separate concern).
+    """
+    from repro.rf.nonlinearity import iip3_from_p1db
+
+    return CascadeAnalysis(
+        [
+            Stage(
+                "LNA",
+                config.lna_gain_db,
+                config.lna_nf_db,
+                iip3_from_p1db(config.lna_p1db_dbm),
+            ),
+            Stage(
+                "MIX1",
+                config.mixer1_gain_db,
+                config.mixer1_nf_db,
+                config.mixer1_iip3_dbm,
+            ),
+            Stage(
+                "MIX2",
+                config.mixer2_gain_db,
+                config.mixer2_nf_db,
+                config.mixer2_iip3_dbm,
+            ),
+        ]
+    )

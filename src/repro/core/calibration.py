@@ -1,0 +1,195 @@
+"""Behavioral-model calibration (design-flow step of section 4).
+
+"Design the components of the RF subsystem (circuit level).  Verification
+of the circuit designs in the RF subsystem model.  Calibration of the
+behavioral models."
+
+Since no transistor-level simulator is available here, the "circuit-level"
+reference is a richer behavioral model: a fifth-order nonlinearity with
+AM/PM and excess noise — enough structure that the simple library models
+must be *fitted* to it rather than copied.  :func:`calibrate_amplifier`
+measures the reference with the SpectreRF-style analyses
+(:mod:`repro.flow.rfsim`) and returns a library model matching the measured
+gain, compression and noise figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.flow.rfsim import (
+    measure_noise_figure,
+    swept_power_compression,
+    two_tone_intermod,
+)
+from repro.rf.amplifier import Amplifier
+from repro.rf.noise import noise_figure_to_added_power, white_noise
+from repro.rf.signal import Signal, dbm_to_watts
+
+
+@dataclass
+class CircuitLevelAmplifier:
+    """A "transistor-level" LNA stand-in: 5th-order envelope nonlinearity.
+
+    ``y = x * (g1 - c3*|x|^2 + c5*|x|^4) * exp(j*phi(|x|))`` with hard
+    saturation beyond the characteristic's peak — deliberately *not* a
+    member of either behavioral library, so calibration is a genuine fit.
+
+    Attributes:
+        gain_db: small-signal gain.
+        p1db_dbm: input 1 dB compression point (sets c3).
+        fifth_order_fraction: relative strength of the 5th-order term.
+        am_pm_deg_at_p1db: phase deviation at the compression point.
+        noise_figure_db: noise figure.
+    """
+
+    gain_db: float = 16.0
+    p1db_dbm: float = -12.0
+    fifth_order_fraction: float = 0.15
+    am_pm_deg_at_p1db: float = 2.0
+    noise_figure_db: float = 3.2
+
+    def process(
+        self, signal: Signal, rng: Optional[np.random.Generator] = None
+    ) -> Signal:
+        """Amplify with noise, 3rd+5th order compression and AM/PM."""
+        x = signal.samples
+        if self.noise_figure_db > 0:
+            if rng is None:
+                raise ValueError("rng required for noisy amplifier")
+            added = noise_figure_to_added_power(
+                self.noise_figure_db, signal.sample_rate
+            )
+            x = x + white_noise(x.size, added, rng)
+        g = 10.0 ** (self.gain_db / 20.0)
+        p1 = dbm_to_watts(self.p1db_dbm)
+        frac = 1.0 - 10.0 ** (-1.0 / 20.0)
+        p = np.abs(x) ** 2
+        # Choose c3, c5 so the gain drop at P1dB is exactly 1 dB:
+        # drop(p) = (c3*p - c5*p^2) / g with c5 = fifth_order_fraction *
+        # c3 / p1; solving drop(p1) = frac*g gives c3 below.
+        c3 = frac * g / (p1 * (1.0 - self.fifth_order_fraction))
+        c5 = self.fifth_order_fraction * c3 / p1
+        scale = g - c3 * p + c5 * p * p
+        # Keep the characteristic monotone: clamp beyond its first peak.
+        scale = np.maximum(scale, 0.2 * g)
+        phi = np.deg2rad(self.am_pm_deg_at_p1db) * (p / p1)
+        phi = np.minimum(phi, np.deg2rad(4 * self.am_pm_deg_at_p1db))
+        return signal.with_samples(x * scale * np.exp(1j * phi))
+
+
+@dataclass
+class CalibrationReport:
+    """Measured reference characteristics and the fitted model errors.
+
+    Attributes:
+        measured_gain_db / measured_p1db_dbm / measured_iip3_dbm /
+        measured_nf_db: SpectreRF-style measurements of the reference.
+        fitted: the calibrated library model.
+        residual_gain_db / residual_p1db_db: measurement of the fitted
+            model minus the reference measurement (fit quality).
+    """
+
+    measured_gain_db: float
+    measured_p1db_dbm: float
+    measured_iip3_dbm: float
+    measured_nf_db: float
+    fitted: Amplifier
+    residual_gain_db: float
+    residual_p1db_db: float
+
+
+def calibrate_amplifier(
+    reference,
+    style: str = "spw",
+    sample_rate: float = 80e6,
+    rng: Optional[np.random.Generator] = None,
+) -> CalibrationReport:
+    """Fit a library amplifier model to a circuit-level reference.
+
+    Args:
+        reference: any block with ``process(Signal, rng)`` (e.g.
+            :class:`CircuitLevelAmplifier`).
+        style: ``"spw"`` (cubic, P1dB-parameterized) or ``"spectre"``
+            (Rapp with AM/PM, IIP3-parameterized).
+        sample_rate: measurement bandwidth.
+        rng: random generator for the noise measurement.
+
+    Returns:
+        The calibration report with the fitted model.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    comp = swept_power_compression(reference, sample_rate=sample_rate, rng=rng)
+    im = two_tone_intermod(
+        reference,
+        sample_rate=sample_rate,
+        tone_power_dbm=comp.input_p1db_dbm - 25.0,
+        rng=rng,
+    )
+    nf = measure_noise_figure(reference, sample_rate=sample_rate, rng=rng)
+
+    if style == "spw":
+        fitted = Amplifier.spw_style(
+            gain_db=comp.small_signal_gain_db,
+            noise_figure_db=nf.noise_figure_db,
+            p1db_dbm=comp.input_p1db_dbm,
+        )
+    elif style == "spectre":
+        # Anchor the Rapp saturation to the *measured* compression point:
+        # the reference's higher-order terms break the cubic IIP3<->P1dB
+        # offset, and P1dB is the quantity the figure-6 experiment sweeps.
+        from repro.rf.nonlinearity import iip3_from_p1db
+
+        fitted = Amplifier.spectre_style(
+            gain_db=comp.small_signal_gain_db,
+            noise_figure_db=nf.noise_figure_db,
+            iip3_dbm=iip3_from_p1db(comp.input_p1db_dbm),
+        )
+    else:
+        raise ValueError(f"unknown library style {style!r}")
+
+    # Verify the fit by re-measuring the fitted model (noise off for the
+    # deterministic quantities).
+    quiet = Amplifier(
+        gain_db=fitted.gain_db,
+        noise_figure_db=0.0,
+        nonlinearity=fitted.nonlinearity,
+    )
+    check = swept_power_compression(quiet, sample_rate=sample_rate, rng=rng)
+    return CalibrationReport(
+        measured_gain_db=comp.small_signal_gain_db,
+        measured_p1db_dbm=comp.input_p1db_dbm,
+        measured_iip3_dbm=im.iip3_dbm,
+        measured_nf_db=nf.noise_figure_db,
+        fitted=fitted,
+        residual_gain_db=check.small_signal_gain_db
+        - comp.small_signal_gain_db,
+        residual_p1db_db=check.input_p1db_dbm - comp.input_p1db_dbm,
+    )
+
+
+def compare_model_libraries(spw_config, spectre_config) -> list:
+    """Diff two front-end configurations parameter by parameter.
+
+    Reproduces the paper's observation that "the model parameters from
+    Spectre and SPW models are different in some cases" — returns a list of
+    ``(field, spw_value, spectre_value)`` tuples for every differing field.
+    """
+    from dataclasses import fields
+
+    diffs = []
+    for f in fields(spw_config):
+        a = getattr(spw_config, f.name)
+        b = getattr(spectre_config, f.name)
+        equal = (a == b) or (
+            isinstance(a, float)
+            and isinstance(b, float)
+            and np.isclose(a, b, equal_nan=True)
+        )
+        if not equal:
+            diffs.append((f.name, a, b))
+    return diffs

@@ -1,0 +1,298 @@
+"""Verification campaign: the release acceptance suite.
+
+Bundles the paper's key results and the standard's compliance checks into
+one declarative campaign a verification team would run before signing off
+an RF design: PHY loopback at every rate, transmit-mask compliance,
+sensitivity and adjacent-channel rejection, the figure-5 filter valley,
+the figure-6 linearity waterfall, and the co-simulation noise-gap check.
+
+Each check is a named, independently runnable item; the campaign records
+status, wall-clock and details, and renders a sign-off report.  The
+``quick`` depth keeps the whole campaign to tens of seconds; ``full``
+raises the packet counts for release-grade confidence.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.reporting import render_table
+from repro.rf.frontend import FrontendConfig
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one campaign check.
+
+    Attributes:
+        name: check identifier.
+        passed: verdict.
+        detail: one-line result summary.
+        duration_s: wall-clock spent.
+    """
+
+    name: str
+    passed: bool
+    detail: str
+    duration_s: float
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated campaign outcome."""
+
+    results: List[CheckResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return bool(self.results) and all(r.passed for r in self.results)
+
+    def as_table(self) -> str:
+        rows = [
+            [
+                r.name,
+                "PASS" if r.passed else "FAIL",
+                f"{r.duration_s:.1f}s",
+                r.detail,
+            ]
+            for r in self.results
+        ]
+        return render_table(["check", "verdict", "time", "detail"], rows)
+
+
+@dataclass
+class VerificationCampaign:
+    """Runs the acceptance checks against a front-end design.
+
+    Attributes:
+        frontend: the design under test.
+        depth: ``"quick"`` (smoke-level packet counts) or ``"full"``.
+        seed: base random seed.
+    """
+
+    frontend: FrontendConfig = field(default_factory=FrontendConfig)
+    depth: str = "quick"
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.depth not in ("quick", "full"):
+            raise ValueError(f"unknown depth {self.depth!r}")
+        self._n = 3 if self.depth == "quick" else 10
+
+    # -- individual checks -------------------------------------------------
+    def check_phy_loopback(self) -> CheckResult:
+        """Every 802.11a rate decodes over a clean channel."""
+        from repro.dsp.params import RATES
+        from repro.dsp.receiver import Receiver, RxConfig
+        from repro.dsp.transmitter import Transmitter, TxConfig, random_psdu
+
+        start = time.perf_counter()
+        rng = np.random.default_rng(self.seed)
+        failures = []
+        for rate in sorted(RATES):
+            psdu = random_psdu(60, rng)
+            wave = Transmitter(TxConfig(rate_mbps=rate)).transmit(psdu)
+            samples = np.concatenate(
+                [np.zeros(150, complex), wave, np.zeros(80, complex)]
+            )
+            result = Receiver(RxConfig()).receive(samples)
+            if not (result.success and np.array_equal(result.psdu, psdu)):
+                failures.append(rate)
+        return CheckResult(
+            "phy loopback (8 rates)",
+            not failures,
+            "all rates decode" if not failures else f"failed: {failures}",
+            time.perf_counter() - start,
+        )
+
+    def check_transmit_mask(self) -> CheckResult:
+        """The shaped transmit spectrum meets the 802.11a mask."""
+        from repro.dsp.transmitter import Transmitter, TxConfig, random_psdu
+        from repro.rf.signal import Signal
+        from repro.spectrum.psd import check_transmit_mask
+
+        start = time.perf_counter()
+        rng = np.random.default_rng(self.seed)
+        wave = Transmitter(TxConfig(rate_mbps=54, oversample=4)).transmit(
+            random_psdu(300, rng)
+        )
+        ok, margin = check_transmit_mask(Signal(wave, 80e6))
+        return CheckResult(
+            "transmit spectral mask",
+            ok,
+            f"worst margin {margin:+.1f} dB",
+            time.perf_counter() - start,
+        )
+
+    def check_sensitivity(self) -> CheckResult:
+        """Sensitivity meets IEEE table 91 at the lowest and highest rate."""
+        from repro.core.sensitivity import find_sensitivity
+
+        start = time.perf_counter()
+        details = []
+        ok = True
+        for rate, start_dbm in ((6, -84.0), (54, -66.0)):
+            try:
+                result = find_sensitivity(
+                    rate,
+                    frontend=self.frontend,
+                    n_packets=self._n,
+                    psdu_bytes=100,
+                    start_dbm=start_dbm,
+                    seed=self.seed,
+                )
+            except RuntimeError:
+                # The receiver misses the PER target even at the starting
+                # level: an unambiguous sensitivity failure.
+                ok = False
+                details.append(f"{rate}M: fails even at {start_dbm:.0f} dBm")
+                continue
+            ok &= result.meets_standard
+            details.append(
+                f"{rate}M: {result.sensitivity_dbm:.0f} dBm "
+                f"(req {result.standard_requirement_dbm:.0f})"
+            )
+        return CheckResult(
+            "minimum sensitivity",
+            ok,
+            "; ".join(details),
+            time.perf_counter() - start,
+        )
+
+    def check_adjacent_rejection(self) -> CheckResult:
+        """Adjacent-channel rejection meets table 91 at 24 Mbps."""
+        from repro.core.sensitivity import measure_adjacent_rejection
+
+        start = time.perf_counter()
+        result = measure_adjacent_rejection(
+            24,
+            sensitivity_dbm=-74.0,
+            frontend=self.frontend,
+            n_packets=self._n,
+            psdu_bytes=100,
+            step_db=4.0,
+            max_excess_db=24.0,
+            seed=self.seed,
+        )
+        return CheckResult(
+            "adjacent channel rejection",
+            result.meets_standard,
+            f"{result.rejection_db:+.0f} dB "
+            f"(req {result.standard_requirement_db:+.0f})",
+            time.perf_counter() - start,
+        )
+
+    def check_filter_valley(self) -> CheckResult:
+        """Figure-5 shape: the nominal filter decodes, a narrow one fails."""
+        from repro.channel.interference import InterferenceScenario
+        from repro.core.testbench import TestbenchConfig, WlanTestbench
+
+        start = time.perf_counter()
+
+        def ber(edge):
+            cfg = TestbenchConfig(
+                rate_mbps=36,
+                psdu_bytes=60,
+                thermal_floor=True,
+                frontend=replace(self.frontend, lpf_edge_hz=edge),
+                interference=InterferenceScenario.adjacent(),
+                input_level_dbm=-60.0,
+            )
+            return WlanTestbench(cfg).measure_ber(
+                n_packets=self._n, seed=self.seed
+            ).ber
+
+        nominal = ber(8.6e6)
+        narrow = ber(3e6)
+        ok = nominal < 0.02 and narrow > 0.3
+        return CheckResult(
+            "figure-5 filter valley",
+            ok,
+            f"BER nominal {nominal:.3f}, narrow {narrow:.3f}",
+            time.perf_counter() - start,
+        )
+
+    def check_linearity_waterfall(self) -> CheckResult:
+        """Figure-6 shape: the design's P1dB survives the +16 dB adjacent."""
+        from repro.channel.interference import InterferenceScenario
+        from repro.core.testbench import TestbenchConfig, WlanTestbench
+
+        start = time.perf_counter()
+
+        def ber(p1db):
+            cfg = TestbenchConfig(
+                rate_mbps=36,
+                psdu_bytes=60,
+                thermal_floor=True,
+                frontend=replace(self.frontend, lna_p1db_dbm=p1db),
+                interference=InterferenceScenario.adjacent(),
+                input_level_dbm=-60.0,
+            )
+            return WlanTestbench(cfg).measure_ber(
+                n_packets=self._n, seed=self.seed
+            ).ber
+
+        nominal = ber(self.frontend.lna_p1db_dbm)
+        compressed = ber(-50.0)
+        ok = nominal < 0.02 and compressed > 0.3
+        return CheckResult(
+            "figure-6 linearity waterfall",
+            ok,
+            f"BER at design P1dB {nominal:.3f}, at -50 dBm {compressed:.3f}",
+            time.perf_counter() - start,
+        )
+
+    def check_cosim_consistency(self) -> CheckResult:
+        """Co-simulation agrees at a clean point and warns about noise."""
+        from repro.flow.cosim import CoSimConfig, CoSimulation
+
+        start = time.perf_counter()
+        cosim = CoSimulation(
+            self.frontend,
+            CoSimConfig(
+                rate_mbps=24,
+                psdu_bytes=60,
+                input_level_dbm=-55.0,
+                analog_substeps=1,
+            ),
+        )
+        system = cosim.run_system_only(2, seed=self.seed)
+        co = cosim.run_cosim(2, seed=self.seed)
+        ok = (
+            system.ber == 0.0
+            and co.ber == 0.0
+            and bool(co.warnings)
+            and co.wall_time_s > system.wall_time_s
+        )
+        return CheckResult(
+            "co-simulation consistency",
+            ok,
+            f"system/cosim BER {system.ber:.3f}/{co.ber:.3f}, "
+            f"slowdown {co.wall_time_s / max(system.wall_time_s, 1e-9):.0f}x",
+            time.perf_counter() - start,
+        )
+
+    #: Check registry in execution order.
+    CHECKS = (
+        "check_phy_loopback",
+        "check_transmit_mask",
+        "check_sensitivity",
+        "check_adjacent_rejection",
+        "check_filter_valley",
+        "check_linearity_waterfall",
+        "check_cosim_consistency",
+    )
+
+    def run(self, only: Optional[List[str]] = None) -> CampaignReport:
+        """Execute the campaign (or a named subset of checks)."""
+        report = CampaignReport()
+        for method_name in self.CHECKS:
+            short = method_name.removeprefix("check_")
+            if only is not None and short not in only:
+                continue
+            report.results.append(getattr(self, method_name)())
+        return report

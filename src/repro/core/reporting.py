@@ -1,0 +1,107 @@
+"""Plain-text rendering of tables and curves (bench output).
+
+The benchmarks print the paper's tables and figures as text: aligned
+tables for tabular data and ASCII scatter plots for BER curves, so every
+experiment's output is inspectable without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render an aligned ASCII table.
+
+    Args:
+        headers: column headers.
+        rows: cell strings, one inner sequence per row.
+
+    Returns:
+        The table as a multi-line string.
+    """
+    headers = [str(h) for h in headers]
+    str_rows = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header count")
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows))
+        if str_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        sep,
+    ]
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_ascii_plot(
+    x: Sequence[float],
+    y: Sequence[float],
+    width: int = 64,
+    height: int = 16,
+    title: Optional[str] = None,
+    x_label: str = "x",
+    y_label: str = "y",
+    logy: bool = False,
+) -> str:
+    """A minimal ASCII scatter plot for BER-style curves.
+
+    Args:
+        x, y: data points (NaNs skipped).
+        width, height: plot canvas size in characters.
+        title: optional headline.
+        x_label, y_label: axis annotations.
+        logy: plot log10(y) (zeros floored to the smallest positive y).
+
+    Returns:
+        Multi-line plot string.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    keep = np.isfinite(x) & np.isfinite(y)
+    x, y = x[keep], y[keep]
+    if x.size == 0:
+        return "(no data)"
+    ywork = y.copy()
+    if logy:
+        positive = ywork[ywork > 0]
+        floor = positive.min() / 10.0 if positive.size else 1e-12
+        ywork = np.log10(np.maximum(ywork, floor))
+    x_min, x_max = float(x.min()), float(x.max())
+    y_min, y_max = float(ywork.min()), float(ywork.max())
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    for xi, yi in zip(x, ywork):
+        col = int((xi - x_min) / (x_max - x_min) * (width - 1))
+        row = int((yi - y_min) / (y_max - y_min) * (height - 1))
+        canvas[height - 1 - row][col] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    top = f"{10**y_max:.3g}" if logy else f"{y_max:.3g}"
+    bottom = f"{10**y_min:.3g}" if logy else f"{y_min:.3g}"
+    label_width = max(len(top), len(bottom), len(y_label)) + 1
+    lines.append(f"{top:>{label_width}} +" + "".join(canvas[0]))
+    for row in canvas[1:-1]:
+        lines.append(" " * label_width + " |" + "".join(row))
+    lines.append(f"{bottom:>{label_width}} +" + "".join(canvas[-1]))
+    lines.append(
+        " " * label_width
+        + "  "
+        + f"{x_min:.3g}".ljust(width // 2)
+        + f"{x_max:.3g}".rjust(width - width // 2)
+    )
+    lines.append(" " * label_width + f"  {x_label}  ({y_label} vertical)")
+    return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""Parameter sweeps (the SPW "simulation manager").
+
+"The simulation manager allows to setup parameter sweeps.  So it was
+possible to measure bit error rates versus critical parameters of the RF
+front-end, e.g. IP3 value of the LNA."
+
+A :class:`ParameterSweep` varies one named parameter over a grid and runs a
+BER measurement per point; :class:`SimulationManager` batches sweeps and
+renders result tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.metrics import BerMeasurement
+from repro.core.reporting import render_table
+from repro.core.testbench import TestbenchConfig, WlanTestbench
+
+
+@dataclass
+class SweepPoint:
+    """One sweep grid point and its measurement."""
+
+    value: float
+    measurement: BerMeasurement
+
+
+@dataclass
+class SweepResult:
+    """Outcome of a full parameter sweep.
+
+    Attributes:
+        parameter: swept parameter name.
+        points: per-value measurements in sweep order.
+    """
+
+    parameter: str
+    points: List[SweepPoint]
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.array([p.value for p in self.points])
+
+    @property
+    def bers(self) -> np.ndarray:
+        return np.array([p.measurement.ber for p in self.points])
+
+    def as_table(self) -> str:
+        """Plain-text table of the sweep."""
+        rows = [
+            [
+                f"{p.value:.6g}",
+                f"{p.measurement.ber:.4g}",
+                f"{p.measurement.per:.3g}",
+                str(p.measurement.packets),
+                str(p.measurement.packets_lost),
+            ]
+            for p in self.points
+        ]
+        return render_table(
+            [self.parameter, "BER", "PER", "packets", "lost"], rows
+        )
+
+
+@dataclass
+class ParameterSweep:
+    """Sweep one parameter of a test-bench configuration.
+
+    The parameter is addressed by name on :class:`TestbenchConfig` or, with
+    a ``frontend.`` prefix, on the nested RF front-end configuration —
+    mirroring how the simulation manager addresses block parameters in the
+    schematic.
+
+    Attributes:
+        base_config: the test bench to vary.
+        parameter: e.g. ``"snr_db"`` or ``"frontend.lna_p1db_dbm"``.
+        values: the sweep grid.
+        n_packets: packets per point.
+        seed: base seed (each point derives its own stream).
+    """
+
+    base_config: TestbenchConfig
+    parameter: str
+    values: Sequence[float]
+    n_packets: int = 20
+    seed: int = 0
+    max_bit_errors: Optional[float] = None
+
+    def _configured(self, value) -> TestbenchConfig:
+        cfg = self.base_config
+        if self.parameter.startswith("frontend."):
+            if cfg.frontend is None:
+                raise ValueError(
+                    "sweep addresses the RF front end but the test bench "
+                    "has none"
+                )
+            name = self.parameter.split(".", 1)[1]
+            if not hasattr(cfg.frontend, name):
+                raise AttributeError(
+                    f"front end has no parameter {name!r}"
+                )
+            return replace(cfg, frontend=replace(cfg.frontend, **{name: value}))
+        if not hasattr(cfg, self.parameter):
+            raise AttributeError(
+                f"test bench has no parameter {self.parameter!r}"
+            )
+        return replace(cfg, **{self.parameter: value})
+
+    def run(self, progress: Optional[Callable[[str], None]] = None) -> SweepResult:
+        """Execute the sweep and return per-point measurements."""
+        points = []
+        for i, value in enumerate(self.values):
+            bench = WlanTestbench(self._configured(value))
+            measurement = bench.measure_ber(
+                n_packets=self.n_packets,
+                seed=self.seed + 1000 * i,
+                max_bit_errors=self.max_bit_errors,
+            )
+            points.append(SweepPoint(float(value), measurement))
+            if progress is not None:
+                progress(
+                    f"{self.parameter}={value:.6g}: BER={measurement.ber:.4g}"
+                )
+        return SweepResult(self.parameter, points)
+
+
+class SimulationManager:
+    """Batches named sweeps and collects their results.
+
+    Example:
+        >>> manager = SimulationManager()
+        >>> manager.add("fig5", ParameterSweep(cfg, "frontend.lpf_edge_hz",
+        ...                                    [5e6, 8e6, 12e6]))
+        >>> results = manager.run_all()
+    """
+
+    def __init__(self):
+        self._sweeps: Dict[str, ParameterSweep] = {}
+        self.results: Dict[str, SweepResult] = {}
+
+    def add(self, name: str, sweep: ParameterSweep):
+        """Register a sweep under ``name``."""
+        if name in self._sweeps:
+            raise ValueError(f"duplicate sweep name {name!r}")
+        self._sweeps[name] = sweep
+
+    def run(self, name: str, progress=None) -> SweepResult:
+        """Run one registered sweep."""
+        result = self._sweeps[name].run(progress=progress)
+        self.results[name] = result
+        return result
+
+    def run_all(self, progress=None) -> Dict[str, SweepResult]:
+        """Run every registered sweep."""
+        for name in self._sweeps:
+            self.run(name, progress=progress)
+        return dict(self.results)
+
+    def report(self) -> str:
+        """Combined plain-text report of all completed sweeps."""
+        sections = []
+        for name, result in self.results.items():
+            sections.append(f"== {name} ==\n{result.as_table()}")
+        return "\n\n".join(sections)

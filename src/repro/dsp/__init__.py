@@ -1,0 +1,111 @@
+"""IEEE 802.11a physical layer (the paper's "SPW demo system" substrate).
+
+This subpackage implements, from scratch, the complete 802.11a OFDM PHY that
+the paper uses as its system-level test bench: scrambling, convolutional
+coding with puncturing, interleaving, subcarrier modulation, OFDM framing
+with pilots and preamble, and the full receiver chain (synchronization,
+channel estimation, equalization, Viterbi decoding).
+"""
+
+from repro.dsp.params import (
+    RateParameters,
+    RATES,
+    WlanStandard,
+    WLAN_STANDARDS,
+    N_FFT,
+    N_DATA_CARRIERS,
+    N_PILOT_CARRIERS,
+    SAMPLE_RATE,
+    DATA_CARRIER_INDICES,
+    PILOT_CARRIER_INDICES,
+)
+from repro.dsp.scrambler import Scrambler, scramble, pilot_polarity_sequence
+from repro.dsp.convcode import ConvolutionalEncoder, puncture, depuncture
+from repro.dsp.viterbi import ViterbiDecoder
+from repro.dsp.interleaver import interleave, deinterleave
+from repro.dsp.modulation import Mapper, Demapper
+from repro.dsp.ofdm import OfdmModulator, OfdmDemodulator
+from repro.dsp.preamble import (
+    short_training_field,
+    long_training_field,
+    long_training_symbol_freq,
+    encode_signal_field,
+    decode_signal_field,
+)
+from repro.dsp.transmitter import Transmitter, TxConfig
+from repro.dsp.receiver import Receiver, RxConfig, RxResult
+from repro.dsp.synchronization import (
+    detect_packet,
+    coarse_cfo_estimate,
+    fine_cfo_estimate,
+    symbol_timing,
+)
+from repro.dsp.channel_est import (
+    estimate_channel_ls,
+    pilot_phase_correction,
+    smooth_channel_estimate,
+    equalize_mmse,
+)
+from repro.dsp.stream import StreamReceiver, StreamReport, StreamPacket
+from repro.dsp.mac import MacFrame, ParsedFrame, parse_mpdu, mpdu_for_body
+from repro.dsp.impairments import (
+    apply_frequency_offset,
+    apply_sample_clock_offset,
+    apply_iq_imbalance,
+    apply_dc_offset,
+)
+
+__all__ = [
+    "RateParameters",
+    "RATES",
+    "WlanStandard",
+    "WLAN_STANDARDS",
+    "N_FFT",
+    "N_DATA_CARRIERS",
+    "N_PILOT_CARRIERS",
+    "SAMPLE_RATE",
+    "DATA_CARRIER_INDICES",
+    "PILOT_CARRIER_INDICES",
+    "Scrambler",
+    "scramble",
+    "pilot_polarity_sequence",
+    "ConvolutionalEncoder",
+    "puncture",
+    "depuncture",
+    "ViterbiDecoder",
+    "interleave",
+    "deinterleave",
+    "Mapper",
+    "Demapper",
+    "OfdmModulator",
+    "OfdmDemodulator",
+    "short_training_field",
+    "long_training_field",
+    "long_training_symbol_freq",
+    "encode_signal_field",
+    "decode_signal_field",
+    "Transmitter",
+    "TxConfig",
+    "Receiver",
+    "RxConfig",
+    "RxResult",
+    "detect_packet",
+    "coarse_cfo_estimate",
+    "fine_cfo_estimate",
+    "symbol_timing",
+    "estimate_channel_ls",
+    "pilot_phase_correction",
+    "smooth_channel_estimate",
+    "equalize_mmse",
+    "StreamReceiver",
+    "StreamReport",
+    "StreamPacket",
+    "apply_frequency_offset",
+    "apply_sample_clock_offset",
+    "apply_iq_imbalance",
+    "apply_dc_offset",
+    "MacFrame",
+    "ParsedFrame",
+    "parse_mpdu",
+    "mpdu_for_body",
+]

@@ -1,0 +1,157 @@
+"""Channel estimation and pilot-based phase tracking (the paper's "Channel
+Correction" receiver block).
+
+A least-squares channel estimate is formed from the two long training
+symbols; residual common phase error (from imperfect CFO correction or LO
+phase noise) is tracked per DATA symbol using the four pilots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.ofdm import (
+    OfdmDemodulator,
+    pilot_values,
+    subcarriers_to_fft_bins,
+)
+from repro.dsp.params import (
+    DATA_CARRIER_INDICES,
+    N_FFT,
+    PILOT_CARRIER_INDICES,
+)
+from repro.dsp.preamble import long_training_symbol_freq
+
+_USED_CARRIERS = np.sort(
+    np.concatenate([DATA_CARRIER_INDICES, PILOT_CARRIER_INDICES])
+)
+_USED_BINS = subcarriers_to_fft_bins(_USED_CARRIERS)
+_DATA_BINS = subcarriers_to_fft_bins(DATA_CARRIER_INDICES)
+_PILOT_BINS = subcarriers_to_fft_bins(PILOT_CARRIER_INDICES)
+_LTS_FREQ = long_training_symbol_freq()
+_TIME_SCALE = N_FFT / np.sqrt(52.0)
+
+
+def estimate_channel_ls(ltf_samples: np.ndarray) -> np.ndarray:
+    """Least-squares channel estimate from the long training field.
+
+    Args:
+        ltf_samples: 160 time-domain samples (32 GI + two 64-sample LTS),
+            timing- and CFO-corrected.
+
+    Returns:
+        Complex channel estimate over all 64 FFT bins; unused bins are set
+        to 1 so that divisions remain defined (they carry no data).
+    """
+    ltf_samples = np.asarray(ltf_samples, dtype=complex)
+    if ltf_samples.size < 160:
+        raise ValueError("need the full 160-sample long training field")
+    first = np.fft.fft(ltf_samples[32:96]) / _TIME_SCALE
+    second = np.fft.fft(ltf_samples[96:160]) / _TIME_SCALE
+    avg = 0.5 * (first + second)
+    h = np.ones(N_FFT, dtype=complex)
+    h[_USED_BINS] = avg[_USED_BINS] / _LTS_FREQ[_USED_BINS]
+    return h
+
+
+def equalize(freq_symbols: np.ndarray, h_est: np.ndarray) -> np.ndarray:
+    """Zero-forcing equalization of full FFT rows by the channel estimate."""
+    freq_symbols = np.atleast_2d(np.asarray(freq_symbols, dtype=complex))
+    return freq_symbols / h_est[None, :]
+
+
+def pilot_phase_correction(
+    equalized_rows: np.ndarray, first_symbol_index: int = 0
+) -> np.ndarray:
+    """Remove the common phase error of each OFDM DATA symbol.
+
+    Args:
+        equalized_rows: shape ``(n_symbols, 64)`` equalized FFT rows of
+            consecutive DATA symbols.
+        first_symbol_index: DATA symbol index of the first row (controls
+            the expected pilot polarity sequence).
+
+    Returns:
+        Phase-corrected copy of ``equalized_rows``.
+    """
+    rows = np.atleast_2d(np.asarray(equalized_rows, dtype=complex)).copy()
+    for n in range(rows.shape[0]):
+        expected = pilot_values(first_symbol_index + n)
+        received = rows[n, _PILOT_BINS]
+        rotation = np.sum(received * np.conj(expected))
+        if np.abs(rotation) > 0:
+            rows[n] *= np.exp(-1j * np.angle(rotation))
+    return rows
+
+
+def smooth_channel_estimate(h_est: np.ndarray, n_taps: int = 16) -> np.ndarray:
+    """Denoise an LS channel estimate by impulse-response truncation.
+
+    The physical channel is short (a few hundred nanoseconds), so its
+    impulse response occupies only the first taps; transforming the
+    estimate to the time domain and keeping ``n_taps`` taps suppresses the
+    estimation noise on the other bins.
+
+    Args:
+        h_est: 64-bin channel estimate (unused bins arbitrary).
+        n_taps: taps kept; must stay within the 16-sample guard interval
+            for a standard-compliant channel.
+
+    Returns:
+        The smoothed 64-bin estimate (unused bins reset to 1).
+    """
+    if not 1 <= n_taps <= N_FFT:
+        raise ValueError("n_taps must be in 1..64")
+    h = np.asarray(h_est, dtype=complex)
+    # Interpolate across the unused bins so the IFFT sees a smooth
+    # response (discontinuities leak energy into late taps).
+    filled = h.copy()
+    used_sorted = np.sort(_USED_CARRIERS)
+    carriers = np.arange(-N_FFT // 2, N_FFT // 2)
+    values = h[subcarriers_to_fft_bins(used_sorted)]
+    interp_real = np.interp(carriers, used_sorted, values.real)
+    interp_imag = np.interp(carriers, used_sorted, values.imag)
+    filled[subcarriers_to_fft_bins(carriers)] = interp_real + 1j * interp_imag
+    impulse = np.fft.ifft(filled)
+    # Keep causal taps plus a small cyclic window of "negative delay"
+    # taps: the timing synchronizer may start a couple of samples late,
+    # which wraps channel energy to the end of the impulse response.
+    guard = 4
+    impulse[n_taps : N_FFT - guard] = 0.0
+    smoothed = np.fft.fft(impulse)
+    out = np.ones(N_FFT, dtype=complex)
+    out[_USED_BINS] = smoothed[_USED_BINS]
+    return out
+
+
+def equalize_mmse(
+    freq_symbols: np.ndarray, h_est: np.ndarray, noise_var: float
+) -> np.ndarray:
+    """MMSE equalization: ``conj(H) / (|H|^2 + noise_var)`` per bin.
+
+    With unit-energy constellations the MMSE weight regularizes weak bins
+    instead of amplifying their noise, which matters on faded channels.
+    The residual bias per bin is removed so hard decisions stay centered.
+    """
+    freq_symbols = np.atleast_2d(np.asarray(freq_symbols, dtype=complex))
+    h = np.asarray(h_est, dtype=complex)
+    noise_var = max(float(noise_var), 1e-12)
+    weight = np.conj(h) / (np.abs(h) ** 2 + noise_var)
+    eq = freq_symbols * weight[None, :]
+    # Remove the MMSE bias |H|^2/(|H|^2+N0) so constellations line up.
+    bias = (np.abs(h) ** 2) / (np.abs(h) ** 2 + noise_var)
+    bias = np.where(bias > 1e-6, bias, 1.0)
+    return eq / bias[None, :]
+
+
+def estimate_noise_variance(ltf_samples: np.ndarray) -> float:
+    """Estimate the per-subcarrier noise variance from LTS repetition.
+
+    The two long training symbols are identical at the transmitter, so half
+    the power of their difference (per used bin) is the noise variance.
+    """
+    ltf_samples = np.asarray(ltf_samples, dtype=complex)
+    first = np.fft.fft(ltf_samples[32:96]) / _TIME_SCALE
+    second = np.fft.fft(ltf_samples[96:160]) / _TIME_SCALE
+    diff = (first - second)[_USED_BINS]
+    return float(np.mean(np.abs(diff) ** 2) / 2.0)

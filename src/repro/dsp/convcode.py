@@ -1,0 +1,131 @@
+"""Convolutional encoder and puncturing of IEEE 802.11a (17.3.5.5).
+
+The mother code is the industry-standard rate-1/2, constraint-length-7 code
+with generator polynomials g0 = 133 (octal) and g1 = 171 (octal).  Rates 2/3
+and 3/4 are obtained by puncturing.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+#: Constraint length of the 802.11a mother code.
+CONSTRAINT_LENGTH = 7
+
+#: Generator polynomials (octal 133, 171) as integers.
+G0 = 0o133
+G1 = 0o171
+
+#: Puncturing patterns per coding rate: boolean keep-masks over one period
+#: of the interleaved (A0 B0 A1 B1 ...) rate-1/2 output stream.
+_PUNCTURE_MASKS = {
+    (1, 2): np.array([True, True]),
+    # Rate 2/3: transmit A0 B0 A1 (steal B1).
+    (2, 3): np.array([True, True, True, False]),
+    # Rate 3/4: transmit A0 B0 A1 B2 (steal B1 and A2).
+    (3, 4): np.array([True, True, True, False, False, True]),
+}
+
+
+def _generator_taps(poly: int) -> np.ndarray:
+    """Tap mask of a generator polynomial, MSB = current input bit."""
+    return np.array(
+        [(poly >> (CONSTRAINT_LENGTH - 1 - i)) & 1 for i in range(CONSTRAINT_LENGTH)],
+        dtype=np.uint8,
+    )
+
+
+class ConvolutionalEncoder:
+    """Rate-1/2 convolutional encoder (K=7, g0=133, g1=171).
+
+    The encoder is zero-state at construction; 802.11a terminates each frame
+    with six zero tail bits so the decoder can assume a zero final state.
+    """
+
+    def __init__(self):
+        self._taps0 = _generator_taps(G0)
+        self._taps1 = _generator_taps(G1)
+
+    def encode(self, bits: np.ndarray) -> np.ndarray:
+        """Encode ``bits`` into the interleaved A0 B0 A1 B1 ... bit stream.
+
+        Args:
+            bits: input data bits (0/1).
+
+        Returns:
+            Array of ``2 * len(bits)`` coded bits.
+        """
+        bits = np.asarray(bits, dtype=np.uint8)
+        n = bits.size
+        # Shift-register history: window of K bits ending at each input bit.
+        padded = np.concatenate([np.zeros(CONSTRAINT_LENGTH - 1, dtype=np.uint8), bits])
+        windows = np.lib.stride_tricks.sliding_window_view(padded, CONSTRAINT_LENGTH)
+        # Window is oldest..newest; generator taps are newest..oldest.
+        windows = windows[:, ::-1]
+        a = (windows @ self._taps0) & 1
+        b = (windows @ self._taps1) & 1
+        out = np.empty(2 * n, dtype=np.uint8)
+        out[0::2] = a
+        out[1::2] = b
+        return out
+
+
+def puncture(coded: np.ndarray, rate: Tuple[int, int]) -> np.ndarray:
+    """Puncture a rate-1/2 coded stream up to ``rate`` (2/3 or 3/4).
+
+    Args:
+        coded: interleaved A/B output of :class:`ConvolutionalEncoder`.  Its
+            length must be a multiple of the puncturing period.
+        rate: target coding rate as a ``(k, n)`` tuple.
+
+    Returns:
+        The punctured bit stream.
+    """
+    mask = _puncture_mask(rate)
+    coded = np.asarray(coded)
+    if coded.size % mask.size:
+        raise ValueError(
+            f"coded length {coded.size} is not a multiple of the "
+            f"puncture period {mask.size}"
+        )
+    tiled = np.tile(mask, coded.size // mask.size)
+    return coded[tiled]
+
+
+def depuncture(
+    received: np.ndarray, rate: Tuple[int, int], erasure: float = 0.0
+) -> np.ndarray:
+    """Re-insert erasures for punctured positions.
+
+    Args:
+        received: punctured soft or hard values.
+        rate: the coding rate that was used for puncturing.
+        erasure: value inserted at punctured positions.  For soft-decision
+            LLR decoding an erasure of 0 (no information) is correct.
+
+    Returns:
+        The depunctured stream, length a multiple of 2, aligned with the
+        rate-1/2 mother-code output.
+    """
+    mask = _puncture_mask(rate)
+    received = np.asarray(received, dtype=float)
+    kept_per_period = int(mask.sum())
+    if received.size % kept_per_period:
+        raise ValueError(
+            f"received length {received.size} is not a multiple of the "
+            f"kept-bits-per-period count {kept_per_period}"
+        )
+    n_periods = received.size // kept_per_period
+    out = np.full(n_periods * mask.size, erasure, dtype=float)
+    tiled = np.tile(mask, n_periods)
+    out[tiled] = received
+    return out
+
+
+def _puncture_mask(rate: Tuple[int, int]) -> np.ndarray:
+    try:
+        return _PUNCTURE_MASKS[tuple(rate)]
+    except KeyError:
+        raise ValueError(f"unsupported coding rate {rate!r}") from None

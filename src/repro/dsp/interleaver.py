@@ -1,0 +1,62 @@
+"""Block interleaver of IEEE 802.11a (17.3.5.6).
+
+Interleaving operates on one OFDM symbol worth of coded bits (N_CBPS) and is
+defined by two permutations: the first spreads adjacent coded bits onto
+non-adjacent subcarriers; the second alternates bits between more and less
+significant constellation bit positions.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+
+@lru_cache(maxsize=None)
+def _permutation(n_cbps: int, n_bpsc: int) -> np.ndarray:
+    """Index map ``perm`` with ``interleaved[perm[k]] = coded[k]``."""
+    if n_cbps % 16:
+        raise ValueError("N_CBPS must be a multiple of 16")
+    if n_bpsc not in (1, 2, 4, 6):
+        raise ValueError("N_BPSC must be one of 1, 2, 4, 6")
+    s = max(n_bpsc // 2, 1)
+    k = np.arange(n_cbps)
+    i = (n_cbps // 16) * (k % 16) + k // 16
+    j = s * (i // s) + (i + n_cbps - (16 * i) // n_cbps) % s
+    return j
+
+
+def interleave(bits: np.ndarray, n_cbps: int, n_bpsc: int) -> np.ndarray:
+    """Interleave coded bits, one or more OFDM symbols at a time.
+
+    Args:
+        bits: coded bits; length must be a multiple of ``n_cbps``.
+        n_cbps: coded bits per OFDM symbol.
+        n_bpsc: coded bits per subcarrier.
+
+    Returns:
+        Interleaved bits of the same length.
+    """
+    bits = np.asarray(bits)
+    if bits.size % n_cbps:
+        raise ValueError(
+            f"bit count {bits.size} is not a multiple of N_CBPS={n_cbps}"
+        )
+    perm = _permutation(n_cbps, n_bpsc)
+    blocks = bits.reshape(-1, n_cbps)
+    out = np.empty_like(blocks)
+    out[:, perm] = blocks
+    return out.reshape(bits.shape)
+
+
+def deinterleave(values: np.ndarray, n_cbps: int, n_bpsc: int) -> np.ndarray:
+    """Invert :func:`interleave`; works on hard bits or soft values."""
+    values = np.asarray(values)
+    if values.size % n_cbps:
+        raise ValueError(
+            f"value count {values.size} is not a multiple of N_CBPS={n_cbps}"
+        )
+    perm = _permutation(n_cbps, n_bpsc)
+    blocks = values.reshape(-1, n_cbps)
+    return blocks[:, perm].reshape(values.shape)

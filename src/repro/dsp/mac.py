@@ -1,0 +1,112 @@
+"""Minimal MAC-layer framing (the "MAC PDU stream" terminus of figure 1).
+
+The paper stops at the PHY: "the decoded data stream is further processed
+in the MAC layer, which is not discussed in this paper."  For end-to-end
+examples a minimal 802.11 data-frame MPDU is provided: frame control,
+duration, three addresses, sequence control, frame body and the FCS
+(CRC-32), so packet delivery can be verified the way a MAC would — by the
+checksum, not by comparing against transmitter-side truth.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+#: MAC header length in bytes (3-address data frame).
+HEADER_BYTES = 24
+
+#: FCS length in bytes.
+FCS_BYTES = 4
+
+#: Frame-control value of a plain data frame (type=data, subtype=0).
+FRAME_CONTROL_DATA = 0x0008
+
+
+@dataclass
+class MacFrame:
+    """A minimal 802.11 data MPDU.
+
+    Attributes:
+        destination / source / bssid: 6-byte MAC addresses.
+        sequence: 12-bit sequence number.
+        body: frame payload bytes.
+        duration: the duration/ID field.
+    """
+
+    destination: bytes = b"\xff\xff\xff\xff\xff\xff"
+    source: bytes = b"\x02\x00\x00\x00\x00\x01"
+    bssid: bytes = b"\x02\x00\x00\x00\x00\xfe"
+    sequence: int = 0
+    body: bytes = b""
+    duration: int = 0
+
+    def __post_init__(self):
+        for name in ("destination", "source", "bssid"):
+            if len(getattr(self, name)) != 6:
+                raise ValueError(f"{name} must be 6 bytes")
+        if not 0 <= self.sequence < 4096:
+            raise ValueError("sequence must fit in 12 bits")
+        if not 0 <= self.duration < 65536:
+            raise ValueError("duration must fit in 16 bits")
+
+    def to_bytes(self) -> np.ndarray:
+        """Serialize to an MPDU (header + body + FCS) as uint8 array."""
+        header = bytearray()
+        header += FRAME_CONTROL_DATA.to_bytes(2, "little")
+        header += self.duration.to_bytes(2, "little")
+        header += self.destination
+        header += self.source
+        header += self.bssid
+        header += ((self.sequence << 4) & 0xFFF0).to_bytes(2, "little")
+        frame = bytes(header) + self.body
+        fcs = zlib.crc32(frame) & 0xFFFFFFFF
+        return np.frombuffer(
+            frame + fcs.to_bytes(4, "little"), dtype=np.uint8
+        ).copy()
+
+
+@dataclass
+class ParsedFrame:
+    """Result of parsing a received MPDU.
+
+    Attributes:
+        frame: the recovered frame (None if the MPDU was too short).
+        fcs_ok: whether the CRC-32 check passed.
+    """
+
+    frame: Optional[MacFrame]
+    fcs_ok: bool
+
+
+def parse_mpdu(mpdu: np.ndarray) -> ParsedFrame:
+    """Parse and checksum-verify a received MPDU.
+
+    This is the MAC's acceptance test: a frame whose FCS fails is
+    discarded regardless of how plausible its contents look.
+    """
+    data = np.asarray(mpdu, dtype=np.uint8).tobytes()
+    if len(data) < HEADER_BYTES + FCS_BYTES:
+        return ParsedFrame(frame=None, fcs_ok=False)
+    payload, fcs_bytes = data[:-4], data[-4:]
+    fcs_ok = (zlib.crc32(payload) & 0xFFFFFFFF) == int.from_bytes(
+        fcs_bytes, "little"
+    )
+    sequence = int.from_bytes(payload[22:24], "little") >> 4
+    frame = MacFrame(
+        destination=payload[4:10],
+        source=payload[10:16],
+        bssid=payload[16:22],
+        sequence=sequence,
+        body=payload[24:],
+        duration=int.from_bytes(payload[2:4], "little"),
+    )
+    return ParsedFrame(frame=frame, fcs_ok=fcs_ok)
+
+
+def mpdu_for_body(body: bytes, sequence: int = 0) -> np.ndarray:
+    """Convenience: wrap a payload into an MPDU ready for the PHY."""
+    return MacFrame(body=body, sequence=sequence).to_bytes()

@@ -1,0 +1,129 @@
+"""Subcarrier modulation mapping of IEEE 802.11a (17.3.5.7).
+
+Gray-coded BPSK, QPSK, 16-QAM and 64-QAM with the standard's normalization
+factors so the average constellation energy is 1.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict
+
+import numpy as np
+
+#: Normalization factors K_MOD (17.3.5.7, table 84).
+K_MOD: Dict[str, float] = {
+    "BPSK": 1.0,
+    "QPSK": 1.0 / np.sqrt(2.0),
+    "QAM16": 1.0 / np.sqrt(10.0),
+    "QAM64": 1.0 / np.sqrt(42.0),
+}
+
+#: Coded bits per subcarrier for each constellation.
+BITS_PER_SYMBOL: Dict[str, int] = {"BPSK": 1, "QPSK": 2, "QAM16": 4, "QAM64": 6}
+
+# Gray-coded PAM levels indexed by the bit group value (17.3.5.7 tables).
+_PAM_GRAY = {
+    1: {0: -1.0, 1: 1.0},
+    2: {0: -3.0, 1: -1.0, 3: 1.0, 2: 3.0},
+    3: {0: -7.0, 1: -5.0, 3: -3.0, 2: -1.0, 6: 1.0, 7: 3.0, 5: 5.0, 4: 7.0},
+}
+
+
+def _pam_table(n_bits: int) -> np.ndarray:
+    """PAM level lookup table: table[bit_group_value] -> level."""
+    table = np.zeros(1 << n_bits)
+    for value, level in _PAM_GRAY[n_bits].items():
+        table[value] = level
+    return table
+
+
+@lru_cache(maxsize=None)
+def constellation(modulation: str) -> np.ndarray:
+    """Complex constellation points indexed by the bit-group value.
+
+    Bits map MSB-first: the first transmitted bit is the MSB of the index.
+    For QPSK/QAM the first half of the bits select I, the second half Q.
+    """
+    n = BITS_PER_SYMBOL[modulation]
+    k = K_MOD[modulation]
+    if modulation == "BPSK":
+        return k * np.array([-1.0 + 0j, 1.0 + 0j])
+    half = n // 2
+    pam = _pam_table(half)
+    values = np.arange(1 << n)
+    i_bits = values >> half
+    q_bits = values & ((1 << half) - 1)
+    return k * (pam[i_bits] + 1j * pam[q_bits])
+
+
+class Mapper:
+    """Bit-to-constellation mapper for one 802.11a modulation."""
+
+    def __init__(self, modulation: str):
+        if modulation not in BITS_PER_SYMBOL:
+            raise ValueError(f"unknown modulation {modulation!r}")
+        self.modulation = modulation
+        self.n_bpsc = BITS_PER_SYMBOL[modulation]
+        self._points = constellation(modulation)
+
+    def map(self, bits: np.ndarray) -> np.ndarray:
+        """Map interleaved bits to complex constellation symbols."""
+        bits = np.asarray(bits, dtype=np.int64)
+        if bits.size % self.n_bpsc:
+            raise ValueError(
+                f"bit count {bits.size} is not a multiple of "
+                f"N_BPSC={self.n_bpsc}"
+            )
+        groups = bits.reshape(-1, self.n_bpsc)
+        weights = 1 << np.arange(self.n_bpsc - 1, -1, -1)
+        indices = groups @ weights
+        return self._points[indices]
+
+
+class Demapper:
+    """Hard and soft (max-log LLR) demapper.
+
+    LLR sign convention matches :class:`repro.dsp.viterbi.ViterbiDecoder`:
+    positive LLR favours bit 0.
+    """
+
+    def __init__(self, modulation: str):
+        if modulation not in BITS_PER_SYMBOL:
+            raise ValueError(f"unknown modulation {modulation!r}")
+        self.modulation = modulation
+        self.n_bpsc = BITS_PER_SYMBOL[modulation]
+        self._points = constellation(modulation)
+        n_points = self._points.size
+        indices = np.arange(n_points)
+        # bit_matrix[p, b] = value of bit b (MSB-first) of point p.
+        shifts = np.arange(self.n_bpsc - 1, -1, -1)
+        self._bit_matrix = (indices[:, None] >> shifts[None, :]) & 1
+
+    def demap_hard(self, symbols: np.ndarray) -> np.ndarray:
+        """Nearest-neighbour hard decisions, returning interleaved bits."""
+        symbols = np.asarray(symbols, dtype=complex).ravel()
+        dist = np.abs(symbols[:, None] - self._points[None, :]) ** 2
+        nearest = np.argmin(dist, axis=1)
+        return self._bit_matrix[nearest].reshape(-1).astype(np.uint8)
+
+    def demap_soft(self, symbols: np.ndarray, noise_var: float = 1.0) -> np.ndarray:
+        """Max-log LLRs per coded bit.
+
+        Args:
+            symbols: received (equalized) constellation symbols.
+            noise_var: effective noise variance used to scale the LLRs.  Any
+                uniform positive scale yields identical Viterbi decisions.
+
+        Returns:
+            LLR array of length ``len(symbols) * n_bpsc``.
+        """
+        symbols = np.asarray(symbols, dtype=complex).ravel()
+        dist = np.abs(symbols[:, None] - self._points[None, :]) ** 2
+        llrs = np.empty((symbols.size, self.n_bpsc))
+        for b in range(self.n_bpsc):
+            mask1 = self._bit_matrix[:, b].astype(bool)
+            d0 = dist[:, ~mask1].min(axis=1)
+            d1 = dist[:, mask1].min(axis=1)
+            llrs[:, b] = (d1 - d0) / max(noise_var, 1e-30)
+        return llrs.reshape(-1)

@@ -1,0 +1,197 @@
+"""IEEE 802.11a OFDM PHY constants and rate-dependent parameters.
+
+The numbers follow IEEE Std 802.11a-1999 (clause 17).  The module also
+carries the WLAN-standards overview data reproduced as Table 1 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+#: FFT length of one OFDM symbol.
+N_FFT = 64
+
+#: Number of data subcarriers per OFDM symbol.
+N_DATA_CARRIERS = 48
+
+#: Number of pilot subcarriers per OFDM symbol.
+N_PILOT_CARRIERS = 4
+
+#: Cyclic-prefix (guard interval) length in samples at 20 MHz.
+N_CP = 16
+
+#: Samples per OFDM symbol including the cyclic prefix.
+N_SYMBOL = N_FFT + N_CP
+
+#: Nominal complex baseband sample rate [Hz] (20 MHz channelization).
+SAMPLE_RATE = 20e6
+
+#: Subcarrier spacing [Hz].
+SUBCARRIER_SPACING = SAMPLE_RATE / N_FFT
+
+#: Channel spacing between adjacent 802.11a channels [Hz].
+CHANNEL_SPACING = 20e6
+
+#: Default RF carrier frequency used throughout the paper [Hz].
+CARRIER_FREQUENCY = 5.2e9
+
+#: Pilot subcarrier logical indices (relative to DC).
+PILOT_CARRIER_INDICES = np.array([-21, -7, 7, 21])
+
+#: Base (un-rotated) pilot values on the pilot subcarriers, in index order.
+PILOT_BASE_VALUES = np.array([1.0, 1.0, 1.0, -1.0])
+
+#: Data subcarrier logical indices: -26..26 without DC and pilots.
+DATA_CARRIER_INDICES = np.array(
+    [
+        k
+        for k in range(-26, 27)
+        if k != 0 and k not in (-21, -7, 7, 21)
+    ]
+)
+
+#: Number of tail bits appended to terminate the convolutional code.
+N_TAIL_BITS = 6
+
+#: Number of SERVICE field bits prepended to the PSDU.
+N_SERVICE_BITS = 16
+
+#: Length of the SIGNAL field in bits (RATE, reserved, LENGTH, parity, tail).
+N_SIGNAL_BITS = 24
+
+#: Maximum PSDU length in bytes encodable in the 12-bit LENGTH field.
+MAX_PSDU_BYTES = 4095
+
+
+@dataclass(frozen=True)
+class RateParameters:
+    """Modulation and coding parameters of one 802.11a data rate.
+
+    Attributes:
+        data_rate_mbps: nominal data rate in Mbit/s.
+        modulation: constellation name (``"BPSK"``, ``"QPSK"``, ``"QAM16"``,
+            ``"QAM64"``).
+        coding_rate: convolutional coding rate as a fraction tuple (k, n).
+        n_bpsc: coded bits per subcarrier.
+        n_cbps: coded bits per OFDM symbol.
+        n_dbps: data bits per OFDM symbol.
+        rate_bits: the 4-bit RATE field value used in the SIGNAL symbol.
+    """
+
+    data_rate_mbps: int
+    modulation: str
+    coding_rate: Tuple[int, int]
+    n_bpsc: int
+    n_cbps: int
+    n_dbps: int
+    rate_bits: Tuple[int, int, int, int]
+
+    @property
+    def coding_rate_float(self) -> float:
+        """Coding rate as a float (e.g. 0.5 for rate 1/2)."""
+        return self.coding_rate[0] / self.coding_rate[1]
+
+
+def _rate(mbps, modulation, coding, n_bpsc, rate_bits) -> RateParameters:
+    n_cbps = N_DATA_CARRIERS * n_bpsc
+    n_dbps = n_cbps * coding[0] // coding[1]
+    return RateParameters(
+        data_rate_mbps=mbps,
+        modulation=modulation,
+        coding_rate=coding,
+        n_bpsc=n_bpsc,
+        n_cbps=n_cbps,
+        n_dbps=n_dbps,
+        rate_bits=rate_bits,
+    )
+
+
+#: The eight mandatory/optional 802.11a rates keyed by Mbit/s.
+RATES: Dict[int, RateParameters] = {
+    6: _rate(6, "BPSK", (1, 2), 1, (1, 1, 0, 1)),
+    9: _rate(9, "BPSK", (3, 4), 1, (1, 1, 1, 1)),
+    12: _rate(12, "QPSK", (1, 2), 2, (0, 1, 0, 1)),
+    18: _rate(18, "QPSK", (3, 4), 2, (0, 1, 1, 1)),
+    24: _rate(24, "QAM16", (1, 2), 4, (1, 0, 0, 1)),
+    36: _rate(36, "QAM16", (3, 4), 4, (1, 0, 1, 1)),
+    48: _rate(48, "QAM64", (2, 3), 6, (0, 0, 0, 1)),
+    54: _rate(54, "QAM64", (3, 4), 6, (0, 0, 1, 1)),
+}
+
+#: RATE-field bit pattern -> data rate in Mbit/s (for SIGNAL decoding).
+RATE_BITS_TO_MBPS: Dict[Tuple[int, int, int, int], int] = {
+    params.rate_bits: mbps for mbps, params in RATES.items()
+}
+
+
+@dataclass(frozen=True)
+class WlanStandard:
+    """One row of the paper's Table 1 (IEEE WLAN standards overview)."""
+
+    name: str
+    approval_year: int
+    freq_band_ghz: Tuple[float, float]
+    data_rates_mbps: Tuple[float, ...]
+
+    @property
+    def max_rate_mbps(self) -> float:
+        """Highest nominal data rate of the standard."""
+        return max(self.data_rates_mbps)
+
+
+#: The IEEE WLAN standards listed in Table 1 of the paper.
+WLAN_STANDARDS: Tuple[WlanStandard, ...] = (
+    WlanStandard("802.11", 1997, (2.4, 2.4835), (2.0, 1.0)),
+    WlanStandard(
+        "802.11a",
+        1999,
+        (5.15, 5.725),
+        (54.0, 48.0, 36.0, 24.0, 18.0, 12.0, 9.0, 6.0),
+    ),
+    WlanStandard("802.11b", 1999, (2.4, 2.4835), (11.0, 5.5, 2.0, 1.0)),
+    WlanStandard(
+        "802.11g",
+        2003,
+        (2.4, 2.4835),
+        (54.0, 48.0, 36.0, 24.0, 18.0, 12.0, 9.0, 6.0, 5.5, 2.0, 1.0),
+    ),
+)
+
+
+def symbols_for_psdu(psdu_bytes: int, rate: RateParameters) -> int:
+    """Number of DATA OFDM symbols needed for a PSDU of ``psdu_bytes`` bytes.
+
+    Follows 17.3.5.3: the DATA field carries SERVICE + PSDU + tail bits,
+    padded up to an integer number of OFDM symbols.
+    """
+    if psdu_bytes < 0:
+        raise ValueError("psdu_bytes must be non-negative")
+    n_bits = N_SERVICE_BITS + 8 * psdu_bytes + N_TAIL_BITS
+    return int(np.ceil(n_bits / rate.n_dbps))
+
+
+def padded_data_bits(psdu_bytes: int, rate: RateParameters) -> int:
+    """Total number of (padded) data bits in the DATA field."""
+    return symbols_for_psdu(psdu_bytes, rate) * rate.n_dbps
+
+
+#: U-NII channel numbers valid for 802.11a operation (20 MHz spacing).
+UNII_CHANNELS = (
+    36, 40, 44, 48,          # U-NII-1 (lower band, 5.15-5.25 GHz)
+    52, 56, 60, 64,          # U-NII-2 (middle band, 5.25-5.35 GHz)
+    149, 153, 157, 161,      # U-NII-3 (upper band, 5.725-5.825 GHz)
+)
+
+
+def channel_center_frequency(channel: int) -> float:
+    """Center frequency [Hz] of a 5 GHz OFDM channel (17.3.8.3.2).
+
+    ``f_c = 5000 + 5 * channel`` MHz; only the U-NII channel numbers in
+    :data:`UNII_CHANNELS` are valid 802.11a operating channels.
+    """
+    if channel not in UNII_CHANNELS:
+        raise ValueError(f"invalid 802.11a channel number {channel}")
+    return (5000.0 + 5.0 * channel) * 1e6

@@ -1,0 +1,322 @@
+"""IEEE 802.11a receiver (the DSP part of figure 1).
+
+Implements the complete chain the paper's block diagram shows: timing and
+frequency synchronization, cyclic-prefix removal, FFT demodulation, channel
+correction, constellation demapping, deinterleaving, depuncturing, Viterbi
+decoding and descrambling.
+
+Two operating modes are provided:
+
+* the *practical* receiver with full synchronization and channel
+  estimation (the SPW demo-system receiver of the paper), and
+* an *ideal* (genie) receiver with known timing, no CFO correction and an
+  ideal channel, used for EVM measurements exactly as in section 5.2 of the
+  paper ("an EVM measurement was only performed while simulating a WLAN
+  system which includes an ideal receiver model").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.dsp.channel_est import (
+    equalize,
+    equalize_mmse,
+    estimate_channel_ls,
+    estimate_noise_variance,
+    pilot_phase_correction,
+    smooth_channel_estimate,
+)
+from repro.dsp.convcode import depuncture
+from repro.dsp.interleaver import deinterleave
+from repro.dsp.modulation import Demapper
+from repro.dsp.ofdm import OfdmDemodulator
+from repro.dsp.params import (
+    N_SERVICE_BITS,
+    N_SYMBOL,
+    RATES,
+    RateParameters,
+    SAMPLE_RATE,
+    symbols_for_psdu,
+)
+from repro.dsp.preamble import (
+    PREAMBLE_LENGTH,
+    STF_LENGTH,
+    decode_signal_field,
+)
+from repro.dsp.scrambler import Scrambler
+from repro.dsp.synchronization import (
+    apply_cfo,
+    coarse_cfo_estimate,
+    detect_packet,
+    fine_cfo_estimate,
+    symbol_timing,
+)
+from repro.dsp.viterbi import ViterbiDecoder
+
+
+@dataclass(frozen=True)
+class RxConfig:
+    """Receiver configuration.
+
+    Attributes:
+        scrambler_seed: must match the transmitter (the standard recovers
+            it from the SERVICE field; we configure it explicitly).
+        genie_timing: if True, assume the packet starts at sample 0 and
+            skip packet detection / timing search.
+        genie_cfo: if True, skip CFO estimation and correction.
+        genie_rate_mbps: if set, skip SIGNAL decoding and use this rate.
+        genie_length_bytes: if set with ``genie_rate_mbps``, the PSDU length.
+        soft_decision: use soft-decision (LLR) Viterbi decoding.
+        csi_weighting: weight the per-subcarrier LLRs by the channel
+            state information |H_k|^2, the standard coded-OFDM trick that
+            makes faded subcarriers count less in the Viterbi metric.
+        equalizer: ``"zf"`` (zero forcing) or ``"mmse"``.
+        channel_smoothing_taps: when set, denoise the LS channel estimate
+            by time-domain truncation to this many taps.
+        sample_rate: input sample rate (must be 20 MHz; RF front ends
+            decimate before the DSP receiver, as in the paper's flow).
+    """
+
+    scrambler_seed: int = 0b1011101
+    genie_timing: bool = False
+    genie_cfo: bool = False
+    genie_rate_mbps: Optional[int] = None
+    genie_length_bytes: Optional[int] = None
+    soft_decision: bool = True
+    csi_weighting: bool = True
+    equalizer: str = "zf"
+    channel_smoothing_taps: Optional[int] = None
+    sample_rate: float = SAMPLE_RATE
+
+    def __post_init__(self):
+        if self.equalizer not in ("zf", "mmse"):
+            raise ValueError(f"unknown equalizer {self.equalizer!r}")
+
+
+@dataclass
+class RxResult:
+    """Outcome of one packet reception.
+
+    Attributes:
+        success: True when a packet was detected and decoded.
+        psdu: decoded payload bytes (empty on failure).
+        rate: data rate used for the DATA field, if known.
+        length_bytes: decoded PSDU length.
+        signal_parity_ok: parity check result of the SIGNAL field.
+        packet_start: detected packet start index.
+        cfo_hz: total estimated carrier frequency offset.
+        noise_var: estimated per-subcarrier noise variance.
+        data_symbols: equalized DATA constellation points (n_sym, 48),
+            kept for EVM evaluation.
+        failure: short reason string when ``success`` is False.
+    """
+
+    success: bool
+    psdu: np.ndarray = field(default_factory=lambda: np.zeros(0, np.uint8))
+    rate: Optional[RateParameters] = None
+    length_bytes: int = 0
+    signal_parity_ok: bool = False
+    packet_start: Optional[int] = None
+    cfo_hz: float = 0.0
+    noise_var: float = 0.0
+    data_symbols: Optional[np.ndarray] = None
+    failure: str = ""
+
+
+class Receiver:
+    """Full 802.11a packet receiver."""
+
+    def __init__(self, config: RxConfig = RxConfig()):
+        self.config = config
+        self._ofdm = OfdmDemodulator()
+        # The DATA field is not trellis-terminated at the end: the scrambled
+        # pad bits are encoded *after* the six tail bits, so the final state
+        # is data dependent.  (The tail bits still protect the PSDU: they sit
+        # between the payload and the pad.)
+        self._viterbi = ViterbiDecoder(terminated=False)
+
+    def receive(self, samples: np.ndarray) -> RxResult:
+        """Decode one PPDU from a received sample stream.
+
+        Args:
+            samples: complex baseband samples at 20 MHz containing (at
+                least) one complete PPDU.
+
+        Returns:
+            An :class:`RxResult`; ``result.success`` is False with a
+            ``failure`` reason if any stage fails.
+        """
+        cfg = self.config
+        samples = np.asarray(samples, dtype=complex)
+
+        # --- Timing synchronization -----------------------------------
+        if cfg.genie_timing:
+            start = 0
+        else:
+            detect = detect_packet(samples)
+            if detect is None:
+                return RxResult(False, failure="packet not detected")
+            ltf_gi = symbol_timing(samples, search_start=detect + 96)
+            if ltf_gi is None:
+                return RxResult(False, failure="timing search failed")
+            start = ltf_gi - STF_LENGTH
+            if start < 0 or start + PREAMBLE_LENGTH + N_SYMBOL > samples.size:
+                return RxResult(False, failure="packet truncated")
+
+        if samples.size < start + PREAMBLE_LENGTH + N_SYMBOL:
+            return RxResult(False, failure="packet truncated")
+
+        # --- Frequency synchronization --------------------------------
+        cfo_total = 0.0
+        work = samples[start:]
+        if not cfg.genie_cfo:
+            coarse = coarse_cfo_estimate(work[:STF_LENGTH], cfg.sample_rate)
+            work = apply_cfo(work, -coarse, cfg.sample_rate)
+            fine = fine_cfo_estimate(
+                work[STF_LENGTH:PREAMBLE_LENGTH], cfg.sample_rate
+            )
+            work = apply_cfo(work, -fine, cfg.sample_rate)
+            cfo_total = coarse + fine
+
+        # --- Channel estimation ----------------------------------------
+        ltf = work[STF_LENGTH:PREAMBLE_LENGTH]
+        h_est = estimate_channel_ls(ltf)
+        noise_var = max(estimate_noise_variance(ltf), 1e-12)
+        if cfg.channel_smoothing_taps is not None:
+            h_est = smooth_channel_estimate(
+                h_est, cfg.channel_smoothing_taps
+            )
+
+        def _equalize(rows_in):
+            if cfg.equalizer == "mmse":
+                return equalize_mmse(rows_in, h_est, noise_var)
+            return equalize(rows_in, h_est)
+
+        # --- SIGNAL field ----------------------------------------------
+        if cfg.genie_rate_mbps is not None:
+            rate = RATES[cfg.genie_rate_mbps]
+            if cfg.genie_length_bytes is None:
+                return RxResult(
+                    False, failure="genie rate requires genie length"
+                )
+            length = cfg.genie_length_bytes
+            parity_ok = True
+        else:
+            sig_row = self._ofdm.demodulate(
+                work[PREAMBLE_LENGTH : PREAMBLE_LENGTH + N_SYMBOL]
+            )
+            sig_eq = pilot_phase_correction(
+                _equalize(sig_row), first_symbol_index=-1
+            )
+            sig_data = self._ofdm.extract_data(sig_eq)[0]
+            content = decode_signal_field(sig_data, noise_var)
+            if content is None:
+                return RxResult(
+                    False,
+                    packet_start=start,
+                    cfo_hz=cfo_total,
+                    failure="invalid SIGNAL rate field",
+                )
+            if not content.parity_ok:
+                return RxResult(
+                    False,
+                    packet_start=start,
+                    cfo_hz=cfo_total,
+                    rate=content.rate,
+                    length_bytes=content.length_bytes,
+                    failure="SIGNAL parity error",
+                )
+            rate = content.rate
+            length = content.length_bytes
+            parity_ok = content.parity_ok
+        if length < 1:
+            return RxResult(False, failure="zero-length PSDU")
+
+        # --- DATA field --------------------------------------------------
+        n_sym = symbols_for_psdu(length, rate)
+        data_start = PREAMBLE_LENGTH + N_SYMBOL
+        data_end = data_start + n_sym * N_SYMBOL
+        if work.size < data_end:
+            return RxResult(
+                False,
+                packet_start=start,
+                rate=rate,
+                length_bytes=length,
+                failure="DATA field truncated",
+            )
+        rows = self._ofdm.demodulate(work[data_start:data_end])
+        rows = pilot_phase_correction(
+            _equalize(rows), first_symbol_index=0
+        )
+        data_points = self._ofdm.extract_data(rows)
+
+        csi = None
+        if cfg.csi_weighting:
+            csi = np.abs(self._ofdm.extract_data(
+                np.tile(h_est, (1, 1))
+            )[0]) ** 2
+        psdu = self._decode_data(
+            data_points, rate, length, noise_var, csi
+        )
+        return RxResult(
+            True,
+            psdu=psdu,
+            rate=rate,
+            length_bytes=length,
+            signal_parity_ok=parity_ok,
+            packet_start=start,
+            cfo_hz=cfo_total,
+            noise_var=noise_var,
+            data_symbols=data_points,
+        )
+
+    def _decode_data(
+        self,
+        data_points: np.ndarray,
+        rate: RateParameters,
+        length: int,
+        noise_var: float,
+        csi: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Demap, decode and descramble the DATA constellation points."""
+        cfg = self.config
+        demapper = Demapper(rate.modulation)
+        if cfg.soft_decision:
+            llr = demapper.demap_soft(data_points.reshape(-1), noise_var)
+            if csi is not None:
+                # Per-subcarrier CSI weighting: each symbol's bits carry
+                # confidence proportional to its channel power.
+                n_sym = data_points.shape[0]
+                weights = np.repeat(np.tile(csi, n_sym), rate.n_bpsc)
+                llr = llr * weights
+        else:
+            hard = demapper.demap_hard(data_points.reshape(-1))
+            llr = 1.0 - 2.0 * hard.astype(float)
+        # Bound the LLR magnitude: Viterbi decisions are scale-invariant,
+        # but unbounded LLRs (noise_var -> 0) lose precision in the path
+        # metric accumulation.
+        peak = float(np.max(np.abs(llr))) if llr.size else 0.0
+        if peak > 0:
+            llr = llr * (20.0 / peak)
+        llr = deinterleave(llr, rate.n_cbps, rate.n_bpsc)
+        llr = depuncture(llr, rate.coding_rate)
+        decoded = self._viterbi.decode_soft(llr)
+        descrambled = Scrambler(cfg.scrambler_seed).process(decoded)
+        psdu_bits = descrambled[
+            N_SERVICE_BITS : N_SERVICE_BITS + 8 * length
+        ]
+        return np.packbits(psdu_bits, bitorder="little")
+
+
+def ideal_receiver_config(rate_mbps: int, length_bytes: int) -> RxConfig:
+    """Configuration of the paper's "ideal receiver model" used for EVM."""
+    return RxConfig(
+        genie_timing=True,
+        genie_cfo=True,
+        genie_rate_mbps=rate_mbps,
+        genie_length_bytes=length_bytes,
+    )

@@ -1,0 +1,101 @@
+"""Multi-packet stream reception.
+
+The paper's BER runs simulate several OFDM packets back to back (table 2
+counts 1/2/4 packets).  :class:`StreamReceiver` scans a continuous sample
+stream, decoding packet after packet — detection, SIGNAL decode, DATA
+decode, then advancing past the decoded PPDU to hunt for the next one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.dsp.params import N_SYMBOL, symbols_for_psdu
+from repro.dsp.preamble import PREAMBLE_LENGTH
+from repro.dsp.receiver import Receiver, RxConfig, RxResult
+
+
+@dataclass
+class StreamPacket:
+    """One packet recovered from a stream.
+
+    Attributes:
+        start_index: absolute sample index of the detected packet start.
+        result: the underlying :class:`RxResult`.
+    """
+
+    start_index: int
+    result: RxResult
+
+
+@dataclass
+class StreamReport:
+    """Outcome of a stream scan.
+
+    Attributes:
+        packets: successfully decoded packets in stream order.
+        failures: number of detections that failed to decode.
+        samples_consumed: where the scan stopped.
+    """
+
+    packets: List[StreamPacket] = field(default_factory=list)
+    failures: int = 0
+    samples_consumed: int = 0
+
+    @property
+    def psdus(self) -> List[np.ndarray]:
+        """The decoded payloads."""
+        return [p.result.psdu for p in self.packets]
+
+
+class StreamReceiver:
+    """Scans a sample stream for successive 802.11a packets.
+
+    Args:
+        rx_config: configuration of the per-packet receiver.  Genie
+            timing makes no sense for stream operation and is rejected.
+        max_failures: abandon the scan after this many consecutive failed
+            decode attempts (protects against noise-only streams full of
+            false detections).
+    """
+
+    def __init__(
+        self, rx_config: RxConfig = RxConfig(), max_failures: int = 5
+    ):
+        if rx_config.genie_timing:
+            raise ValueError("stream reception requires real timing sync")
+        self._receiver = Receiver(rx_config)
+        self.max_failures = max_failures
+
+    def receive_stream(self, samples: np.ndarray) -> StreamReport:
+        """Decode every packet found in ``samples``."""
+        samples = np.asarray(samples, dtype=complex)
+        report = StreamReport()
+        offset = 0
+        consecutive_failures = 0
+        min_packet = PREAMBLE_LENGTH + 2 * N_SYMBOL
+        while samples.size - offset >= min_packet:
+            result = self._receiver.receive(samples[offset:])
+            if result.success:
+                consecutive_failures = 0
+                start = offset + (result.packet_start or 0)
+                report.packets.append(StreamPacket(start, result))
+                n_sym = symbols_for_psdu(result.length_bytes, result.rate)
+                packet_len = PREAMBLE_LENGTH + (1 + n_sym) * N_SYMBOL
+                offset = start + packet_len
+            else:
+                if result.failure == "packet not detected":
+                    # Nothing further in the stream.
+                    break
+                consecutive_failures += 1
+                report.failures += 1
+                if consecutive_failures >= self.max_failures:
+                    break
+                # Skip past the bad detection and keep hunting.
+                skip = result.packet_start
+                offset += (skip + PREAMBLE_LENGTH) if skip else min_packet
+        report.samples_consumed = offset
+        return report

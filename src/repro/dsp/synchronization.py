@@ -1,0 +1,151 @@
+"""Timing and frequency synchronization (the paper's "Timing and Frequency
+Sync." receiver block).
+
+Packet detection and coarse carrier-frequency-offset (CFO) estimation use
+the 16-sample periodicity of the short training field; fine timing uses
+cross-correlation against the known long training symbol; fine CFO uses the
+64-sample repetition of the long training field.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.dsp.params import N_FFT, SAMPLE_RATE
+from repro.dsp.preamble import (
+    LTF_LENGTH,
+    STF_LENGTH,
+    long_training_symbol_freq,
+)
+
+_STF_PERIOD = 16
+
+
+def detect_packet(
+    samples: np.ndarray,
+    threshold: float = 0.6,
+    min_run: int = 64,
+) -> Optional[int]:
+    """Detect the start of a packet via delay-16 autocorrelation.
+
+    Computes the normalized Schmidl&Cox-style autocorrelation metric over a
+    sliding window and reports the first index where the metric exceeds
+    ``threshold`` for ``min_run`` consecutive samples.
+
+    Args:
+        samples: received complex baseband samples at 20 MHz.
+        threshold: normalized correlation magnitude threshold in [0, 1].
+        min_run: number of consecutive above-threshold samples required.
+
+    Returns:
+        Approximate index of the packet start, or None if not found.
+    """
+    samples = np.asarray(samples, dtype=complex)
+    d = _STF_PERIOD
+    if samples.size < STF_LENGTH:
+        return None
+    prod = samples[d:] * np.conj(samples[:-d])
+    energy = np.abs(samples[d:]) ** 2
+    window = np.ones(2 * d)
+    corr = np.convolve(prod, window, mode="valid")
+    norm = np.convolve(energy, window, mode="valid")
+    metric = np.abs(corr) / np.maximum(norm, 1e-30)
+    above = metric > threshold
+    # Find the first run of min_run consecutive True values.
+    run = 0
+    for i, flag in enumerate(above):
+        run = run + 1 if flag else 0
+        if run >= min_run:
+            return max(i - run + 1, 0)
+    return None
+
+
+def coarse_cfo_estimate(
+    stf_samples: np.ndarray, sample_rate: float = SAMPLE_RATE
+) -> float:
+    """Coarse CFO estimate [Hz] from the short training field periodicity.
+
+    The maximum unambiguous offset is ``sample_rate / (2 * 16)`` = 625 kHz
+    at 20 MHz, ample for the 802.11a +/-20 ppm requirement at 5.2 GHz.
+    """
+    stf_samples = np.asarray(stf_samples, dtype=complex)
+    d = _STF_PERIOD
+    if stf_samples.size < 2 * d:
+        raise ValueError("need at least 32 STF samples")
+    corr = np.sum(stf_samples[d:] * np.conj(stf_samples[:-d]))
+    return float(np.angle(corr) * sample_rate / (2.0 * np.pi * d))
+
+
+def fine_cfo_estimate(
+    ltf_samples: np.ndarray, sample_rate: float = SAMPLE_RATE
+) -> float:
+    """Fine CFO estimate [Hz] from the two long training symbols.
+
+    Args:
+        ltf_samples: the 160-sample long training field (32 GI + 2 x 64),
+            already coarse-CFO corrected.
+
+    Returns:
+        Residual CFO estimate; unambiguous up to +/-156.25 kHz.
+    """
+    ltf_samples = np.asarray(ltf_samples, dtype=complex)
+    if ltf_samples.size < LTF_LENGTH:
+        raise ValueError("need the full 160-sample long training field")
+    first = ltf_samples[32:96]
+    second = ltf_samples[96:160]
+    corr = np.sum(second * np.conj(first))
+    return float(np.angle(corr) * sample_rate / (2.0 * np.pi * N_FFT))
+
+
+def apply_cfo(
+    samples: np.ndarray, cfo_hz: float, sample_rate: float = SAMPLE_RATE
+) -> np.ndarray:
+    """Rotate ``samples`` by a carrier frequency offset of ``cfo_hz``."""
+    samples = np.asarray(samples, dtype=complex)
+    n = np.arange(samples.size)
+    return samples * np.exp(2j * np.pi * cfo_hz * n / sample_rate)
+
+
+def symbol_timing(
+    samples: np.ndarray,
+    search_start: int,
+    search_span: int = 240,
+) -> Optional[int]:
+    """Locate the start of the long training field by cross-correlation.
+
+    Args:
+        samples: received baseband samples.
+        search_start: index where the search window begins (e.g. the coarse
+            packet-detect index).
+        search_span: number of candidate offsets to evaluate.
+
+    Returns:
+        Index of the first sample of the LTF guard interval, i.e. the
+        packet-start estimate plus 160, or None when the correlation never
+        rises above the noise.
+    """
+    samples = np.asarray(samples, dtype=complex)
+    lts_time = np.fft.ifft(long_training_symbol_freq()) * (
+        N_FFT / np.sqrt(52.0)
+    )
+    ref = np.conj(lts_time[::-1])
+    lo = max(search_start, 0)
+    hi = min(lo + search_span + 2 * N_FFT + 32, samples.size)
+    segment = samples[lo:hi]
+    if segment.size < N_FFT:
+        return None
+    corr = np.abs(np.convolve(segment, ref, mode="valid"))
+    if corr.size < 2 or not np.isfinite(corr).all():
+        return None
+    # The LTF contains two adjacent copies of the LTS: combine the
+    # correlation with its 64-shifted copy to find the pair robustly.
+    if corr.size > N_FFT:
+        combined = corr[:-N_FFT] + corr[N_FFT:]
+    else:
+        combined = corr
+    peak = int(np.argmax(combined))
+    first_lts_start = lo + peak
+    gi_start = first_lts_start - 32
+    return gi_start if gi_start >= 0 else None

@@ -1,0 +1,121 @@
+"""Viterbi decoder for the 802.11a convolutional code.
+
+The decoder operates on the rate-1/2 mother code; punctured positions must be
+re-inserted as zero-LLR erasures by :func:`repro.dsp.convcode.depuncture`
+before decoding.
+
+Soft decision input convention: positive LLR means "bit 0 more likely".
+Hard bits are converted to LLRs of +/-1 internally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.convcode import CONSTRAINT_LENGTH, G0, G1
+
+_N_STATES = 1 << (CONSTRAINT_LENGTH - 1)
+
+
+def _build_trellis():
+    """Precompute next-state and output tables.
+
+    State encodes the most recent K-1 input bits, newest bit in the MSB
+    (so the shift matches the encoder's sliding window orientation).
+    """
+    next_state = np.zeros((_N_STATES, 2), dtype=np.int64)
+    out_a = np.zeros((_N_STATES, 2), dtype=np.int64)
+    out_b = np.zeros((_N_STATES, 2), dtype=np.int64)
+    for state in range(_N_STATES):
+        for bit in range(2):
+            # Register contents newest..oldest: input bit then state bits.
+            reg = (bit << (CONSTRAINT_LENGTH - 1)) | state
+            a = bin(reg & G0).count("1") & 1
+            b = bin(reg & G1).count("1") & 1
+            next_state[state, bit] = reg >> 1
+            out_a[state, bit] = a
+            out_b[state, bit] = b
+    return next_state, out_a, out_b
+
+
+_NEXT_STATE, _OUT_A, _OUT_B = _build_trellis()
+
+# Predecessor tables: for each state, the two (prev_state, input_bit) pairs.
+_PREV_STATE = np.zeros((_N_STATES, 2), dtype=np.int64)
+_PREV_BIT = np.zeros((_N_STATES, 2), dtype=np.int64)
+_PREV_OUT_A = np.zeros((_N_STATES, 2), dtype=np.int64)
+_PREV_OUT_B = np.zeros((_N_STATES, 2), dtype=np.int64)
+_counts = np.zeros(_N_STATES, dtype=np.int64)
+for _s in range(_N_STATES):
+    for _bit in range(2):
+        _ns = _NEXT_STATE[_s, _bit]
+        _slot = _counts[_ns]
+        _PREV_STATE[_ns, _slot] = _s
+        _PREV_BIT[_ns, _slot] = _bit
+        _PREV_OUT_A[_ns, _slot] = _OUT_A[_s, _bit]
+        _PREV_OUT_B[_ns, _slot] = _OUT_B[_s, _bit]
+        _counts[_ns] += 1
+del _counts, _s, _bit, _ns, _slot
+
+
+class ViterbiDecoder:
+    """Maximum-likelihood decoder for the K=7 (133, 171) code.
+
+    Args:
+        terminated: if True (the 802.11a case) the encoder ends in the zero
+            state thanks to the tail bits, and traceback starts from state 0.
+            If False, traceback starts from the best surviving state.
+    """
+
+    def __init__(self, terminated: bool = True):
+        self.terminated = terminated
+
+    def decode_hard(self, coded_bits: np.ndarray) -> np.ndarray:
+        """Decode hard bits (0/1), length must be even."""
+        coded_bits = np.asarray(coded_bits, dtype=float)
+        llr = 1.0 - 2.0 * coded_bits
+        return self.decode_soft(llr)
+
+    def decode_soft(self, llr: np.ndarray) -> np.ndarray:
+        """Decode soft values.
+
+        Args:
+            llr: sequence of log-likelihood ratios for the interleaved
+                A0 B0 A1 B1 ... coded bits; positive favours bit 0, zero is
+                an erasure.  Length must be even.
+
+        Returns:
+            The decoded data bits (including any tail bits that were
+            encoded; the caller strips them).
+        """
+        llr = np.asarray(llr, dtype=float)
+        if llr.size % 2:
+            raise ValueError("LLR stream length must be even")
+        n_steps = llr.size // 2
+        la = llr[0::2]
+        lb = llr[1::2]
+
+        # Path metric: higher is better.  Branch metric for coded bit c with
+        # LLR l is +l/2 if c == 0 else -l/2; we drop the 1/2 scale.
+        metrics = np.full(_N_STATES, -np.inf)
+        metrics[0] = 0.0
+        decisions = np.empty((n_steps, _N_STATES), dtype=np.uint8)
+
+        sign_a = 1.0 - 2.0 * _PREV_OUT_A  # (_N_STATES, 2)
+        sign_b = 1.0 - 2.0 * _PREV_OUT_B
+        prev = _PREV_STATE
+
+        for t in range(n_steps):
+            branch = sign_a * la[t] + sign_b * lb[t]
+            cand = metrics[prev] + branch
+            best = np.argmax(cand, axis=1)
+            decisions[t] = best
+            metrics = cand[np.arange(_N_STATES), best]
+
+        state = 0 if self.terminated else int(np.argmax(metrics))
+        bits = np.empty(n_steps, dtype=np.uint8)
+        for t in range(n_steps - 1, -1, -1):
+            slot = decisions[t, state]
+            bits[t] = _PREV_BIT[state, slot]
+            state = _PREV_STATE[state, slot]
+        return bits

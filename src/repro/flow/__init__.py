@@ -1,0 +1,94 @@
+"""Simulation-tool substrate: the three "tools" of the paper.
+
+* :mod:`repro.flow.dataflow` + :mod:`repro.flow.blocks` stand in for SPW:
+  a block-diagram dataflow simulator with schematics, probes, interpreted
+  and compiled execution modes and a block library.
+* :mod:`repro.flow.rfsim` stands in for SpectreRF: swept-power compression,
+  two-tone intercept, noise-figure and AC analyses over the RF behavioral
+  models.
+* :mod:`repro.flow.netlist` + :mod:`repro.flow.cosim` stand in for the AMS
+  Designer: a Verilog-AMS-flavoured netlist hand-off and a lock-step
+  co-simulation of the netlisted RF part inside the system simulation,
+  including the "no noise functions in transient" limitation and its two
+  workarounds.
+"""
+
+from repro.flow.dataflow import (
+    Block,
+    CompositeBlock,
+    FunctionBlock,
+    Schematic,
+    DataflowEngine,
+    SimulationContext,
+    SchematicError,
+)
+from repro.flow.rfsim import (
+    CompressionResult,
+    IntermodResult,
+    NoiseFigureResult,
+    swept_power_compression,
+    two_tone_intermod,
+    measure_noise_figure,
+    ac_response,
+)
+from repro.flow.netlist import (
+    NetlistError,
+    frontend_to_netlist,
+    netlist_to_config,
+    NetlistCompiler,
+    CompiledDesign,
+)
+from repro.flow.cosim import CoSimulation, CoSimConfig, CoSimReport
+from repro.flow.blackbox import (
+    BlackBoxFrontend,
+    BlackBoxCharacterization,
+    extract_blackbox,
+)
+from repro.flow.filterdesign import (
+    FilterSpec,
+    FilterDesignReport,
+    design_channel_filter,
+)
+from repro.flow.sigcalc import (
+    WaveformStats,
+    waveform_stats,
+    estimate_tone,
+    render_waveform,
+    render_constellation,
+)
+
+__all__ = [
+    "Block",
+    "CompositeBlock",
+    "FunctionBlock",
+    "Schematic",
+    "DataflowEngine",
+    "SimulationContext",
+    "SchematicError",
+    "CompressionResult",
+    "IntermodResult",
+    "NoiseFigureResult",
+    "swept_power_compression",
+    "two_tone_intermod",
+    "measure_noise_figure",
+    "ac_response",
+    "NetlistError",
+    "frontend_to_netlist",
+    "netlist_to_config",
+    "NetlistCompiler",
+    "CompiledDesign",
+    "CoSimulation",
+    "CoSimConfig",
+    "CoSimReport",
+    "BlackBoxFrontend",
+    "BlackBoxCharacterization",
+    "extract_blackbox",
+    "FilterSpec",
+    "FilterDesignReport",
+    "design_channel_filter",
+    "WaveformStats",
+    "waveform_stats",
+    "estimate_tone",
+    "render_waveform",
+    "render_constellation",
+]

@@ -1,0 +1,252 @@
+"""Black-box ("J&K / K-model") extraction of the RF subsystem.
+
+The paper's "other solution" for bringing the RF design into the system
+simulation: "Extraction of a black-box model of the complete RF subsystem
+in SpectreRF simulation which can be instantiated in SPW (J&K models, see
+[6])" — Moult & Chen, *The K-model: RF IC modelling for communications
+system simulation*, 1998.
+
+:func:`extract_blackbox` characterizes a full front end — swept-power
+AM/AM + AM/PM, small-signal frequency response, cascade noise figure and
+residual DC offset, all with the AGC pinned (as a SpectreRF test bench
+would) — and assembles a :class:`BlackBoxFrontend`: a Wiener-style
+surrogate (input noise -> static nonlinearity -> linear FIR -> decimation
+-> leveling -> DC) that can replace the structural model in system
+simulation.
+
+Validity notes (inherent to K-model-style surrogates, recorded in
+DESIGN.md): the surrogate captures in-band behavior; wideband effects that
+depend on the *internal* ordering of filtering and sampling (e.g.
+adjacent-channel aliasing through the ADC) and signal-dependent AGC
+dynamics are approximated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.rf.frontend import DoubleConversionReceiver, FrontendConfig
+from repro.rf.noise import thermal_noise_power, white_noise
+from repro.rf.signal import Signal, dbm_to_watts, watts_to_dbm
+
+
+@dataclass
+class BlackBoxCharacterization:
+    """Measurement data extracted from the structural model.
+
+    Attributes:
+        drive_dbm: input powers of the AM/AM / AM/PM sweep.
+        complex_gain: large-signal complex gain per drive level (AGC
+            pinned), in linear amplitude units.
+        freqs_hz: frequency grid of the small-signal response.
+        response: complex small-signal transfer function, normalized to
+            its in-band maximum.
+        noise_figure_db: measured cascade noise figure.
+        equivalent_noise_bandwidth_hz: ENB of the measured response.
+        dc_offset: residual complex DC at the (pinned-AGC) output.
+        agc_target_dbm: output level target replicated by the surrogate.
+    """
+
+    drive_dbm: np.ndarray
+    complex_gain: np.ndarray
+    freqs_hz: np.ndarray
+    response: np.ndarray
+    noise_figure_db: float
+    equivalent_noise_bandwidth_hz: float
+    dc_offset: complex
+    agc_target_dbm: float
+
+
+class BlackBoxFrontend:
+    """Behavioral surrogate of a characterized RF front end.
+
+    Args:
+        characterization: data from :func:`extract_blackbox`.
+        input_rate: envelope rate the surrogate accepts.
+        decimation: decimation factor to the 20 MHz output.
+        n_taps: FIR length realizing the measured response.
+    """
+
+    def __init__(
+        self,
+        characterization: BlackBoxCharacterization,
+        input_rate: float = 80e6,
+        decimation: int = 4,
+        n_taps: int = 129,
+    ):
+        self.characterization = characterization
+        self.input_rate = input_rate
+        self.decimation = decimation
+        c = characterization
+        self._lut_amp_in = np.sqrt(dbm_to_watts(c.drive_dbm))
+        small = c.complex_gain[0]
+        # Normalized compression characteristic; the absolute gain lives
+        # in the leveling stage.
+        self._lut_gain = c.complex_gain / small
+        self._fir = self._design_fir(c.freqs_hz, c.response, n_taps)
+        nf_lin = 10.0 ** (c.noise_figure_db / 10.0)
+        self._input_noise = (nf_lin - 1.0) * thermal_noise_power(input_rate)
+        self._dc = c.dc_offset
+        self._target = dbm_to_watts(c.agc_target_dbm)
+
+    def _design_fir(self, freqs, response, n_taps):
+        """Complex FIR matching the measured response (freq. sampling)."""
+        grid = np.fft.fftfreq(n_taps, d=1.0 / self.input_rate)
+        order = np.argsort(freqs)
+        f_sorted = freqs[order]
+        mag = np.abs(response[order])
+        phase = np.unwrap(np.angle(response[order]))
+        target_mag = np.interp(grid, f_sorted, mag, left=mag[0], right=mag[-1])
+        target_phase = np.interp(
+            grid, f_sorted, phase, left=phase[0], right=phase[-1]
+        )
+        outside = (grid < f_sorted[0]) | (grid > f_sorted[-1])
+        target_mag[outside] *= 1e-3
+        h = np.fft.ifft(target_mag * np.exp(1j * target_phase))
+        h = np.roll(h, n_taps // 2)
+        return h * np.hanning(n_taps)
+
+    def _apply_nonlinearity(self, x: np.ndarray) -> np.ndarray:
+        amp = np.abs(x)
+        lut = self._lut_gain
+        gain = np.interp(
+            amp, self._lut_amp_in, lut.real,
+            left=lut.real[0], right=lut.real[-1],
+        ) + 1j * np.interp(
+            amp, self._lut_amp_in, lut.imag,
+            left=lut.imag[0], right=lut.imag[-1],
+        )
+        return x * gain
+
+    def process(
+        self, signal: Signal, rng: Optional[np.random.Generator] = None
+    ) -> Signal:
+        """Run the surrogate; mirrors the structural model's interface."""
+        if signal.sample_rate != self.input_rate:
+            raise ValueError(f"surrogate expects {self.input_rate:g} Hz input")
+        x = signal.samples
+        if self._input_noise > 0 and rng is not None:
+            x = x + white_noise(x.size, self._input_noise, rng)
+        x = self._apply_nonlinearity(x)
+        x = np.convolve(x, self._fir, mode="same")
+        x = x[:: self.decimation]
+        power = float(np.mean(np.abs(x) ** 2)) if x.size else 0.0
+        if power > 0:
+            x = x * np.sqrt(self._target / power)
+        x = x + self._dc
+        return Signal(x, signal.sample_rate / self.decimation, 0.0)
+
+
+def extract_blackbox(
+    config: FrontendConfig,
+    drive_dbm: Optional[np.ndarray] = None,
+    n_freqs: int = 33,
+    rng: Optional[np.random.Generator] = None,
+) -> BlackBoxFrontend:
+    """Characterize a front end and build its black-box surrogate.
+
+    The characterization test bench pins the AGC at 0 dB (a fixed-gain
+    measurement configuration, like a SpectreRF test bench), runs the
+    swept-tone and noise analyses on the structural model, and returns the
+    assembled surrogate.
+
+    Args:
+        config: the structural front-end design to characterize.
+        drive_dbm: input powers for the AM/AM / AM/PM sweep (default
+            -90..-20 dBm in 2 dB steps).
+        n_freqs: number of small-signal frequency-response points.
+        rng: generator for the noise measurement.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    if drive_dbm is None:
+        drive_dbm = np.arange(-90.0, -19.0, 2.0)
+    drive_dbm = np.asarray(drive_dbm, dtype=float)
+
+    pinned = dict(agc_min_gain_db=0.0, agc_max_gain_db=0.0, adc_bits=None)
+    quiet = DoubleConversionReceiver(
+        replace(
+            config,
+            noise_enabled=False,
+            dc_offset_dbm=None,
+            flicker_power_dbm=None,
+            **pinned,
+        )
+    )
+    fs = config.sample_rate_in
+    n = 8192
+    settle = 2048 // config.decimation
+
+    def tone(power_dbm, freq):
+        t = np.arange(n) / fs
+        return Signal(
+            np.sqrt(dbm_to_watts(power_dbm)) * np.exp(2j * np.pi * freq * t),
+            fs,
+            config.carrier_frequency,
+        )
+
+    def complex_gain(block, power_dbm, freq):
+        out = block.process(tone(power_dbm, freq), rng)
+        x = out.samples[settle:]
+        t = np.arange(settle, settle + x.size) / out.sample_rate
+        probe = np.exp(-2j * np.pi * freq * t)
+        amp_in = np.sqrt(dbm_to_watts(power_dbm))
+        return np.dot(x, probe) / x.size / amp_in
+
+    # --- AM/AM + AM/PM sweep ---------------------------------------------
+    f0 = 1e6
+    gains = np.array([complex_gain(quiet, p, f0) for p in drive_dbm])
+
+    # --- small-signal frequency response ----------------------------------
+    freqs = np.linspace(-9.5e6, 9.5e6, n_freqs)
+    response = np.array([complex_gain(quiet, -70.0, f) for f in freqs])
+    peak = np.max(np.abs(response))
+    if peak > 0:
+        response = response / peak
+
+    # --- cascade noise figure (pinned AGC: gains cancel consistently) -----
+    noisy = DoubleConversionReceiver(replace(config, **pinned))
+    g_small = abs(gains[0]) ** 2  # linear power gain at small signal
+    floor_in = thermal_noise_power(fs)
+    n_noise = 1 << 15
+    floor = Signal(
+        white_noise(n_noise, floor_in, rng), fs, config.carrier_frequency
+    )
+    noise_out = noisy.process(floor, rng).samples
+    # Discard the settle portion: the DC-offset step excites an HPF
+    # transient that would bias a short measurement upward.
+    n_out = float(np.mean(np.abs(noise_out[n_noise // 8 :]) ** 2))
+    # Input-referred: remove the ideally-amplified floor within the
+    # measured equivalent noise bandwidth.
+    df = freqs[1] - freqs[0]
+    enb = float(np.sum(np.abs(response) ** 2) * df)
+    ideal_floor_out = g_small * floor_in * (enb / fs)
+    factor = max(n_out / max(ideal_floor_out, 1e-300), 1.0)
+    noise_figure_db = float(10.0 * np.log10(factor))
+
+    # --- residual DC offset ------------------------------------------------
+    quiet_dc = DoubleConversionReceiver(
+        replace(config, noise_enabled=False, **pinned)
+    )
+    silence = Signal(np.zeros(n, complex), fs, config.carrier_frequency)
+    dc_out = quiet_dc.process(silence, rng)
+    dc = complex(np.mean(dc_out.samples[settle:]))
+
+    characterization = BlackBoxCharacterization(
+        drive_dbm=drive_dbm,
+        complex_gain=gains,
+        freqs_hz=freqs,
+        response=response,
+        noise_figure_db=noise_figure_db,
+        equivalent_noise_bandwidth_hz=enb,
+        dc_offset=dc,
+        agc_target_dbm=config.agc_target_dbm,
+    )
+    return BlackBoxFrontend(
+        characterization,
+        input_rate=fs,
+        decimation=config.decimation,
+    )

@@ -1,0 +1,400 @@
+"""Verilog-AMS-flavoured netlist hand-off (the DFII -> ncvlog -> SPW path).
+
+Section 4.3 of the paper: "the Verilog-AMS description is generated
+automatically by saving the schematic in the DFII; after few modifications
+the Verilog-AMS description is manually compiled by using the ncvlog
+compiler; from the netlist a SPW block can be generated."
+
+This module serializes a :class:`repro.rf.frontend.FrontendConfig` into a
+textual netlist of RF primitives, parses it back, and "compiles" it: the
+:class:`NetlistCompiler` validates primitives and parameters and — like the
+AMS Designer — reports which noise functions the design uses, since those
+are unsupported in transient co-simulation (the central tool limitation the
+paper documents).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.rf.frontend import (
+    LO_FREQUENCY,
+    DoubleConversionReceiver,
+    FrontendConfig,
+)
+
+
+class NetlistError(ValueError):
+    """Raised for malformed or invalid netlists."""
+
+
+#: Primitive library: primitive name -> allowed parameter names.
+PRIMITIVES: Dict[str, Tuple[str, ...]] = {
+    "lna": ("gain_db", "nf_db", "p1db_dbm", "model_style", "am_pm_deg"),
+    "lo": (
+        "frequency_hz",
+        "error_ppm",
+        "phase_noise_dbc_hz",
+        "phase_noise_ref_hz",
+    ),
+    "mixer": ("gain_db", "nf_db", "iip3_dbm", "image_rejection_db"),
+    "quad_mixer": (
+        "gain_db",
+        "nf_db",
+        "iip3_dbm",
+        "dc_offset_dbm",
+        "flicker_power_dbm",
+        "flicker_corner_hz",
+        "iq_amplitude_db",
+        "iq_phase_deg",
+    ),
+    "highpass": ("cutoff_hz", "order", "enabled"),
+    "chebyshev_lowpass": ("edge_hz", "order", "ripple_db"),
+    "agc": ("target_dbm", "min_gain_db", "max_gain_db"),
+    "adc": ("n_bits", "full_scale_dbm"),
+}
+
+#: Noise-generating (small-signal) functions each primitive relies on,
+#: mirroring the Verilog-A ``white_noise``/``flicker_noise`` usage that the
+#: AMS Designer cannot evaluate in transient analyses.
+NOISE_FUNCTIONS: Dict[str, Tuple[str, ...]] = {
+    "lna": ("white_noise",),
+    "mixer": ("white_noise",),
+    "quad_mixer": ("white_noise", "flicker_noise"),
+    "lo": ("white_noise",),
+}
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "none"
+    if isinstance(value, str):
+        return f'"{value}"'
+    if isinstance(value, float) and np.isinf(value):
+        return "inf"
+    if isinstance(value, (int, np.integer)):
+        return str(int(value))
+    return f"{float(value):.10g}"
+
+
+def frontend_to_netlist(config: FrontendConfig) -> str:
+    """Serialize a front-end configuration into netlist text."""
+    lines = [
+        "// repro RF netlist v1 — double conversion receiver (figure 2)",
+        "module double_conversion_receiver(rf_in, bb_out);",
+        f"  parameter real sample_rate_in = {_fmt(config.sample_rate_in)};",
+        f"  parameter real carrier_frequency = "
+        f"{_fmt(config.carrier_frequency)};",
+        (
+            "  lna #(.gain_db({g}), .nf_db({nf}), .p1db_dbm({p}), "
+            ".model_style({m}), .am_pm_deg({ap})) LNA1 (rf_in, n1);"
+        ).format(
+            g=_fmt(config.lna_gain_db),
+            nf=_fmt(config.lna_nf_db),
+            p=_fmt(config.lna_p1db_dbm),
+            m=_fmt(config.lna_model),
+            ap=_fmt(config.lna_am_pm_deg),
+        ),
+        (
+            "  lo #(.frequency_hz({f}), .error_ppm({e}), "
+            ".phase_noise_dbc_hz({pn}), .phase_noise_ref_hz({pr})) "
+            "LO1 (lo_node);"
+        ).format(
+            f=_fmt(LO_FREQUENCY),
+            e=_fmt(config.lo_error_ppm),
+            pn=_fmt(config.lo_phase_noise_dbc_hz),
+            pr=_fmt(config.lo_phase_noise_ref_hz),
+        ),
+        (
+            "  mixer #(.gain_db({g}), .nf_db({nf}), .iip3_dbm({i}), "
+            ".image_rejection_db({ir})) MIX1 (n1, lo_node, n2);"
+        ).format(
+            g=_fmt(config.mixer1_gain_db),
+            nf=_fmt(config.mixer1_nf_db),
+            i=_fmt(config.mixer1_iip3_dbm),
+            ir=_fmt(config.image_rejection_db),
+        ),
+        (
+            "  quad_mixer #(.gain_db({g}), .nf_db({nf}), .iip3_dbm({i}), "
+            ".dc_offset_dbm({dc}), .flicker_power_dbm({fp}), "
+            ".flicker_corner_hz({fc}), .iq_amplitude_db({ia}), "
+            ".iq_phase_deg({ip})) MIX2 (n2, lo_node, n3);"
+        ).format(
+            g=_fmt(config.mixer2_gain_db),
+            nf=_fmt(config.mixer2_nf_db),
+            i=_fmt(config.mixer2_iip3_dbm),
+            dc=_fmt(config.dc_offset_dbm),
+            fp=_fmt(config.flicker_power_dbm),
+            fc=_fmt(config.flicker_corner_hz),
+            ia=_fmt(config.iq_amplitude_db),
+            ip=_fmt(config.iq_phase_deg),
+        ),
+        (
+            "  highpass #(.cutoff_hz({c}), .order({o}), .enabled({e})) "
+            "HPF1 (n3, n4);"
+        ).format(
+            c=_fmt(config.hpf_cutoff_hz),
+            o=_fmt(config.hpf_order),
+            e=_fmt(1 if config.hpf_enabled else 0),
+        ),
+        (
+            "  chebyshev_lowpass #(.edge_hz({e}), .order({o}), "
+            ".ripple_db({r})) LPF1 (n4, n5);"
+        ).format(
+            e=_fmt(config.lpf_edge_hz),
+            o=_fmt(config.lpf_order),
+            r=_fmt(config.lpf_ripple_db),
+        ),
+        (
+            "  agc #(.target_dbm({t}), .min_gain_db({lo}), "
+            ".max_gain_db({hi})) AGC1 (n5, n6);"
+        ).format(
+            t=_fmt(config.agc_target_dbm),
+            lo=_fmt(config.agc_min_gain_db),
+            hi=_fmt(config.agc_max_gain_db),
+        ),
+        (
+            "  adc #(.n_bits({b}), .full_scale_dbm({fs})) ADC1 (n6, bb_out);"
+        ).format(
+            b=_fmt(config.adc_bits), fs=_fmt(config.adc_full_scale_dbm)
+        ),
+        "endmodule",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+_INSTANCE_RE = re.compile(
+    r"^\s*(\w+)\s*#\((.*)\)\s*(\w+)\s*\(([^)]*)\)\s*;\s*$"
+)
+_PARAM_RE = re.compile(r"\.(\w+)\(([^()]*)\)")
+_MODULE_PARAM_RE = re.compile(
+    r"^\s*parameter\s+real\s+(\w+)\s*=\s*([^;]+);\s*$"
+)
+
+
+def _parse_value(text: str):
+    text = text.strip()
+    if text == "none":
+        return None
+    if text == "inf":
+        return np.inf
+    if text.startswith('"') and text.endswith('"'):
+        return text[1:-1]
+    try:
+        f = float(text)
+    except ValueError as exc:
+        raise NetlistError(f"unparseable parameter value {text!r}") from exc
+    if f.is_integer() and "." not in text and "e" not in text.lower():
+        return int(f)
+    return f
+
+
+def parse_netlist(text: str):
+    """Parse netlist text into (module_params, instances).
+
+    Returns:
+        ``(params, instances)`` where ``params`` maps module-level
+        parameter names to floats and ``instances`` is a list of
+        ``(primitive, instance_name, param_dict, nodes)`` tuples in file
+        order.
+    """
+    params: Dict[str, float] = {}
+    instances = []
+    in_module = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("//")[0].rstrip()
+        if not line.strip():
+            continue
+        if line.strip().startswith("module"):
+            in_module = True
+            continue
+        if line.strip() == "endmodule":
+            in_module = False
+            continue
+        m = _MODULE_PARAM_RE.match(line)
+        if m:
+            params[m.group(1)] = float(_parse_value(m.group(2)))
+            continue
+        m = _INSTANCE_RE.match(line)
+        if m:
+            if not in_module:
+                raise NetlistError(
+                    f"line {lineno}: instance outside module body"
+                )
+            primitive, param_text, inst_name, node_text = m.groups()
+            inst_params = {
+                name: _parse_value(value)
+                for name, value in _PARAM_RE.findall(param_text)
+            }
+            nodes = [n.strip() for n in node_text.split(",") if n.strip()]
+            instances.append((primitive, inst_name, inst_params, nodes))
+            continue
+        raise NetlistError(f"line {lineno}: cannot parse {line!r}")
+    return params, instances
+
+
+def netlist_to_config(text: str) -> FrontendConfig:
+    """Reconstruct a :class:`FrontendConfig` from netlist text."""
+    params, instances = parse_netlist(text)
+    by_primitive = {}
+    for primitive, name, inst_params, nodes in instances:
+        if primitive not in PRIMITIVES:
+            raise NetlistError(f"unknown primitive {primitive!r}")
+        unknown = set(inst_params) - set(PRIMITIVES[primitive])
+        if unknown:
+            raise NetlistError(
+                f"{name}: unknown parameters {sorted(unknown)} for "
+                f"primitive {primitive!r}"
+            )
+        by_primitive.setdefault(primitive, []).append(inst_params)
+
+    def one(primitive: str) -> dict:
+        entries = by_primitive.get(primitive, [])
+        if len(entries) != 1:
+            raise NetlistError(
+                f"expected exactly one {primitive!r} instance, found "
+                f"{len(entries)}"
+            )
+        return entries[0]
+
+    lna = one("lna")
+    lo = one("lo")
+    mix1 = one("mixer")
+    mix2 = one("quad_mixer")
+    hpf = one("highpass")
+    lpf = one("chebyshev_lowpass")
+    agc = one("agc")
+    adc = one("adc")
+
+    def opt_float(value):
+        return None if value is None else float(value)
+
+    try:
+        return _build_config(
+            params, lna, lo, mix1, mix2, hpf, lpf, agc, adc, opt_float
+        )
+    except KeyError as exc:
+        raise NetlistError(
+            f"netlist is missing required parameter {exc.args[0]!r}"
+        ) from exc
+
+
+def _build_config(params, lna, lo, mix1, mix2, hpf, lpf, agc, adc, opt_float):
+    """Assemble the FrontendConfig; raises KeyError on missing params."""
+    return FrontendConfig(
+        sample_rate_in=params.get("sample_rate_in", 80e6),
+        carrier_frequency=params.get("carrier_frequency", 5.2e9),
+        lna_gain_db=float(lna["gain_db"]),
+        lna_nf_db=float(lna["nf_db"]),
+        lna_p1db_dbm=float(lna["p1db_dbm"]),
+        lna_model=str(lna.get("model_style", "cubic")),
+        lna_am_pm_deg=float(lna.get("am_pm_deg", 0.0)),
+        mixer1_gain_db=float(mix1["gain_db"]),
+        mixer1_nf_db=float(mix1["nf_db"]),
+        mixer1_iip3_dbm=float(mix1["iip3_dbm"]),
+        image_rejection_db=float(mix1.get("image_rejection_db", np.inf)),
+        mixer2_gain_db=float(mix2["gain_db"]),
+        mixer2_nf_db=float(mix2["nf_db"]),
+        mixer2_iip3_dbm=float(mix2["iip3_dbm"]),
+        dc_offset_dbm=opt_float(mix2.get("dc_offset_dbm")),
+        flicker_power_dbm=opt_float(mix2.get("flicker_power_dbm")),
+        flicker_corner_hz=float(mix2.get("flicker_corner_hz", 1e6)),
+        iq_amplitude_db=float(mix2.get("iq_amplitude_db", 0.0)),
+        iq_phase_deg=float(mix2.get("iq_phase_deg", 0.0)),
+        lo_error_ppm=float(lo.get("error_ppm", 0.0)),
+        lo_phase_noise_dbc_hz=opt_float(lo.get("phase_noise_dbc_hz")),
+        lo_phase_noise_ref_hz=float(lo.get("phase_noise_ref_hz", 1e6)),
+        hpf_enabled=bool(int(hpf.get("enabled", 1))),
+        hpf_cutoff_hz=float(hpf["cutoff_hz"]),
+        hpf_order=int(hpf["order"]),
+        lpf_edge_hz=float(lpf["edge_hz"]),
+        lpf_order=int(lpf["order"]),
+        lpf_ripple_db=float(lpf.get("ripple_db", 0.5)),
+        agc_target_dbm=float(agc["target_dbm"]),
+        agc_min_gain_db=float(agc.get("min_gain_db", -20.0)),
+        agc_max_gain_db=float(agc.get("max_gain_db", 70.0)),
+        adc_bits=None if adc.get("n_bits") is None else int(adc["n_bits"]),
+        adc_full_scale_dbm=float(adc.get("full_scale_dbm", 0.0)),
+    )
+
+
+@dataclass
+class CompiledDesign:
+    """Result of "compiling" a netlist for a target simulator.
+
+    Attributes:
+        config: the reconstructed front-end configuration.
+        frontend: an executable :class:`DoubleConversionReceiver`.
+        noise_functions_used: small-signal noise functions the design
+            relies on (per instance).
+        warnings: compiler diagnostics (e.g. the AMS transient-noise gap).
+    """
+
+    config: FrontendConfig
+    frontend: DoubleConversionReceiver
+    noise_functions_used: Dict[str, Tuple[str, ...]]
+    warnings: List[str] = field(default_factory=list)
+
+
+class NetlistCompiler:
+    """The ncvlog stand-in: validate and elaborate a netlist.
+
+    Args:
+        target: ``"spectre"`` (all analyses available) or ``"ams"`` (the
+            AMS Designer transient engine, where the Verilog-A
+            ``white_noise``/``flicker_noise`` functions do not work).
+    """
+
+    def __init__(self, target: str = "ams"):
+        if target not in ("spectre", "ams"):
+            raise ValueError(f"unknown target simulator {target!r}")
+        self.target = target
+
+    def compile(self, text: str) -> CompiledDesign:
+        """Parse, validate and elaborate the netlist."""
+        config = netlist_to_config(text)
+        _, instances = parse_netlist(text)
+        used: Dict[str, Tuple[str, ...]] = {}
+        for primitive, name, inst_params, _ in instances:
+            functions = NOISE_FUNCTIONS.get(primitive, ())
+            if not functions:
+                continue
+            active = self._active_noise(primitive, inst_params)
+            if active:
+                used[name] = tuple(active)
+        warnings = []
+        if self.target == "ams" and used:
+            blocks = ", ".join(sorted(used))
+            functions = sorted({f for fs in used.values() for f in fs})
+            warnings.append(
+                f"noise functions {functions} used by [{blocks}] are not "
+                f"supported in transient (large-signal) analysis; noise "
+                f"will be silently disabled in co-simulation — insert a "
+                f"noise source on the system side or rewrite the models "
+                f"with random functions (section 4.3)"
+            )
+        frontend = DoubleConversionReceiver(config)
+        return CompiledDesign(
+            config=config,
+            frontend=frontend,
+            noise_functions_used=used,
+            warnings=warnings,
+        )
+
+    @staticmethod
+    def _active_noise(primitive: str, params: dict) -> List[str]:
+        active = []
+        if primitive in ("lna", "mixer", "quad_mixer"):
+            if float(params.get("nf_db", 0.0) or 0.0) > 0.0:
+                active.append("white_noise")
+        if primitive == "quad_mixer":
+            if params.get("flicker_power_dbm") is not None:
+                active.append("flicker_noise")
+        if primitive == "lo":
+            if params.get("phase_noise_dbc_hz") is not None:
+                active.append("white_noise")
+        return active

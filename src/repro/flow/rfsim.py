@@ -1,0 +1,271 @@
+"""RF characterization analyses (the SpectreRF stand-in).
+
+SpectreRF "provides specific simulation algorithms for the analysis and
+characterization of RF components.  They allow an accurate analysis of
+noise and non-linearity, e.g. measurement of Compression Point, Intercept
+Points and Noise Figure."  This module implements those measurements over
+any behavioral block exposing ``process(Signal, rng) -> Signal``:
+
+* :func:`swept_power_compression` — single-tone power sweep, P1dB
+  extraction;
+* :func:`two_tone_intermod` — the classic two-tone (periodic steady state)
+  test, IIP3/OIP3 extraction;
+* :func:`measure_noise_figure` — gain + output-noise measurement against
+  the thermal floor;
+* :func:`ac_response` — small-signal transfer function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.rf.noise import thermal_noise_power, white_noise
+from repro.rf.signal import Signal, dbm_to_watts, watts_to_dbm
+
+
+def _tone(
+    power_dbm: float,
+    freq_hz: float,
+    sample_rate: float,
+    n_samples: int,
+    phase: float = 0.0,
+) -> Signal:
+    """A complex exponential test tone of the given envelope power."""
+    amp = np.sqrt(dbm_to_watts(power_dbm))
+    t = np.arange(n_samples) / sample_rate
+    return Signal(
+        amp * np.exp(1j * (2 * np.pi * freq_hz * t + phase)), sample_rate
+    )
+
+
+def _bin_power_dbm(
+    samples: np.ndarray, freq_hz: float, sample_rate: float, skip: int = 0
+) -> float:
+    """Power of the complex-exponential component at ``freq_hz`` in dBm.
+
+    Uses a single-bin DFT (matched filter); ``skip`` drops leading samples
+    (filter transients).
+    """
+    x = samples[skip:]
+    n = x.size
+    t = np.arange(skip, skip + n) / sample_rate
+    probe = np.exp(-2j * np.pi * freq_hz * t)
+    coeff = np.dot(x, probe) / n
+    return watts_to_dbm(abs(coeff) ** 2)
+
+
+def _aligned_frequency(freq_hz: float, sample_rate: float, n: int) -> float:
+    """Snap a frequency to the nearest DFT bin of an n-point analysis."""
+    k = round(freq_hz * n / sample_rate)
+    return k * sample_rate / n
+
+
+@dataclass
+class CompressionResult:
+    """Swept-power compression measurement.
+
+    Attributes:
+        input_dbm: swept input tone powers.
+        output_dbm: measured output fundamental powers.
+        small_signal_gain_db: gain at the lowest sweep power.
+        input_p1db_dbm: interpolated input 1-dB compression point (NaN if
+            the sweep never compresses by 1 dB).
+    """
+
+    input_dbm: np.ndarray
+    output_dbm: np.ndarray
+    small_signal_gain_db: float
+    input_p1db_dbm: float
+
+
+def swept_power_compression(
+    block,
+    sample_rate: float = 80e6,
+    tone_offset_hz: float = 1e6,
+    input_dbm: Optional[Sequence[float]] = None,
+    n_samples: int = 4096,
+    settle: int = 512,
+    rng: Optional[np.random.Generator] = None,
+) -> CompressionResult:
+    """Measure gain compression of a block with a swept single tone."""
+    if input_dbm is None:
+        input_dbm = np.arange(-60.0, 10.1, 1.0)
+    input_dbm = np.asarray(input_dbm, dtype=float)
+    if rng is None:
+        rng = np.random.default_rng(0)
+    freq = _aligned_frequency(tone_offset_hz, sample_rate, n_samples - settle)
+    out = np.empty_like(input_dbm)
+    for i, p in enumerate(input_dbm):
+        tone = _tone(p, freq, sample_rate, n_samples)
+        y = block.process(tone, rng)
+        # Blocks may decimate (e.g. a full front end); probe at the
+        # output rate with a proportionally scaled settle time.
+        skip = int(settle * y.sample_rate / sample_rate)
+        out[i] = _bin_power_dbm(y.samples, freq, y.sample_rate, skip=skip)
+    gains = out - input_dbm
+    g0 = gains[0]
+    drop = g0 - gains
+    p1db = np.nan
+    above = np.nonzero(drop >= 1.0)[0]
+    if above.size:
+        j = above[0]
+        if j == 0:
+            p1db = input_dbm[0]
+        else:
+            x0, x1 = input_dbm[j - 1], input_dbm[j]
+            y0, y1 = drop[j - 1], drop[j]
+            p1db = x0 + (1.0 - y0) * (x1 - x0) / (y1 - y0)
+    return CompressionResult(
+        input_dbm=input_dbm,
+        output_dbm=out,
+        small_signal_gain_db=float(g0),
+        input_p1db_dbm=float(p1db),
+    )
+
+
+@dataclass
+class IntermodResult:
+    """Two-tone intermodulation measurement.
+
+    Attributes:
+        tone_power_dbm: per-tone input power used for extraction.
+        fundamental_dbm: output power of one fundamental tone.
+        im3_dbm: output power of one third-order product.
+        gain_db: fundamental conversion gain.
+        oip3_dbm / iip3_dbm: extracted intercept points.
+    """
+
+    tone_power_dbm: float
+    fundamental_dbm: float
+    im3_dbm: float
+    gain_db: float
+    oip3_dbm: float
+    iip3_dbm: float
+
+
+def two_tone_intermod(
+    block,
+    sample_rate: float = 80e6,
+    tone_spacing_hz: float = 2e6,
+    tone_power_dbm: float = -40.0,
+    n_samples: int = 8192,
+    settle: int = 1024,
+    rng: Optional[np.random.Generator] = None,
+) -> IntermodResult:
+    """Two-tone test: drive f1, f2 and measure the 2*f2-f1 product.
+
+    The intercept extraction uses the standard small-signal relation
+    ``OIP3 = P_fund + (P_fund - P_IM3) / 2`` (all output powers, dBm).
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    n_eff = n_samples - settle
+    half = _aligned_frequency(tone_spacing_hz / 2.0, sample_rate, n_eff)
+    f1, f2 = -half, half
+    im3_hi = 2 * f2 - f1  # = 3*half
+    t1 = _tone(tone_power_dbm, f1, sample_rate, n_samples)
+    t2 = _tone(tone_power_dbm, f2, sample_rate, n_samples, phase=1.234)
+    stimulus = t1.with_samples(t1.samples + t2.samples)
+    y = block.process(stimulus, rng)
+    skip = int(settle * y.sample_rate / sample_rate)
+    p_fund = _bin_power_dbm(y.samples, f2, y.sample_rate, skip=skip)
+    p_im3 = _bin_power_dbm(y.samples, im3_hi, y.sample_rate, skip=skip)
+    gain = p_fund - tone_power_dbm
+    oip3 = p_fund + (p_fund - p_im3) / 2.0
+    return IntermodResult(
+        tone_power_dbm=tone_power_dbm,
+        fundamental_dbm=p_fund,
+        im3_dbm=p_im3,
+        gain_db=gain,
+        oip3_dbm=oip3,
+        iip3_dbm=oip3 - gain,
+    )
+
+
+@dataclass
+class NoiseFigureResult:
+    """Noise-figure measurement.
+
+    Attributes:
+        gain_db: measured small-signal gain.
+        noise_figure_db: extracted noise figure.
+        output_noise_dbm: measured output noise power over the band.
+    """
+
+    gain_db: float
+    noise_figure_db: float
+    output_noise_dbm: float
+
+
+def measure_noise_figure(
+    block,
+    sample_rate: float = 80e6,
+    n_samples: int = 16384,
+    n_trials: int = 8,
+    tone_power_dbm: float = -60.0,
+    rng: Optional[np.random.Generator] = None,
+) -> NoiseFigureResult:
+    """Measure a block's noise figure against the thermal floor.
+
+    Drives pure ``kT * fs`` thermal noise, measures the output noise power,
+    and compares it with the ideally amplified floor:
+    ``F = N_out / (G * N_in)``.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    freq = _aligned_frequency(1e6, sample_rate, n_samples)
+    tone = _tone(tone_power_dbm, freq, sample_rate, n_samples)
+    y = block.process(tone, rng)
+    gain_db = (
+        _bin_power_dbm(y.samples, freq, y.sample_rate) - tone_power_dbm
+    )
+    n_in = thermal_noise_power(sample_rate)
+    out_powers = []
+    for _ in range(n_trials):
+        noise = Signal(
+            white_noise(n_samples, n_in, rng), sample_rate
+        )
+        out = block.process(noise, rng)
+        out_powers.append(np.mean(np.abs(out.samples) ** 2))
+    n_out = float(np.mean(out_powers))
+    gain_lin = 10.0 ** (gain_db / 10.0)
+    factor = n_out / (gain_lin * n_in)
+    return NoiseFigureResult(
+        gain_db=float(gain_db),
+        noise_figure_db=float(10.0 * np.log10(max(factor, 1.0))),
+        output_noise_dbm=watts_to_dbm(n_out),
+    )
+
+
+def ac_response(
+    block,
+    freqs_hz: Sequence[float],
+    sample_rate: float = 80e6,
+    probe_power_dbm: float = -60.0,
+    n_samples: int = 8192,
+    settle: int = 2048,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Small-signal complex transfer function at the given frequencies.
+
+    Returns:
+        Complex gain array, one entry per frequency in ``freqs_hz``.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    n_eff = n_samples - settle
+    gains = np.empty(len(freqs_hz), dtype=complex)
+    amp = np.sqrt(dbm_to_watts(probe_power_dbm))
+    for i, f in enumerate(freqs_hz):
+        f_snap = _aligned_frequency(f, sample_rate, n_eff)
+        tone = _tone(probe_power_dbm, f_snap, sample_rate, n_samples)
+        y = block.process(tone, rng)
+        skip = int(settle * y.sample_rate / sample_rate)
+        x = y.samples[skip:]
+        t = np.arange(skip, skip + x.size) / y.sample_rate
+        probe = np.exp(-2j * np.pi * f_snap * t)
+        gains[i] = np.dot(x, probe) / x.size / amp
+    return gains

@@ -1,0 +1,146 @@
+"""Waveform measurement toolkit (the SigCalc stand-in).
+
+SPW ships "a waveform viewer SigCalc"; the co-simulation notes also record
+that "the visualization capability for analog waveforms is restricted" in
+signalscan.  This module provides the measurement side of such a viewer:
+scalar waveform statistics, tone frequency/power estimation, and text
+rendering of waveforms and constellations for probe inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.reporting import render_ascii_plot
+from repro.rf.signal import Signal, watts_to_dbm
+
+
+@dataclass
+class WaveformStats:
+    """Scalar statistics of a complex waveform.
+
+    Attributes:
+        rms: RMS magnitude.
+        peak: peak magnitude.
+        crest_factor_db: peak-to-RMS ratio in dB.
+        mean_power_dbm: average envelope power.
+        dc_fraction: |mean| / RMS — how much of the waveform is DC.
+        n_samples: length.
+    """
+
+    rms: float
+    peak: float
+    crest_factor_db: float
+    mean_power_dbm: float
+    dc_fraction: float
+    n_samples: int
+
+
+def waveform_stats(signal: Signal) -> WaveformStats:
+    """Compute the standard scalar measurements of a waveform."""
+    x = signal.samples
+    if x.size == 0:
+        raise ValueError("empty waveform")
+    rms = float(np.sqrt(np.mean(np.abs(x) ** 2)))
+    peak = float(np.max(np.abs(x)))
+    dc = abs(np.mean(x))
+    return WaveformStats(
+        rms=rms,
+        peak=peak,
+        crest_factor_db=float(
+            20.0 * np.log10(peak / rms) if rms > 0 else np.inf
+        ),
+        mean_power_dbm=watts_to_dbm(rms**2),
+        dc_fraction=float(dc / rms) if rms > 0 else 0.0,
+        n_samples=x.size,
+    )
+
+
+def estimate_tone(signal: Signal) -> tuple:
+    """Estimate the dominant tone's frequency and power.
+
+    Uses a parabolic interpolation of the FFT peak for sub-bin accuracy.
+
+    Returns:
+        ``(frequency_hz, power_dbm)`` of the strongest spectral line.
+    """
+    x = signal.samples
+    if x.size < 8:
+        raise ValueError("waveform too short")
+    window = np.hanning(x.size)
+    spectrum = np.fft.fft(x * window)
+    mag = np.abs(spectrum)
+    k = int(np.argmax(mag))
+    # Parabolic peak interpolation on log magnitude.
+    k_prev = (k - 1) % x.size
+    k_next = (k + 1) % x.size
+    a, b, c = (
+        np.log(mag[k_prev] + 1e-300),
+        np.log(mag[k] + 1e-300),
+        np.log(mag[k_next] + 1e-300),
+    )
+    denom = a - 2 * b + c
+    delta = 0.5 * (a - c) / denom if abs(denom) > 1e-12 else 0.0
+    freqs = np.fft.fftfreq(x.size, 1.0 / signal.sample_rate)
+    df = signal.sample_rate / x.size
+    freq = freqs[k] + delta * df
+    # Coherent power of the line, compensating the window gain and the
+    # scalloping loss of an off-bin tone (parabolic peak value).
+    log_peak = b - 0.25 * (a - c) * delta
+    coherent_gain = window.sum() / x.size
+    amp = np.exp(log_peak) / (x.size * coherent_gain)
+    return float(freq), watts_to_dbm(float(amp**2))
+
+
+def render_waveform(
+    signal: Signal,
+    n_points: int = 256,
+    width: int = 64,
+    height: int = 12,
+    title: str = "waveform",
+) -> str:
+    """ASCII rendering of a waveform's magnitude envelope."""
+    x = np.abs(signal.samples)
+    if x.size == 0:
+        return "(empty waveform)"
+    if x.size > n_points:
+        # Peak-decimate so transients remain visible.
+        chunk = x.size // n_points
+        x = x[: chunk * n_points].reshape(n_points, chunk).max(axis=1)
+    t = np.arange(x.size) * (signal.duration / max(x.size, 1)) * 1e6
+    return render_ascii_plot(
+        t, x, width=width, height=height, title=title,
+        x_label="time [us]", y_label="|x|",
+    )
+
+
+def render_constellation(
+    symbols: np.ndarray,
+    width: int = 41,
+    height: int = 21,
+    span: float = 1.6,
+    title: str = "constellation",
+) -> str:
+    """ASCII scatter of constellation points (the SigCalc eye view)."""
+    symbols = np.asarray(symbols, dtype=complex).ravel()
+    if symbols.size == 0:
+        return "(no symbols)"
+    canvas = [[" "] * width for _ in range(height)]
+    for s in symbols:
+        col = int((s.real / span + 0.5) * (width - 1) + 0.5)
+        row = int((0.5 - s.imag / span) * (height - 1) + 0.5)
+        if 0 <= col < width and 0 <= row < height:
+            canvas[row][col] = "*"
+    # Axes.
+    mid_r, mid_c = height // 2, width // 2
+    for c in range(width):
+        if canvas[mid_r][c] == " ":
+            canvas[mid_r][c] = "-"
+    for r in range(height):
+        if canvas[r][mid_c] == " ":
+            canvas[r][mid_c] = "|"
+    canvas[mid_r][mid_c] = "+"
+    lines = [title] + ["".join(row) for row in canvas]
+    return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""Mixer models for the double-conversion receiver (figure 2).
+
+Down-conversion in the complex-envelope domain is bookkeeping on the
+carrier reference plus the mixer's impairments:
+
+* conversion gain and noise figure,
+* self-mixing DC offset (dominant at the second stage, where the LO and
+  the input share the same frequency — the paper's "dc-problems caused by
+  the self mixing products"),
+* LO phase noise and frequency error (taken from the attached
+  :class:`repro.rf.oscillator.LocalOscillator`),
+* finite image rejection, modeled as a conjugate-leakage term, and
+* I/Q amplitude/phase imbalance for the quadrature (second) mixer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.rf.noise import (
+    NoiseSource,
+    noise_figure_to_added_power,
+    white_noise,
+)
+from repro.rf.oscillator import LocalOscillator
+from repro.rf.signal import Signal, db_to_amplitude, dbm_to_watts
+
+
+@dataclass
+class Mixer:
+    """Single down-conversion mixer.
+
+    Attributes:
+        lo: the local oscillator driving the mixer.
+        conversion_gain_db: power conversion gain (often negative).
+        noise_figure_db: single-sideband noise figure.
+        dc_offset_dbm: power of the self-mixing DC product referred to the
+            mixer output; -inf (or None) disables it.
+        image_rejection_db: image-rejection ratio; conjugate leakage at
+            ``-IRR`` dB is added. ``inf`` means a perfect mixer.
+        flicker_corner_hz: 1/f corner of the output flicker noise; only
+            active when ``flicker_power_dbm`` is set.
+        flicker_power_dbm: total output-referred flicker noise power.
+        noise_enabled: noise switch (white and flicker).
+    """
+
+    lo: LocalOscillator
+    conversion_gain_db: float = 0.0
+    noise_figure_db: float = 0.0
+    dc_offset_dbm: Optional[float] = None
+    image_rejection_db: float = np.inf
+    flicker_corner_hz: float = 1e6
+    flicker_power_dbm: Optional[float] = None
+    noise_enabled: bool = True
+
+    def process(
+        self, signal: Signal, rng: Optional[np.random.Generator] = None
+    ) -> Signal:
+        """Down-convert ``signal`` by the LO frequency.
+
+        Returns a signal whose carrier reference is lowered by the LO's
+        nominal frequency; the LO's frequency error and phase noise appear
+        as a residual rotation of the envelope.
+        """
+        x = signal.samples
+        needs_rng = self.noise_enabled and (
+            self.noise_figure_db > 0.0
+            or self.flicker_power_dbm is not None
+            or self.lo.phase_noise_dbc_hz is not None
+        )
+        if needs_rng and rng is None:
+            raise ValueError("rng required for noisy mixer")
+
+        if self.noise_enabled and self.noise_figure_db > 0.0:
+            added = noise_figure_to_added_power(
+                self.noise_figure_db, signal.sample_rate
+            )
+            x = x + white_noise(x.size, added, rng)
+
+        # LO waveform: frequency error + phase noise as a unit rotator.
+        rotator = self.lo.envelope_rotation(
+            x.size,
+            signal.sample_rate,
+            rng if self.noise_enabled else None,
+        )
+        y = x * rotator * db_to_amplitude(self.conversion_gain_db)
+
+        if np.isfinite(self.image_rejection_db):
+            leak = db_to_amplitude(-self.image_rejection_db)
+            y = y + leak * np.conj(y)
+
+        if self.dc_offset_dbm is not None and np.isfinite(self.dc_offset_dbm):
+            y = y + np.sqrt(dbm_to_watts(self.dc_offset_dbm))
+
+        if self.noise_enabled and self.flicker_power_dbm is not None:
+            source = NoiseSource(
+                white_power_watts=0.0,
+                flicker_power_watts=dbm_to_watts(self.flicker_power_dbm),
+                flicker_corner_hz=self.flicker_corner_hz,
+            )
+            y = y + source.generate(y.size, signal.sample_rate, rng)
+
+        return Signal(
+            samples=y,
+            sample_rate=signal.sample_rate,
+            carrier_frequency=signal.carrier_frequency
+            - self.lo.frequency_hz,
+        )
+
+
+@dataclass
+class QuadratureMixer(Mixer):
+    """Quadrature down-conversion mixer (the "0/90" block of figure 2).
+
+    Adds I/Q amplitude and phase imbalance on top of :class:`Mixer`.  The
+    imbalance acts as ``y = mu*x + nu*conj(x)`` with the standard relations
+    for amplitude mismatch ``g`` (linear) and phase mismatch ``phi``.
+
+    Attributes:
+        amplitude_imbalance_db: Q-branch amplitude error relative to I.
+        phase_imbalance_deg: quadrature phase error.
+    """
+
+    amplitude_imbalance_db: float = 0.0
+    phase_imbalance_deg: float = 0.0
+
+    def process(
+        self, signal: Signal, rng: Optional[np.random.Generator] = None
+    ) -> Signal:
+        out = super().process(signal, rng)
+        if (
+            self.amplitude_imbalance_db == 0.0
+            and self.phase_imbalance_deg == 0.0
+        ):
+            return out
+        g = db_to_amplitude(self.amplitude_imbalance_db)
+        phi = np.deg2rad(self.phase_imbalance_deg)
+        mu = 0.5 * (1.0 + g * np.exp(1j * phi))
+        nu = 0.5 * (1.0 - g * np.exp(1j * phi))
+        y = mu * out.samples + nu * np.conj(out.samples)
+        return out.with_samples(y)
+
+
+def image_rejection_ratio_db(wanted_gain: complex, image_gain: complex) -> float:
+    """IRR in dB from complex wanted/image path gains (diagnostic helper)."""
+    if image_gain == 0:
+        return np.inf
+    return 20.0 * np.log10(abs(wanted_gain) / abs(image_gain))

@@ -1,0 +1,21 @@
+"""Spectral measurements: PSD, channel powers and the 802.11a mask."""
+
+from repro.spectrum.psd import (
+    PowerSpectralDensity,
+    welch_psd,
+    band_power_dbm,
+    adjacent_channel_power_ratio_db,
+    occupied_bandwidth_hz,
+    transmit_mask_802_11a_dbr,
+    check_transmit_mask,
+)
+
+__all__ = [
+    "PowerSpectralDensity",
+    "welch_psd",
+    "band_power_dbm",
+    "adjacent_channel_power_ratio_db",
+    "occupied_bandwidth_hz",
+    "transmit_mask_802_11a_dbr",
+    "check_transmit_mask",
+]

@@ -1,0 +1,77 @@
+"""Tests for the ADC model (repro.rf.adc)."""
+
+import numpy as np
+import pytest
+
+from repro.rf.adc import Adc
+from repro.rf.signal import Signal, dbm_to_watts
+
+
+class TestQuantization:
+    def test_ideal_adc_passthrough(self):
+        adc = Adc(n_bits=None)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(100) + 1j * rng.standard_normal(100)
+        out = adc.process(Signal(x, 20e6))
+        assert np.allclose(out.samples, x)
+
+    def test_quantization_step(self):
+        adc = Adc(n_bits=4, full_scale_dbm=0.0)
+        step = adc.clip_amplitude / 8
+        x = np.array([0.3 * adc.clip_amplitude + 0j])
+        out = adc.process(Signal(x, 20e6))
+        assert out.samples[0].real % step == pytest.approx(0.0, abs=1e-12)
+
+    def test_snr_improves_with_bits(self):
+        rng = np.random.default_rng(1)
+        x = 0.25 * (rng.standard_normal(8192) + 1j * rng.standard_normal(8192))
+        x = x * np.sqrt(dbm_to_watts(0.0))
+        sig = Signal(x, 20e6)
+        def qsnr(bits):
+            out = Adc(n_bits=bits, full_scale_dbm=6.0).process(sig)
+            err = out.samples - x
+            return 10 * np.log10(
+                np.mean(np.abs(x) ** 2) / np.mean(np.abs(err) ** 2)
+            )
+        assert qsnr(10) > qsnr(6) + 20.0  # ~6 dB/bit
+
+    def test_clipping(self):
+        adc = Adc(n_bits=8, full_scale_dbm=0.0)
+        big = np.array([10 * adc.clip_amplitude * (1 + 1j)])
+        out = adc.process(Signal(big, 20e6))
+        assert abs(out.samples[0].real) <= adc.clip_amplitude
+        assert abs(out.samples[0].imag) <= adc.clip_amplitude
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            Adc(n_bits=0)
+
+
+class TestDecimation:
+    def test_subsampling_length(self):
+        adc = Adc(n_bits=None, decimation=4)
+        out = adc.process(Signal(np.zeros(400, complex), 80e6))
+        assert out.samples.size == 100
+        assert out.sample_rate == pytest.approx(20e6)
+
+    def test_subsampling_aliases(self):
+        # A 25 MHz tone at 80 MHz subsampled to 20 MHz folds to +5 MHz.
+        fs = 80e6
+        t = np.arange(4000) / fs
+        tone = Signal(np.exp(2j * np.pi * 25e6 * t), fs)
+        out = Adc(n_bits=None, decimation=4).process(tone)
+        n = out.samples.size
+        spec = np.abs(np.fft.fft(out.samples))
+        freqs = np.fft.fftfreq(n, 1 / 20e6)
+        assert freqs[np.argmax(spec)] == pytest.approx(5e6, abs=20e6 / n)
+
+    def test_anti_alias_removes_out_of_band(self):
+        fs = 80e6
+        t = np.arange(8000) / fs
+        tone = Signal(np.exp(2j * np.pi * 25e6 * t), fs)
+        out = Adc(n_bits=None, decimation=4, anti_alias=True).process(tone)
+        assert np.mean(np.abs(out.samples) ** 2) < 0.01
+
+    def test_invalid_decimation(self):
+        with pytest.raises(ValueError):
+            Adc(decimation=0)

@@ -1,0 +1,94 @@
+"""Tests for amplifier models (repro.rf.amplifier)."""
+
+import numpy as np
+import pytest
+
+from repro.rf.amplifier import AgcAmplifier, Amplifier
+from repro.rf.noise import thermal_noise_power
+from repro.rf.signal import Signal, dbm_to_watts
+
+
+def _tone(power_dbm, n=4096, fs=80e6, f=1e6):
+    t = np.arange(n) / fs
+    return Signal(
+        np.sqrt(dbm_to_watts(power_dbm)) * np.exp(2j * np.pi * f * t), fs
+    )
+
+
+class TestAmplifier:
+    def test_linear_gain(self):
+        amp = Amplifier(gain_db=13.0)
+        out = amp.process(_tone(-40.0))
+        assert out.power_dbm() == pytest.approx(-27.0, abs=0.01)
+
+    def test_spw_style_compresses(self):
+        amp = Amplifier.spw_style(gain_db=10.0, noise_figure_db=0.0, p1db_dbm=-20.0)
+        small = amp.process(_tone(-60.0))
+        at_p1 = amp.process(_tone(-20.0))
+        small_gain = small.power_dbm() + 60.0
+        p1_gain = at_p1.power_dbm() + 20.0
+        assert small_gain - p1_gain == pytest.approx(1.0, abs=0.05)
+
+    def test_spectre_style_has_am_pm(self):
+        amp = Amplifier.spectre_style(
+            gain_db=10.0, noise_figure_db=0.0, iip3_dbm=0.0, am_pm_deg=8.0
+        )
+        small = amp.process(_tone(-60.0))
+        large = amp.process(_tone(-5.0))
+        phase_small = np.angle(small.samples[0] / _tone(-60.0).samples[0])
+        phase_large = np.angle(large.samples[0] / _tone(-5.0).samples[0])
+        assert abs(phase_large - phase_small) > np.deg2rad(1.0)
+
+    def test_noise_requires_rng(self):
+        amp = Amplifier(gain_db=10.0, noise_figure_db=5.0)
+        with pytest.raises(ValueError):
+            amp.process(_tone(-40.0))
+
+    def test_noise_figure_raises_floor(self):
+        rng = np.random.default_rng(0)
+        fs = 80e6
+        amp = Amplifier(gain_db=20.0, noise_figure_db=6.0)
+        silence = Signal(np.zeros(65536, complex), fs)
+        out = amp.process(silence, rng)
+        expected = (10 ** 0.6 - 1.0) * thermal_noise_power(fs) * 100.0
+        assert out.power_watts() == pytest.approx(expected, rel=0.05)
+
+    def test_noise_disabled_switch(self):
+        amp = Amplifier(gain_db=20.0, noise_figure_db=6.0, noise_enabled=False)
+        out = amp.process(Signal(np.zeros(1024, complex), 80e6))
+        assert not out.samples.any()
+
+
+class TestAgc:
+    def test_levels_to_target(self):
+        agc = AgcAmplifier(target_dbm=-10.0)
+        out = agc.process(_tone(-47.0))
+        assert out.power_dbm() == pytest.approx(-10.0, abs=0.01)
+        assert agc.last_gain_db == pytest.approx(37.0, abs=0.01)
+
+    def test_gain_clamped_high(self):
+        agc = AgcAmplifier(target_dbm=-10.0, max_gain_db=30.0)
+        out = agc.process(_tone(-80.0))
+        assert agc.last_gain_db == 30.0
+        assert out.power_dbm() == pytest.approx(-50.0, abs=0.01)
+
+    def test_gain_clamped_low(self):
+        agc = AgcAmplifier(target_dbm=-10.0, min_gain_db=-5.0)
+        out = agc.process(_tone(10.0))
+        assert agc.last_gain_db == -5.0
+
+    def test_step_quantization(self):
+        agc = AgcAmplifier(target_dbm=-10.0, step_db=2.0)
+        agc.process(_tone(-47.3))
+        assert agc.last_gain_db % 2.0 == pytest.approx(0.0, abs=1e-9)
+        assert abs(agc.last_gain_db - 37.3) <= 1.0
+
+    def test_silence_gets_max_gain(self):
+        agc = AgcAmplifier(target_dbm=-10.0, max_gain_db=55.0)
+        agc.process(Signal(np.zeros(256, complex), 20e6))
+        assert agc.last_gain_db == 55.0
+
+    def test_noise_requires_rng(self):
+        agc = AgcAmplifier(noise_figure_db=4.0)
+        with pytest.raises(ValueError):
+            agc.process(_tone(-30.0))

@@ -1,0 +1,60 @@
+"""API quality gates: documentation and export hygiene of the package."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, "repro.")
+    if not name.endswith("__main__")
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), (
+        f"{module_name} lacks a module docstring"
+    )
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_callables_documented(module_name):
+    """Every public class and function defined by a module has a docstring."""
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module_name:
+            continue  # re-exported from elsewhere
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(name)
+    assert not undocumented, (
+        f"{module_name}: undocumented public items {undocumented}"
+    )
+
+
+@pytest.mark.parametrize(
+    "package",
+    ["repro.dsp", "repro.rf", "repro.channel", "repro.spectrum",
+     "repro.flow", "repro.core"],
+)
+def test_all_exports_resolve(package):
+    """Everything in __all__ actually exists on the package."""
+    module = importlib.import_module(package)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{package}.__all__ lists missing {name}"
+
+
+def test_no_accidental_wildcard_shadowing():
+    """Top-level subpackage names stay importable under repro."""
+    for sub in ("dsp", "rf", "channel", "spectrum", "flow", "core"):
+        importlib.import_module(f"repro.{sub}")

@@ -1,0 +1,101 @@
+"""Tests for the RF cascade / link-budget analysis (repro.core.budget)."""
+
+import numpy as np
+import pytest
+
+from repro.core.budget import CascadeAnalysis, Stage, frontend_cascade
+from repro.flow.cosim import cascade_noise_figure_db
+from repro.rf.frontend import FrontendConfig
+from repro.rf.nonlinearity import effective_iip3_cascade_dbm
+
+
+class TestCascadeAnalysis:
+    def test_single_stage(self):
+        a = CascadeAnalysis([Stage("amp", 10.0, 3.0, 5.0)])
+        assert a.total_gain_db == pytest.approx(10.0)
+        assert a.total_nf_db == pytest.approx(3.0)
+        assert a.total_iip3_dbm == pytest.approx(5.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CascadeAnalysis([])
+
+    def test_gain_adds(self):
+        a = CascadeAnalysis(
+            [Stage("a", 10.0), Stage("b", 8.0), Stage("c", -2.0)]
+        )
+        assert a.total_gain_db == pytest.approx(16.0)
+
+    def test_friis_matches_cosim_helper(self):
+        cfg = FrontendConfig()
+        a = frontend_cascade(cfg)
+        assert a.total_nf_db == pytest.approx(
+            cascade_noise_figure_db(cfg), abs=1e-9
+        )
+
+    def test_iip3_matches_rf_helper(self):
+        stages = [("LNA", 16.0, -2.4), ("MIX", 8.0, 14.0)]
+        a = CascadeAnalysis(
+            [Stage(n, g, 0.0, i) for n, g, i in stages]
+        )
+        expected = effective_iip3_cascade_dbm(
+            [(g, i) for _, g, i in stages]
+        )
+        assert a.total_iip3_dbm == pytest.approx(expected, abs=1e-9)
+
+    def test_first_stage_dominates_nf(self):
+        front_heavy = CascadeAnalysis(
+            [Stage("lna", 20.0, 2.0), Stage("mix", 0.0, 12.0)]
+        )
+        # With 20 dB in front, the 12 dB second stage barely matters.
+        assert front_heavy.total_nf_db < 3.0
+
+    def test_rows_are_cumulative(self):
+        a = frontend_cascade(FrontendConfig())
+        rows = a.rows()
+        assert [r.name for r in rows] == ["LNA", "MIX1", "MIX2"]
+        gains = [r.cumulative_gain_db for r in rows]
+        assert gains == sorted(gains)  # all stages have positive gain
+        nfs = [r.cumulative_nf_db for r in rows]
+        assert nfs == sorted(nfs)  # NF can only grow along the chain
+
+    def test_infinite_iip3_linear_chain(self):
+        a = CascadeAnalysis([Stage("ideal", 10.0, 0.0, np.inf)])
+        assert a.total_iip3_dbm == np.inf
+        assert a.spurious_free_range_db(-30.0) == np.inf
+
+
+class TestSensitivityEstimate:
+    def test_formula(self):
+        a = CascadeAnalysis([Stage("amp", 10.0, 4.0)])
+        s = a.sensitivity_dbm(required_snr_db=10.0, bandwidth_hz=16.6e6)
+        expected = -174.0 + 10 * np.log10(16.6e6) + 4.0 + 10.0
+        assert s == pytest.approx(expected, abs=0.1)
+
+    def test_budget_predicts_measured_sensitivity(self):
+        """The paper-style cross-check: link budget vs simulated BER.
+
+        24 Mbps (16-QAM r=1/2) needs ~11 dB SNR; the measured sensitivity
+        of the default front end (-87 dBm, see bench_sensitivity) must
+        agree with the budget within a couple of dB.
+        """
+        budget = frontend_cascade(FrontendConfig()).sensitivity_dbm(
+            required_snr_db=11.0
+        )
+        assert budget == pytest.approx(-87.0, abs=3.0)
+
+    def test_bandwidth_validation(self):
+        a = CascadeAnalysis([Stage("amp", 10.0)])
+        with pytest.raises(ValueError):
+            a.sensitivity_dbm(10.0, bandwidth_hz=0.0)
+
+    def test_spurious_free_range(self):
+        a = CascadeAnalysis([Stage("amp", 0.0, 0.0, 0.0)])
+        assert a.spurious_free_range_db(-20.0) == pytest.approx(40.0)
+
+
+class TestRendering:
+    def test_table_renders(self):
+        table = frontend_cascade(FrontendConfig()).as_table()
+        assert "LNA" in table
+        assert "cum NF [dB]" in table

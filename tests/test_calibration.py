@@ -1,0 +1,87 @@
+"""Tests for model calibration (repro.core.calibration)."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import (
+    CircuitLevelAmplifier,
+    calibrate_amplifier,
+    compare_model_libraries,
+)
+from repro.flow.rfsim import swept_power_compression
+from repro.rf.frontend import spectre_library_config, spw_library_config
+from repro.rf.signal import Signal, dbm_to_watts
+
+
+class TestCircuitLevelAmplifier:
+    def test_small_signal_gain(self):
+        circ = CircuitLevelAmplifier(gain_db=16.0, noise_figure_db=0.0)
+        n = 1024
+        t = np.arange(n) / 80e6
+        x = Signal(np.sqrt(dbm_to_watts(-60)) * np.exp(2j * np.pi * 1e6 * t), 80e6)
+        y = circ.process(x)
+        gain = 10 * np.log10(y.power_watts() / x.power_watts())
+        assert gain == pytest.approx(16.0, abs=0.05)
+
+    def test_p1db_by_construction(self):
+        circ = CircuitLevelAmplifier(
+            gain_db=10.0, p1db_dbm=-15.0, noise_figure_db=0.0
+        )
+        result = swept_power_compression(circ)
+        assert result.input_p1db_dbm == pytest.approx(-15.0, abs=0.3)
+
+    def test_am_pm_present(self):
+        circ = CircuitLevelAmplifier(
+            gain_db=0.0, p1db_dbm=-10.0, am_pm_deg_at_p1db=5.0,
+            noise_figure_db=0.0,
+        )
+        small = circ.process(Signal(np.array([1e-5 + 0j]), 80e6))
+        large = circ.process(
+            Signal(np.array([np.sqrt(dbm_to_watts(-10.0)) + 0j]), 80e6)
+        )
+        assert abs(np.angle(large.samples[0])) > abs(np.angle(small.samples[0])) + 0.01
+
+    def test_noise_requires_rng(self):
+        circ = CircuitLevelAmplifier(noise_figure_db=3.0)
+        with pytest.raises(ValueError):
+            circ.process(Signal(np.ones(10, complex), 80e6))
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("style", ["spw", "spectre"])
+    def test_fit_quality(self, style):
+        circ = CircuitLevelAmplifier(
+            gain_db=16.0, p1db_dbm=-12.0, noise_figure_db=3.2
+        )
+        report = calibrate_amplifier(
+            circ, style=style, rng=np.random.default_rng(0)
+        )
+        assert report.measured_gain_db == pytest.approx(16.0, abs=0.3)
+        assert report.measured_p1db_dbm == pytest.approx(-12.0, abs=0.8)
+        assert report.measured_nf_db == pytest.approx(3.2, abs=0.5)
+        assert abs(report.residual_gain_db) < 0.5
+        assert abs(report.residual_p1db_db) < 0.6
+
+    def test_unknown_style_rejected(self):
+        circ = CircuitLevelAmplifier(noise_figure_db=0.0)
+        with pytest.raises(ValueError):
+            calibrate_amplifier(circ, style="matlab")
+
+    def test_fitted_model_has_noise_figure(self):
+        circ = CircuitLevelAmplifier(noise_figure_db=4.0)
+        report = calibrate_amplifier(circ, rng=np.random.default_rng(1))
+        assert report.fitted.noise_figure_db == pytest.approx(4.0, abs=0.6)
+
+
+class TestLibraryComparison:
+    def test_detects_known_mismatches(self):
+        diffs = compare_model_libraries(
+            spw_library_config(), spectre_library_config()
+        )
+        fields = {name for name, _, _ in diffs}
+        assert "lna_model" in fields
+        assert "lna_am_pm_deg" in fields
+
+    def test_identical_configs_no_diff(self):
+        cfg = spw_library_config()
+        assert compare_model_libraries(cfg, cfg) == []

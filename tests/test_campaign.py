@@ -1,0 +1,73 @@
+"""Tests for the verification campaign (repro.core.campaign)."""
+
+import pytest
+
+from repro.core.campaign import (
+    CampaignReport,
+    CheckResult,
+    VerificationCampaign,
+)
+from repro.rf.frontend import FrontendConfig
+
+
+class TestCampaignMechanics:
+    def test_depth_validated(self):
+        with pytest.raises(ValueError):
+            VerificationCampaign(depth="exhaustive")
+
+    def test_empty_report_not_passed(self):
+        assert not CampaignReport().passed
+
+    def test_report_verdict_logic(self):
+        good = CheckResult("a", True, "", 0.1)
+        bad = CheckResult("b", False, "", 0.1)
+        assert CampaignReport([good]).passed
+        assert not CampaignReport([good, bad]).passed
+
+    def test_table_renders(self):
+        report = CampaignReport(
+            [CheckResult("mask", True, "margin +1 dB", 0.5)]
+        )
+        table = report.as_table()
+        assert "mask" in table
+        assert "PASS" in table
+
+    def test_subset_selection(self):
+        campaign = VerificationCampaign(depth="quick")
+        report = campaign.run(only=["phy_loopback", "transmit_mask"])
+        names = [r.name for r in report.results]
+        assert len(names) == 2
+        assert report.passed
+
+
+class TestFullQuickCampaign:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return VerificationCampaign(depth="quick", seed=1).run()
+
+    def test_all_checks_executed(self, report):
+        assert len(report.results) == len(VerificationCampaign.CHECKS)
+
+    def test_nominal_design_signs_off(self, report):
+        failing = [r.name for r in report.results if not r.passed]
+        assert not failing, f"failing checks: {failing}"
+
+    def test_durations_recorded(self, report):
+        for r in report.results:
+            assert r.duration_s >= 0.0
+
+
+class TestCampaignCatchesBadDesign:
+    def test_broken_lna_fails_linearity_check(self):
+        campaign = VerificationCampaign(
+            frontend=FrontendConfig(lna_p1db_dbm=-50.0), depth="quick"
+        )
+        report = campaign.run(only=["linearity_waterfall"])
+        assert not report.passed
+
+    def test_deaf_frontend_fails_sensitivity(self):
+        campaign = VerificationCampaign(
+            frontend=FrontendConfig(lna_nf_db=25.0), depth="quick", seed=2
+        )
+        report = campaign.run(only=["sensitivity"])
+        assert not report.passed

@@ -1,0 +1,109 @@
+"""Tests for channel estimation and phase tracking (repro.dsp.channel_est)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.channel_est import (
+    equalize,
+    estimate_channel_ls,
+    estimate_noise_variance,
+    pilot_phase_correction,
+)
+from repro.dsp.ofdm import OfdmDemodulator, OfdmModulator, pilot_values
+from repro.dsp.params import N_FFT
+from repro.dsp.preamble import long_training_field, long_training_symbol_freq
+
+
+class TestChannelEstimation:
+    def test_flat_channel_unity(self):
+        h = estimate_channel_ls(long_training_field())
+        used = np.abs(long_training_symbol_freq()) > 0
+        assert np.allclose(h[used], 1.0, atol=1e-10)
+
+    def test_scalar_gain_recovered(self):
+        gain = 0.5 * np.exp(1j * 0.7)
+        h = estimate_channel_ls(gain * long_training_field())
+        used = np.abs(long_training_symbol_freq()) > 0
+        assert np.allclose(h[used], gain, atol=1e-10)
+
+    def test_multipath_frequency_response(self):
+        taps = np.array([0.9, 0.3 + 0.2j, -0.1j])
+        ltf = long_training_field()
+        received = np.convolve(ltf, taps)[: ltf.size]
+        h = estimate_channel_ls(received)
+        expected = np.fft.fft(taps, N_FFT)
+        used = np.abs(long_training_symbol_freq()) > 0
+        # The guard interval absorbs the transient; estimates track the
+        # true frequency response closely.
+        assert np.allclose(h[used], expected[used], atol=0.05)
+
+    def test_unused_bins_set_to_one(self):
+        h = estimate_channel_ls(long_training_field() * 2.0)
+        assert h[0] == 1.0  # DC bin untouched
+
+    def test_short_input_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_channel_ls(np.zeros(100, complex))
+
+
+class TestNoiseVariance:
+    def test_zero_for_clean_ltf(self):
+        assert estimate_noise_variance(long_training_field()) < 1e-20
+
+    def test_tracks_injected_noise(self):
+        rng = np.random.default_rng(0)
+        var = 0.01
+        ltf = long_training_field()
+        noisy = ltf + np.sqrt(var / 2) * (
+            rng.standard_normal(ltf.size) + 1j * rng.standard_normal(ltf.size)
+        )
+        est = estimate_noise_variance(noisy)
+        # Per-subcarrier variance: time-domain var maps by the OFDM scale
+        # (52/64 of power on used bins, scaled by TIME_SCALE^2/64...); just
+        # require the right order of magnitude and positivity.
+        assert 0.1 * var < est < 10 * var
+
+
+class TestEqualization:
+    def test_equalize_inverts_channel(self):
+        rng = np.random.default_rng(1)
+        h = rng.standard_normal(N_FFT) + 1j * rng.standard_normal(N_FFT)
+        h[np.abs(h) < 0.3] = 1.0
+        rows = rng.standard_normal((3, N_FFT)) + 1j * rng.standard_normal((3, N_FFT))
+        eq = equalize(rows * h[None, :], h)
+        assert np.allclose(eq, rows)
+
+
+class TestPilotPhaseCorrection:
+    def _data_symbol_rows(self, n_sym, phases, rng):
+        mod = OfdmModulator()
+        demod = OfdmDemodulator()
+        data = np.exp(1j * rng.uniform(0, 2 * np.pi, (n_sym, 48)))
+        stream = mod.modulate(data)
+        rows = demod.demodulate(stream)
+        rotated = rows * np.exp(1j * np.asarray(phases))[:, None]
+        return data, rotated
+
+    def test_removes_common_phase_error(self):
+        rng = np.random.default_rng(2)
+        phases = [0.3, -0.5, 1.1, 0.05]
+        data, rows = self._data_symbol_rows(4, phases, rng)
+        corrected = pilot_phase_correction(rows, first_symbol_index=0)
+        recovered = OfdmDemodulator().extract_data(corrected)
+        assert np.allclose(recovered, data, atol=1e-9)
+
+    def test_zero_phase_is_noop(self):
+        rng = np.random.default_rng(3)
+        data, rows = self._data_symbol_rows(2, [0.0, 0.0], rng)
+        corrected = pilot_phase_correction(rows, first_symbol_index=0)
+        assert np.allclose(corrected, rows, atol=1e-9)
+
+    def test_polarity_sequence_respected(self):
+        # Using the wrong first_symbol_index misreads pilot polarity and
+        # the correction can flip the constellation by pi for symbols
+        # where the polarities differ.
+        rng = np.random.default_rng(4)
+        data, rows = self._data_symbol_rows(5, [0.2] * 5, rng)
+        right = pilot_phase_correction(rows, first_symbol_index=0)
+        wrong = pilot_phase_correction(rows, first_symbol_index=3)
+        assert not np.allclose(right, wrong, atol=1e-6)

@@ -1,0 +1,121 @@
+"""Tests for channel-estimate smoothing, MMSE and CSI weighting."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.channel_est import (
+    equalize,
+    equalize_mmse,
+    estimate_channel_ls,
+    smooth_channel_estimate,
+)
+from repro.dsp.params import N_FFT
+from repro.dsp.preamble import long_training_field, long_training_symbol_freq
+from repro.dsp.receiver import Receiver, RxConfig
+from repro.dsp.transmitter import Transmitter, TxConfig, random_psdu
+
+
+class TestSmoothing:
+    def test_flat_channel_preserved(self):
+        h = estimate_channel_ls(long_training_field())
+        smoothed = smooth_channel_estimate(h, n_taps=16)
+        used = np.abs(long_training_symbol_freq()) > 0
+        assert np.allclose(smoothed[used], 1.0, atol=0.02)
+
+    def test_short_channel_preserved(self):
+        taps = np.array([0.8, 0.4 + 0.2j, 0.1])
+        ltf = long_training_field()
+        received = np.convolve(ltf, taps)[: ltf.size]
+        h = estimate_channel_ls(received)
+        smoothed = smooth_channel_estimate(h, n_taps=16)
+        used = np.abs(long_training_symbol_freq()) > 0
+        expected = np.fft.fft(taps, N_FFT)
+        assert np.allclose(smoothed[used], expected[used], atol=0.08)
+
+    def test_reduces_estimation_noise(self):
+        rng = np.random.default_rng(0)
+        taps = np.array([1.0, 0.3])
+        ltf = long_training_field()
+        received = np.convolve(ltf, taps)[: ltf.size]
+        received = received + 0.1 * (
+            rng.standard_normal(ltf.size) + 1j * rng.standard_normal(ltf.size)
+        )
+        h = estimate_channel_ls(received)
+        smoothed = smooth_channel_estimate(h, n_taps=8)
+        truth = np.fft.fft(taps, N_FFT)
+        used = np.abs(long_training_symbol_freq()) > 0
+        raw_err = np.mean(np.abs(h[used] - truth[used]) ** 2)
+        smooth_err = np.mean(np.abs(smoothed[used] - truth[used]) ** 2)
+        assert smooth_err < raw_err
+
+    def test_invalid_taps(self):
+        h = np.ones(N_FFT, complex)
+        with pytest.raises(ValueError):
+            smooth_channel_estimate(h, n_taps=0)
+        with pytest.raises(ValueError):
+            smooth_channel_estimate(h, n_taps=65)
+
+
+class TestMmseEqualizer:
+    def test_matches_zf_at_high_snr(self):
+        rng = np.random.default_rng(1)
+        h = 0.5 + rng.standard_normal(N_FFT) * 0.1 + 0j
+        rows = rng.standard_normal((2, N_FFT)) + 1j * rng.standard_normal((2, N_FFT))
+        faded = rows * h[None, :]
+        zf = equalize(faded, h)
+        mmse = equalize_mmse(faded, h, noise_var=1e-9)
+        assert np.allclose(zf, mmse, atol=1e-3)
+
+    def test_regularizes_weak_bins(self):
+        h = np.ones(N_FFT, complex)
+        h[5] = 1e-4  # a deep fade
+        rows = np.ones((1, N_FFT), complex) * h[None, :]
+        noise_var = 0.01
+        zf = equalize(rows, h)
+        mmse = equalize_mmse(rows, h, noise_var)
+        # ZF blasts the faded bin to 1 exactly (noise-free here), but with
+        # noise it would explode; the MMSE weight stays bounded.
+        weight_mmse = np.conj(h[5]) / (abs(h[5]) ** 2 + noise_var)
+        assert abs(weight_mmse) < 1.0 / abs(h[5])
+
+
+class TestCsiWeighting:
+    def _ber(self, rx_cfg, taps, seed=7, snr_db=14.0, n=6):
+        rng = np.random.default_rng(seed)
+        errors, bits = 0, 0
+        for _ in range(n):
+            psdu = random_psdu(60, rng)
+            wave = Transmitter(TxConfig(rate_mbps=24)).transmit(psdu)
+            samples = np.concatenate(
+                [np.zeros(150, complex), wave, np.zeros(80, complex)]
+            )
+            faded = np.convolve(samples, taps)[: samples.size]
+            p = np.mean(np.abs(faded) ** 2) * 10 ** (-snr_db / 10.0)
+            faded = faded + np.sqrt(p / 2) * (
+                rng.standard_normal(faded.size)
+                + 1j * rng.standard_normal(faded.size)
+            )
+            res = Receiver(rx_cfg).receive(faded)
+            bits += 480
+            if res.success and res.psdu.size == 60:
+                errors += int(np.unpackbits(res.psdu ^ psdu).sum())
+            else:
+                errors += 240
+        return errors / bits
+
+    def test_csi_helps_on_selective_channel(self):
+        # A two-ray channel with a deep in-band notch.
+        taps = np.array([1.0, 0.0, 0.0, 0.95])
+        with_csi = self._ber(RxConfig(csi_weighting=True), taps)
+        without = self._ber(RxConfig(csi_weighting=False), taps)
+        assert with_csi <= without
+
+    def test_flat_channel_unaffected(self):
+        taps = np.array([1.0])
+        with_csi = self._ber(RxConfig(csi_weighting=True), taps, snr_db=20.0)
+        without = self._ber(RxConfig(csi_weighting=False), taps, snr_db=20.0)
+        assert with_csi == without == 0.0
+
+    def test_unknown_equalizer_rejected(self):
+        with pytest.raises(ValueError):
+            RxConfig(equalizer="dfe")

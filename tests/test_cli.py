@@ -1,0 +1,72 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions
+            if isinstance(a, type(parser._subparsers._group_actions[0]))
+        )
+        commands = set(subparsers.choices)
+        assert commands == {
+            "quickstart", "fig5", "fig6", "table2", "sensitivity",
+            "flow", "netlist", "campaign",
+        }
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["quickstart"])
+        assert args.rate == 54
+        assert args.level == -60.0
+
+
+class TestCommands:
+    def test_quickstart_clean_link(self, capsys):
+        code = main(["quickstart", "--rate", "24", "--bytes", "60",
+                     "--level", "-55"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0/480 bit errors" in out
+
+    def test_quickstart_dead_link(self, capsys):
+        code = main(["quickstart", "--rate", "54", "--bytes", "60",
+                     "--level", "-99"])
+        assert code == 1
+
+    def test_netlist_emits_module(self, capsys):
+        code = main(["netlist"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "module double_conversion_receiver" in captured.out
+        assert "not supported in transient" in captured.err
+
+    def test_netlist_spectre_target_silent(self, capsys):
+        main(["netlist", "--target", "spectre"])
+        assert capsys.readouterr().err == ""
+
+    def test_table2_prints_slowdown(self, capsys):
+        code = main(["table2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "slowdown" in out
+
+    def test_sensitivity_single_rate(self, capsys):
+        code = main(["sensitivity", "--rates", "24", "--packets", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PASS" in out
+
+    def test_fig6_runs(self, capsys):
+        code = main(["fig6", "--packets", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "adjacent +16 dB" in out
+        assert "frontend.lna_p1db_dbm" in out

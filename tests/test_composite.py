@@ -1,0 +1,170 @@
+"""Tests for hierarchical composite blocks (repro.flow.dataflow)."""
+
+import numpy as np
+import pytest
+
+from repro.flow.dataflow import (
+    Block,
+    CompositeBlock,
+    DataflowEngine,
+    FunctionBlock,
+    Schematic,
+    SchematicError,
+)
+
+
+class ConstSource(Block):
+    inputs = ()
+    outputs = ("out",)
+
+    def __init__(self, values):
+        self.values = np.asarray(values, dtype=float)
+
+    def work(self, inputs, ctx):
+        return {"out": self.values}
+
+
+def _gain_chain(gain1, gain2):
+    """An inner schematic: in -> x*gain1 -> x+gain2 -> out."""
+    inner = Schematic("chain")
+    inner.add("g1", FunctionBlock(lambda x: x * gain1))
+    inner.add("g2", FunctionBlock(lambda x: x + gain2))
+    inner.connect("g1.out", "g2.in")
+    return CompositeBlock(
+        inner,
+        input_map={"in": "g1.in"},
+        output_map={"out": "g2.out"},
+    )
+
+
+class TestCompositeBlock:
+    def test_behaves_like_flat_pipeline(self):
+        sch = Schematic("outer")
+        sch.add("src", ConstSource(np.arange(8)))
+        sch.add("rf", _gain_chain(3.0, 1.0))
+        sch.connect("src.out", "rf.in")
+        result = DataflowEngine().run(sch)
+        assert np.allclose(result.outputs["rf.out"], 3 * np.arange(8) + 1)
+
+    def test_hierarchical_parameter_access(self):
+        composite = _gain_chain(2.0, 0.0)
+        # Reach inside: the FunctionBlock exposes 'func' etc.; use a block
+        # with a real parameter instead.
+        inner = Schematic("p")
+        inner.add("src_scale", ScaleLike(5.0))
+        composite2 = CompositeBlock(
+            inner,
+            input_map={"in": "src_scale.in"},
+            output_map={"out": "src_scale.out"},
+        )
+        assert composite2.get_param("src_scale.factor") == 5.0
+        composite2.set_param("src_scale.factor", 7.0)
+        assert composite2.get_param("src_scale.factor") == 7.0
+
+    def test_internally_driven_input_rejected(self):
+        inner = Schematic("bad")
+        inner.add("a", FunctionBlock(lambda x: x))
+        inner.add("b", FunctionBlock(lambda x: x))
+        inner.connect("a.out", "b.in")
+        with pytest.raises(SchematicError):
+            CompositeBlock(
+                inner,
+                input_map={"in": "b.in"},  # already driven by a
+                output_map={"out": "b.out"},
+            )
+
+    def test_unmapped_inner_input_detected_at_run(self):
+        inner = Schematic("dangling")
+        inner.add("a", FunctionBlock(lambda x: x))
+        composite = CompositeBlock(
+            inner, input_map={}, output_map={"out": "a.out"}
+        )
+        sch = Schematic("outer")
+        sch.add("rf", composite)
+        with pytest.raises(SchematicError):
+            DataflowEngine().run(sch)
+
+    def test_nested_composites(self):
+        # A composite inside a composite.
+        level1 = _gain_chain(2.0, 0.0)
+        inner = Schematic("wrap")
+        inner.add("stage", level1)
+        level2 = CompositeBlock(
+            inner,
+            input_map={"in": "stage.in"},
+            output_map={"out": "stage.out"},
+        )
+        sch = Schematic("outer")
+        sch.add("src", ConstSource(np.ones(4)))
+        sch.add("rf", level2)
+        sch.connect("src.out", "rf.in")
+        result = DataflowEngine().run(sch)
+        assert np.allclose(result.outputs["rf.out"], 2.0)
+
+    def test_multiple_outputs(self):
+        inner = Schematic("split")
+        inner.add("double", FunctionBlock(lambda x: 2 * x))
+        inner.add("negate", FunctionBlock(lambda x: -x))
+        # Both consume the same boundary input: allowed? Each inner input
+        # can only be mapped once; use a fan-out block instead.
+        inner.add("fan", FunctionBlock(lambda x: (x, x), outputs=("a", "b")))
+        inner.connect("fan.a", "double.in")
+        inner.connect("fan.b", "negate.in")
+        composite = CompositeBlock(
+            inner,
+            input_map={"in": "fan.in"},
+            output_map={"pos": "double.out", "neg": "negate.out"},
+        )
+        sch = Schematic("outer")
+        sch.add("src", ConstSource(np.arange(3)))
+        sch.add("rf", composite)
+        sch.connect("src.out", "rf.in")
+        result = DataflowEngine().run(sch)
+        assert np.allclose(result.outputs["rf.pos"], 2 * np.arange(3))
+        assert np.allclose(result.outputs["rf.neg"], -np.arange(3))
+
+
+class ScaleLike(Block):
+    inputs = ("in",)
+    outputs = ("out",)
+
+    def __init__(self, factor):
+        self.factor = factor
+
+    def work(self, inputs, ctx):
+        return {"out": inputs["in"] * self.factor}
+
+
+class TestHierarchicalRfModel:
+    def test_figure2_as_hierarchy(self):
+        """The paper's step 1: a hierarchical RF model inside the system."""
+        from repro.flow.blocks import RfFrontendBlock, ScaleBlock
+
+        inner = Schematic("rf_subsystem")
+        inner.add("level_in", ScaleBlock(target_dbm=-55.0))
+        inner.add("frontend", RfFrontendBlock())
+        inner.add("level_out", ScaleBlock(target_dbm=0.0))
+        inner.connect("level_in.out", "frontend.in")
+        inner.connect("frontend.out", "level_out.in")
+        composite = CompositeBlock(
+            inner,
+            input_map={"in": "level_in.in"},
+            output_map={"out": "level_out.out"},
+        )
+        # Hierarchical parameter addressing reaches the front end.
+        composite.set_param("frontend.lna_p1db_dbm", -20.0)
+        assert composite.get_param("frontend.lna_p1db_dbm") == -20.0
+
+        from repro.flow.blocks import ReceiverBlock, TransmitterBlock
+        from repro.flow.dataflow import SimulationContext
+
+        sch = Schematic("system")
+        sch.add("tx", TransmitterBlock(rate_mbps=24, psdu_bytes=30))
+        sch.add("rf", composite)
+        sch.add("rx", ReceiverBlock())
+        sch.connect("tx.out", "rf.in")
+        sch.connect("rf.out", "rx.in")
+        result = DataflowEngine(seed=3).run(sch)
+        tx_bits = result.outputs["tx.bits"]
+        rx_bits = result.outputs["rx.bits"]
+        assert np.array_equal(tx_bits, rx_bits)

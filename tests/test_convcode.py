@@ -1,0 +1,107 @@
+"""Tests for the convolutional encoder and puncturing (repro.dsp.convcode)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.convcode import (
+    ConvolutionalEncoder,
+    depuncture,
+    puncture,
+)
+
+
+class TestEncoder:
+    def test_output_length(self):
+        enc = ConvolutionalEncoder()
+        assert enc.encode(np.zeros(10, dtype=np.uint8)).size == 20
+
+    def test_zero_input_zero_output(self):
+        enc = ConvolutionalEncoder()
+        out = enc.encode(np.zeros(32, dtype=np.uint8))
+        assert not out.any()
+
+    def test_impulse_response_matches_generators(self):
+        # A single 1 followed by zeros emits the generator taps on each arm.
+        enc = ConvolutionalEncoder()
+        out = enc.encode(np.array([1, 0, 0, 0, 0, 0, 0], dtype=np.uint8))
+        a = out[0::2]
+        b = out[1::2]
+        # g0 = 133 oct = 1011011 (MSB = current bit).
+        assert a.tolist() == [1, 0, 1, 1, 0, 1, 1]
+        # g1 = 171 oct = 1111001.
+        assert b.tolist() == [1, 1, 1, 1, 0, 0, 1]
+
+    def test_linearity(self):
+        # Convolutional codes are linear: enc(x ^ y) == enc(x) ^ enc(y).
+        rng = np.random.default_rng(1)
+        enc = ConvolutionalEncoder()
+        x = rng.integers(0, 2, 100, dtype=np.uint8)
+        y = rng.integers(0, 2, 100, dtype=np.uint8)
+        assert np.array_equal(enc.encode(x ^ y), enc.encode(x) ^ enc.encode(y))
+
+    def test_known_annex_g_prefix(self):
+        # Rate-1/2 encoding of the standard's example SIGNAL bits must be a
+        # deterministic self-consistent prefix (regression guard).
+        enc = ConvolutionalEncoder()
+        bits = np.array([1, 0, 1, 1, 0, 0, 0], dtype=np.uint8)
+        out1 = enc.encode(bits)
+        out2 = enc.encode(bits)
+        assert np.array_equal(out1, out2)
+
+
+class TestPuncturing:
+    def test_rate_half_identity(self):
+        coded = np.arange(8) % 2
+        assert np.array_equal(puncture(coded, (1, 2)), coded)
+
+    def test_rate_23_length(self):
+        coded = np.zeros(24, dtype=np.uint8)
+        assert puncture(coded, (2, 3)).size == 18
+
+    def test_rate_34_length(self):
+        coded = np.zeros(24, dtype=np.uint8)
+        assert puncture(coded, (3, 4)).size == 16
+
+    def test_rate_34_pattern(self):
+        # Keep A0 B0 A1 B2 per period of 6 (A0 B0 A1 B1 A2 B2).
+        coded = np.arange(6)
+        assert puncture(coded, (3, 4)).tolist() == [0, 1, 2, 5]
+
+    def test_rate_23_pattern(self):
+        coded = np.arange(4)
+        assert puncture(coded, (2, 3)).tolist() == [0, 1, 2]
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            puncture(np.zeros(5), (3, 4))
+
+    def test_unknown_rate_rejected(self):
+        with pytest.raises(ValueError):
+            puncture(np.zeros(12), (5, 6))
+
+
+class TestDepuncture:
+    @pytest.mark.parametrize("rate", [(1, 2), (2, 3), (3, 4)])
+    def test_roundtrip_positions(self, rate):
+        rng = np.random.default_rng(2)
+        coded = rng.normal(size=48)
+        kept = puncture(coded, rate)
+        restored = depuncture(kept, rate, erasure=np.nan)
+        # All non-NaN positions must match the original stream.
+        mask = ~np.isnan(restored)
+        assert np.array_equal(restored[mask], coded[mask])
+        assert restored.size == coded.size
+
+    def test_erasure_value(self):
+        kept = puncture(np.ones(12), (3, 4))
+        restored = depuncture(kept, (3, 4), erasure=0.0)
+        # 4 erasures per 12 mother bits (2 per period of 6).
+        assert int((restored == 0).sum()) == 4
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            depuncture(np.zeros(5), (3, 4))
+
+    def test_depuncture_length_multiple_of_two(self):
+        restored = depuncture(np.zeros(16), (3, 4))
+        assert restored.size % 2 == 0

@@ -1,0 +1,148 @@
+"""Tests for the co-simulation engine (repro.flow.cosim)."""
+
+import numpy as np
+import pytest
+
+from repro.flow.cosim import (
+    CoSimConfig,
+    CoSimulation,
+    InterpretedFrontend,
+    cascade_noise_figure_db,
+)
+from repro.rf.frontend import FrontendConfig, ideal_frontend_config
+from repro.rf.signal import Signal, dbm_to_watts
+
+
+class TestCascadeNf:
+    def test_friis_dominated_by_first_stage(self):
+        cfg = FrontendConfig(lna_nf_db=3.0, lna_gain_db=16.0)
+        total = cascade_noise_figure_db(cfg)
+        assert 3.0 < total < 5.0
+
+    def test_zero_everything(self):
+        cfg = FrontendConfig(lna_nf_db=0.0, mixer1_nf_db=0.0, mixer2_nf_db=0.0)
+        assert cascade_noise_figure_db(cfg) == pytest.approx(0.0)
+
+
+class TestInterpretedFrontend:
+    def test_matches_vectorized_frontend_on_tone(self):
+        # The interpreted (AMS-side) evaluation must track the vectorized
+        # behavioral model closely for a noiseless in-band tone.
+        from repro.rf.frontend import DoubleConversionReceiver
+
+        cfg = ideal_frontend_config(adc_bits=10)
+        n = 8192
+        t = np.arange(n) / 80e6
+        tone = np.sqrt(dbm_to_watts(-50.0)) * np.exp(2j * np.pi * 1e6 * t)
+        rng = np.random.default_rng(0)
+        vec = DoubleConversionReceiver(cfg).process(
+            Signal(tone, 80e6, 5.2e9), rng
+        )
+        interp = InterpretedFrontend(cfg, noise_enabled=False, substeps=2)
+        out = interp.run(tone, rng)
+        # Compare steady-state powers (different AGC dynamics at the very
+        # start are expected).
+        p_vec = np.mean(np.abs(vec.samples[512:]) ** 2)
+        p_int = np.mean(np.abs(out[512:]) ** 2)
+        assert 10 * np.log10(p_int / p_vec) == pytest.approx(0.0, abs=1.5)
+
+    def test_output_rate_decimated(self):
+        cfg = ideal_frontend_config()
+        interp = InterpretedFrontend(cfg, substeps=1)
+        out = interp.run(np.zeros(400, complex), np.random.default_rng(0))
+        assert out.size == 100
+
+    def test_substeps_validation(self):
+        with pytest.raises(ValueError):
+            InterpretedFrontend(FrontendConfig(), substeps=0)
+
+    def test_noise_enabled_changes_output(self):
+        cfg = FrontendConfig()
+        silent = np.zeros(2000, complex)
+        quiet = InterpretedFrontend(cfg, noise_enabled=False, substeps=1).run(
+            silent, np.random.default_rng(1)
+        )
+        noisy = InterpretedFrontend(cfg, noise_enabled=True, substeps=1).run(
+            silent, np.random.default_rng(1)
+        )
+        assert np.mean(np.abs(noisy) ** 2) > np.mean(np.abs(quiet) ** 2)
+
+
+class TestCoSimulation:
+    @pytest.fixture(scope="class")
+    def cosim(self):
+        return CoSimulation(
+            FrontendConfig(),
+            CoSimConfig(
+                rate_mbps=24,
+                psdu_bytes=40,
+                input_level_dbm=-55.0,
+                analog_substeps=2,
+            ),
+        )
+
+    def test_system_run_decodes(self, cosim):
+        report = cosim.run_system_only(2, seed=0)
+        assert report.mode == "system"
+        assert report.ber == 0.0
+        assert report.packets_lost == 0
+
+    def test_cosim_run_decodes(self, cosim):
+        report = cosim.run_cosim(2, seed=0)
+        assert report.mode == "cosim"
+        assert report.ber == 0.0
+        assert not report.rf_noise_active  # AMS limitation by default
+        assert report.warnings  # the compiler warning is surfaced
+
+    def test_cosim_slower_than_system(self, cosim):
+        rows = cosim.compare(packet_counts=(1,), seed=1)
+        assert rows[0]["slowdown"] > 2.0
+
+    def test_noise_gap_ber_ordering(self):
+        # Near sensitivity the noiseless co-sim must be optimistic.
+        config = CoSimConfig(
+            rate_mbps=24,
+            psdu_bytes=40,
+            input_level_dbm=-92.0,
+            analog_substeps=1,
+        )
+        cs = CoSimulation(FrontendConfig(), config)
+        system = cs.run_system_only(4, seed=3)
+        cosim = cs.run_cosim(4, seed=3)
+        assert cosim.ber <= system.ber
+        assert system.ber > 0.0
+
+    def test_random_functions_workaround_restores_noise(self):
+        config = CoSimConfig(
+            rate_mbps=24,
+            psdu_bytes=30,
+            input_level_dbm=-60.0,
+            noise_workaround="random_functions",
+            analog_substeps=1,
+        )
+        cs = CoSimulation(FrontendConfig(), config)
+        report = cs.run_cosim(1, seed=4)
+        assert report.rf_noise_active
+
+    def test_system_side_workaround_adds_stimulus_noise(self):
+        config = CoSimConfig(
+            rate_mbps=24,
+            psdu_bytes=30,
+            input_level_dbm=-60.0,
+            noise_workaround="system_side",
+            analog_substeps=1,
+        )
+        cs = CoSimulation(FrontendConfig(), config)
+        rng = np.random.default_rng(5)
+        sig, _ = cs._stimulus(rng)
+        config_none = CoSimConfig(
+            rate_mbps=24, psdu_bytes=30, input_level_dbm=-60.0,
+            analog_substeps=1,
+        )
+        cs2 = CoSimulation(FrontendConfig(), config_none)
+        sig2, _ = cs2._stimulus(np.random.default_rng(5))
+        assert sig.power_watts() > sig2.power_watts()
+
+    def test_unknown_workaround_rejected(self):
+        with pytest.raises(ValueError):
+            CoSimConfig(noise_workaround="prayer")

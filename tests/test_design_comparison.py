@@ -1,0 +1,56 @@
+"""Tests for the A/B design comparison (repro.core.verification)."""
+
+import pytest
+
+from repro.core.verification import DesignComparison, compare_designs
+from repro.rf.frontend import FrontendConfig, ideal_frontend_config
+
+
+class TestDesignComparison:
+    def test_winner_by_total_ber(self):
+        comparison = DesignComparison(
+            "good", "bad", [(-60.0, 0.0, 0.1), (-80.0, 0.01, 0.3)]
+        )
+        assert comparison.winner == "good"
+
+    def test_tie(self):
+        comparison = DesignComparison("a", "b", [(-60.0, 0.1, 0.1)])
+        assert comparison.winner == "tie"
+
+    def test_table_renders(self):
+        comparison = DesignComparison("a", "b", [(-60.0, 0.0, 0.5)])
+        table = comparison.as_table()
+        assert "a" in table and "b" in table and "-60" in table
+
+    def test_compare_real_designs(self):
+        """An impaired LNA loses to the nominal design near sensitivity."""
+        nominal = FrontendConfig()
+        degraded = FrontendConfig(lna_nf_db=12.0)
+        result = compare_designs(
+            nominal,
+            degraded,
+            labels=("nominal", "noisy LNA"),
+            levels_dbm=(-60.0, -88.0),
+            n_packets=3,
+            seed=2,
+        )
+        assert result.winner in ("nominal", "tie")
+        # At the comfortable level both are clean.
+        assert result.rows[0][1] == 0.0
+        # Near sensitivity the 12 dB LNA must be the worse one.
+        assert result.rows[1][2] >= result.rows[1][1]
+
+    def test_mixed_architectures(self):
+        """Double-conversion and zero-IF configs can be compared directly."""
+        from repro.rf.zeroif import ZeroIfConfig
+
+        result = compare_designs(
+            FrontendConfig(),
+            ZeroIfConfig(),
+            labels=("double", "zero-IF"),
+            levels_dbm=(-55.0,),
+            n_packets=2,
+            seed=3,
+        )
+        assert result.rows[0][1] == 0.0
+        assert result.rows[0][2] == 0.0

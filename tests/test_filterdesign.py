@@ -1,0 +1,72 @@
+"""Tests for the filter design program (repro.flow.filterdesign)."""
+
+import numpy as np
+import pytest
+
+from repro.flow.filterdesign import (
+    FilterDesignReport,
+    FilterSpec,
+    design_channel_filter,
+)
+from repro.rf.signal import Signal
+
+
+class TestSpecValidation:
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            FilterSpec(passband_edge_hz=10e6, stopband_edge_hz=5e6)
+
+    def test_nyquist_enforced(self):
+        with pytest.raises(ValueError):
+            FilterSpec(passband_edge_hz=8e6, stopband_edge_hz=50e6,
+                       sample_rate=80e6)
+
+    def test_positive_requirements(self):
+        with pytest.raises(ValueError):
+            FilterSpec(8e6, 12e6, passband_ripple_db=0.0)
+
+
+class TestDesign:
+    def test_channel_filter_spec_met(self):
+        # The figure-5 use case: pass the 8.3 MHz half-band, kill the
+        # adjacent channel region by 45 dB before it can alias.
+        spec = FilterSpec(
+            passband_edge_hz=8.6e6,
+            stopband_edge_hz=11.5e6,
+            passband_ripple_db=0.5,
+            stopband_atten_db=45.0,
+        )
+        report = design_channel_filter(spec)
+        assert report.meets_spec, report
+        assert report.order >= 5
+
+    def test_tighter_spec_needs_higher_order(self):
+        relaxed = design_channel_filter(
+            FilterSpec(8e6, 16e6, stopband_atten_db=30.0)
+        )
+        tight = design_channel_filter(
+            FilterSpec(8e6, 10e6, stopband_atten_db=60.0)
+        )
+        assert tight.order > relaxed.order
+
+    def test_designed_filter_runs(self):
+        report = design_channel_filter(FilterSpec(8e6, 12e6))
+        rng = np.random.default_rng(0)
+        sig = Signal(
+            rng.standard_normal(4096) + 1j * rng.standard_normal(4096), 80e6
+        )
+        out = report.filter.process(sig)
+        assert out.samples.size == 4096
+        # Broadband noise loses the stopband share of its power.
+        assert out.power_watts() < sig.power_watts()
+
+    def test_measured_attenuation_reported(self):
+        report = design_channel_filter(
+            FilterSpec(8e6, 12e6, stopband_atten_db=40.0)
+        )
+        assert report.measured_stopband_atten_db >= 39.5
+        assert report.measured_passband_ripple_db <= 0.6
+
+    def test_description_carries_spec(self):
+        report = design_channel_filter(FilterSpec(7e6, 11e6))
+        assert "designed for" in report.filter.description

@@ -1,0 +1,106 @@
+"""Tests for analog filter models (repro.rf.filters)."""
+
+import numpy as np
+import pytest
+
+from repro.rf.filters import (
+    BandwidthLimitError,
+    butterworth_highpass,
+    chebyshev_bandpass,
+    chebyshev_lowpass,
+    wideband_bandpass,
+)
+from repro.rf.signal import Signal
+
+
+def _tone(f, fs=80e6, n=16384):
+    t = np.arange(n) / fs
+    return Signal(np.exp(2j * np.pi * f * t), fs)
+
+
+def _gain_db(filt, f, fs=80e6):
+    out = filt.process(_tone(f, fs))
+    settled = out.samples[4096:]
+    return 10 * np.log10(np.mean(np.abs(settled) ** 2))
+
+
+class TestChebyshevLowpass:
+    def test_passband_nearly_flat(self):
+        filt = chebyshev_lowpass(8.6e6, 80e6, order=7, ripple_db=0.5)
+        assert _gain_db(filt, 1e6) == pytest.approx(0.0, abs=0.6)
+        assert _gain_db(filt, 7e6) == pytest.approx(0.0, abs=0.6)
+
+    def test_stopband_attenuates(self):
+        filt = chebyshev_lowpass(8.6e6, 80e6, order=7)
+        assert _gain_db(filt, 20e6) < -60.0
+
+    def test_edge_has_ripple_level(self):
+        filt = chebyshev_lowpass(10e6, 80e6, order=5, ripple_db=1.0)
+        g = _gain_db(filt, 9.9e6)
+        assert -2.0 < g < 0.5
+
+    def test_negative_frequencies_symmetric(self):
+        # Real-coefficient filter: same response at +/-f on the envelope.
+        filt = chebyshev_lowpass(8e6, 80e6)
+        assert _gain_db(filt, 5e6) == pytest.approx(_gain_db(filt, -5e6), abs=0.1)
+
+    @pytest.mark.parametrize("edge", [0.0, -1e6, 40e6, 50e6])
+    def test_invalid_edges(self, edge):
+        with pytest.raises(ValueError):
+            chebyshev_lowpass(edge, 80e6)
+
+    def test_frequency_response_helper(self):
+        filt = chebyshev_lowpass(8e6, 80e6)
+        freqs, h = filt.frequency_response(80e6, n_points=512)
+        assert freqs.size == h.size == 512
+        mid = np.argmin(np.abs(freqs))
+        assert abs(h[mid]) == pytest.approx(1.0, abs=0.12)
+
+    def test_group_delay_positive(self):
+        filt = chebyshev_lowpass(8e6, 80e6, order=7)
+        gd = filt.group_delay_samples(1e6, 80e6)
+        assert gd > 0
+
+
+class TestHighpass:
+    def test_blocks_dc(self):
+        filt = butterworth_highpass(120e3, 80e6, order=2)
+        dc = Signal(np.ones(32768, complex), 80e6)
+        out = filt.process(dc)
+        assert np.mean(np.abs(out.samples[16384:]) ** 2) < 1e-5
+
+    def test_passes_band(self):
+        filt = butterworth_highpass(120e3, 80e6, order=2)
+        assert _gain_db(filt, 5e6) == pytest.approx(0.0, abs=0.1)
+
+    def test_invalid_cutoff(self):
+        with pytest.raises(ValueError):
+            butterworth_highpass(0.0, 80e6)
+
+
+class TestBandpassRestriction:
+    def test_narrow_bandpass_ok(self):
+        filt = chebyshev_bandpass(10e6, 4e6, 80e6)
+        assert _gain_db(filt, 10e6) == pytest.approx(0.0, abs=1.0)
+        assert _gain_db(filt, 2e6) < -25.0
+
+    def test_wideband_request_rejected(self):
+        # The Spectre rflib limitation: bandwidth > 0.5 * center.
+        with pytest.raises(BandwidthLimitError):
+            chebyshev_bandpass(10e6, 6e6, 80e6)
+
+    def test_workaround_composite(self):
+        # The paper's workaround: high-pass + low-pass composition.
+        filt = wideband_bandpass(1e6, 12e6, 80e6)
+        assert _gain_db(filt, 6e6) == pytest.approx(0.0, abs=1.0)
+        assert _gain_db(filt, 0.1e6) < -10.0
+        assert _gain_db(filt, 30e6) < -20.0
+
+    def test_workaround_bad_edges(self):
+        with pytest.raises(ValueError):
+            wideband_bandpass(5e6, 2e6, 80e6)
+
+    def test_descriptions(self):
+        assert "lowpass" in chebyshev_lowpass(8e6, 80e6).description
+        assert "highpass" in butterworth_highpass(1e5, 80e6).description
+        assert "composite" in wideband_bandpass(1e6, 9e6, 80e6).description

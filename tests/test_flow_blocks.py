@@ -1,0 +1,167 @@
+"""Tests for the dataflow block library and figure-3 schematic."""
+
+import numpy as np
+import pytest
+
+from repro.flow.blocks import (
+    AdderBlock,
+    AdjacentChannelBlock,
+    AwgnChannelBlock,
+    BerMeterBlock,
+    ReceiverBlock,
+    ScaleBlock,
+    TransmitterBlock,
+    RfFrontendBlock,
+    build_figure3_schematic,
+)
+from repro.flow.dataflow import DataflowEngine, Schematic, SimulationContext
+from repro.rf.frontend import FrontendConfig
+
+
+def _ctx(seed=0):
+    return SimulationContext(
+        rng=np.random.default_rng(seed), sample_rate=80e6
+    )
+
+
+class TestBasicBlocks:
+    def test_transmitter_outputs(self):
+        tx = TransmitterBlock(rate_mbps=24, psdu_bytes=40, oversample=2)
+        out = tx.work({}, _ctx())
+        assert out["bits"].size == 320
+        assert out["out"].size > 2 * (320 + 80)
+        assert not out["out"][:100].any()  # leading guard
+
+    def test_scale_gain(self):
+        blk = ScaleBlock(gain_db=20.0)
+        out = blk.work({"in": np.ones(4, complex)}, _ctx())
+        assert np.allclose(np.abs(out["out"]), 10.0)
+
+    def test_scale_to_target(self):
+        blk = ScaleBlock(target_dbm=-30.0)
+        x = 7.0 * np.ones(100, complex)
+        out = blk.work({"in": x}, _ctx())
+        power_dbm = 10 * np.log10(np.mean(np.abs(out["out"]) ** 2) / 1e-3)
+        assert power_dbm == pytest.approx(-30.0, abs=1e-6)
+
+    def test_adder_pads(self):
+        blk = AdderBlock()
+        out = blk.work(
+            {"a": np.ones(3, complex), "b": np.ones(5, complex)}, _ctx()
+        )
+        assert out["out"].size == 5
+        assert np.allclose(out["out"][:3], 2.0)
+
+    def test_adjacent_disabled_noop(self):
+        blk = AdjacentChannelBlock(enabled=False)
+        x = np.ones(100, complex)
+        out = blk.work({"in": x}, _ctx())
+        assert np.allclose(out["out"], x)
+
+    def test_adjacent_adds_interferer(self):
+        blk = AdjacentChannelBlock(enabled=True, oversample=4)
+        x = 1e-4 * np.ones(12000, complex)
+        out = blk.work({"in": x}, _ctx(1))
+        assert np.mean(np.abs(out["out"]) ** 2) > 3 * np.mean(np.abs(x) ** 2)
+
+    def test_awgn_block_snr(self):
+        blk = AwgnChannelBlock(snr_db=20.0, oversample=1)
+        x = np.ones(50000, complex)
+        out = blk.work({"in": x}, _ctx(2))
+        err = out["out"] - x
+        snr = 10 * np.log10(1.0 / np.mean(np.abs(err) ** 2))
+        assert snr == pytest.approx(20.0, abs=0.3)
+
+
+class TestFrontendAndReceiverBlocks:
+    def test_frontend_param_addressing(self):
+        blk = RfFrontendBlock(FrontendConfig())
+        blk.set_param("lna_p1db_dbm", -25.0)
+        assert blk.get_param("lna_p1db_dbm") == -25.0
+        assert blk.config.lna_p1db_dbm == -25.0
+
+    def test_frontend_unknown_param(self):
+        blk = RfFrontendBlock(FrontendConfig())
+        with pytest.raises(AttributeError):
+            blk.set_param("bogus_param", 1.0)
+
+    def test_receiver_decodes_clean_packet(self):
+        tx = TransmitterBlock(rate_mbps=12, psdu_bytes=30, oversample=1)
+        ctx = _ctx(3)
+        tx_out = tx.work({}, ctx)
+        rx = ReceiverBlock()
+        rx_out = rx.work({"in": tx_out["out"]}, ctx)
+        assert np.array_equal(rx_out["bits"], tx_out["bits"])
+
+    def test_receiver_fails_on_noise(self):
+        rx = ReceiverBlock()
+        ctx = _ctx(4)
+        noise = ctx.rng.standard_normal(3000) + 1j * ctx.rng.standard_normal(3000)
+        out = rx.work({"in": noise}, ctx)
+        assert out["bits"].size == 0
+
+
+class TestBerMeter:
+    def test_counts_errors(self):
+        meter = BerMeterBlock()
+        ref = np.array([0, 1, 0, 1], dtype=np.uint8)
+        rx = np.array([0, 1, 1, 1], dtype=np.uint8)
+        out = meter.work({"ref": ref, "rx": rx}, _ctx())
+        assert out["ber"][0] == pytest.approx(0.25)
+
+    def test_lost_packet_counts_half(self):
+        meter = BerMeterBlock()
+        ref = np.zeros(100, dtype=np.uint8)
+        out = meter.work({"ref": ref, "rx": np.zeros(0, np.uint8)}, _ctx())
+        assert out["ber"][0] == pytest.approx(0.5)
+        assert meter.packets_lost == 1
+
+    def test_accumulates_across_runs(self):
+        meter = BerMeterBlock()
+        ref = np.zeros(10, dtype=np.uint8)
+        meter.work({"ref": ref, "rx": ref}, _ctx())
+        bad = ref.copy()
+        bad[0] = 1
+        out = meter.work({"ref": ref, "rx": bad}, _ctx())
+        assert meter.packets == 2
+        assert out["ber"][0] == pytest.approx(0.05)
+
+    def test_engine_reset_preserves_counts(self):
+        meter = BerMeterBlock()
+        ref = np.zeros(10, dtype=np.uint8)
+        meter.work({"ref": ref, "rx": ref}, _ctx())
+        meter.reset()  # engine calls this each run
+        assert meter.packets == 1
+        meter.reset_counts()
+        assert meter.packets == 0
+
+
+class TestFigure3Schematic:
+    def test_clean_decode_through_rf(self):
+        sch, meter = build_figure3_schematic(
+            rate_mbps=24, psdu_bytes=40, input_level_dbm=-55.0
+        )
+        engine = DataflowEngine(mode="compiled", seed=11)
+        engine.run(sch)
+        assert meter.packets == 1
+        assert meter.bit_errors == 0
+
+    def test_multi_run_accumulation(self):
+        sch, meter = build_figure3_schematic(
+            rate_mbps=24, psdu_bytes=30, input_level_dbm=-55.0
+        )
+        for seed in range(3):
+            DataflowEngine(mode="compiled", seed=seed).run(sch)
+        assert meter.packets == 3
+
+    def test_sweepable_parameters(self):
+        sch, _ = build_figure3_schematic()
+        sch.set_block_param("rf_frontend.lna_p1db_dbm", -33.0)
+        assert sch.block_param("rf_frontend.lna_p1db_dbm") == -33.0
+
+    def test_probing_rf_ports(self):
+        sch, meter = build_figure3_schematic(psdu_bytes=20)
+        sch.probe("rf_frontend.out")
+        result = DataflowEngine(seed=1).run(sch)
+        assert "rf_frontend.out" in result.probes
+        assert result.probes["rf_frontend.out"].size > 0

@@ -1,0 +1,100 @@
+"""Tests for baseband impairment operators (repro.dsp.impairments)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.impairments import (
+    apply_dc_offset,
+    apply_frequency_offset,
+    apply_iq_imbalance,
+    apply_sample_clock_offset,
+    image_rejection_from_imbalance,
+)
+from repro.dsp.receiver import Receiver, RxConfig
+from repro.dsp.transmitter import Transmitter, TxConfig, random_psdu
+
+
+class TestFrequencyOffset:
+    def test_rotation_rate(self):
+        x = np.ones(2000, complex)
+        y = apply_frequency_offset(x, 10e3)
+        phase = np.unwrap(np.angle(y))
+        slope = (phase[-1] - phase[0]) / ((x.size - 1) / 20e6)
+        assert slope / (2 * np.pi) == pytest.approx(10e3, rel=1e-6)
+
+    def test_invertible(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(100) + 1j * rng.standard_normal(100)
+        y = apply_frequency_offset(apply_frequency_offset(x, 37e3), -37e3)
+        assert np.allclose(x, y)
+
+
+class TestSampleClockOffset:
+    def test_zero_ppm_identity(self):
+        x = np.arange(50, dtype=complex)
+        assert np.array_equal(apply_sample_clock_offset(x, 0.0), x)
+
+    def test_length_scales_with_ppm(self):
+        x = np.zeros(1_000_000, complex)
+        y = apply_sample_clock_offset(x, 100.0)
+        # 100 ppm fast clock -> ~100 fewer samples per million.
+        assert abs((x.size - y.size) - 100) <= 2
+
+    def test_tone_frequency_shifts(self):
+        fs = 20e6
+        n = 1 << 16
+        t = np.arange(n) / fs
+        tone = np.exp(2j * np.pi * 5e6 * t)
+        y = apply_sample_clock_offset(tone, 200.0)
+        spec = np.abs(np.fft.fft(y[: n // 2]))
+        freqs = np.fft.fftfreq(n // 2, 1 / fs)
+        peak = freqs[np.argmax(spec)]
+        # 200 ppm on a 5 MHz tone: ~1 kHz apparent shift.
+        assert peak == pytest.approx(5e6 * (1 + 200e-6), abs=2 * fs / n)
+
+    def test_receiver_tolerates_standard_sco(self):
+        # +/-20 ppm clock error (802.11a spec) on a full packet.
+        rng = np.random.default_rng(1)
+        psdu = random_psdu(100, rng)
+        wave = Transmitter(TxConfig(rate_mbps=24)).transmit(psdu)
+        stretched = apply_sample_clock_offset(
+            np.concatenate([np.zeros(150, complex), wave,
+                            np.zeros(100, complex)]),
+            20.0,
+        )
+        noise = 10 ** (-28 / 20) / np.sqrt(2)
+        stretched = stretched + noise * (
+            rng.standard_normal(stretched.size)
+            + 1j * rng.standard_normal(stretched.size)
+        )
+        result = Receiver(RxConfig()).receive(stretched)
+        assert result.success
+        assert np.array_equal(result.psdu, psdu)
+
+
+class TestIqImbalance:
+    def test_no_imbalance_identity(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+        assert np.allclose(apply_iq_imbalance(x, 0.0, 0.0), x)
+
+    def test_creates_image(self):
+        fs, n = 20e6, 4096
+        t = np.arange(n) / fs
+        tone = np.exp(2j * np.pi * 3e6 * t)
+        y = apply_iq_imbalance(tone, 1.0, 5.0)
+        wanted = abs(np.dot(y, np.exp(-2j * np.pi * 3e6 * t)) / n)
+        image = abs(np.dot(y, np.exp(+2j * np.pi * 3e6 * t)) / n)
+        measured_irr = 20 * np.log10(wanted / image)
+        predicted = image_rejection_from_imbalance(1.0, 5.0)
+        assert measured_irr == pytest.approx(predicted, abs=0.5)
+
+    def test_perfect_irr_infinite(self):
+        assert image_rejection_from_imbalance(0.0, 0.0) == np.inf
+
+
+class TestDcOffset:
+    def test_offset_added(self):
+        x = np.zeros(10, complex)
+        y = apply_dc_offset(x, 0.5 + 0.25j)
+        assert np.allclose(y, 0.5 + 0.25j)

@@ -1,0 +1,90 @@
+"""Tests for the block interleaver (repro.dsp.interleaver)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.interleaver import deinterleave, interleave
+from repro.dsp.params import RATES
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("mbps", sorted(RATES))
+    def test_roundtrip_all_rates(self, mbps):
+        r = RATES[mbps]
+        rng = np.random.default_rng(mbps)
+        bits = rng.integers(0, 2, 3 * r.n_cbps, dtype=np.uint8)
+        out = deinterleave(interleave(bits, r.n_cbps, r.n_bpsc), r.n_cbps, r.n_bpsc)
+        assert np.array_equal(out, bits)
+
+    def test_roundtrip_soft_values(self):
+        r = RATES[54]
+        rng = np.random.default_rng(0)
+        llr = rng.normal(size=r.n_cbps)
+        out = deinterleave(interleave(llr, r.n_cbps, r.n_bpsc), r.n_cbps, r.n_bpsc)
+        assert np.allclose(out, llr)
+
+
+class TestPermutationProperties:
+    def test_is_a_permutation(self):
+        for mbps in RATES:
+            r = RATES[mbps]
+            idx = interleave(np.arange(r.n_cbps), r.n_cbps, r.n_bpsc)
+            assert sorted(idx.tolist()) == list(range(r.n_cbps))
+
+    def test_adjacent_coded_bits_spread(self):
+        # First permutation: adjacent coded bits map onto nonadjacent
+        # subcarriers (separation N_CBPS/16 positions).
+        r = RATES[24]
+        positions = np.empty(r.n_cbps, dtype=int)
+        out = interleave(np.arange(r.n_cbps), r.n_cbps, r.n_bpsc)
+        for k in range(r.n_cbps):
+            positions[out[k]] = k  # positions[j] = source index at slot j
+        # Where did coded bits k and k+1 land?
+        land = np.empty(r.n_cbps, dtype=int)
+        land[out] = np.arange(r.n_cbps)
+        # Interpretation: interleaved[perm[k]] = coded[k]; land of coded
+        # bit k is perm[k].
+        perm = np.empty(r.n_cbps, dtype=int)
+        src = interleave(np.arange(r.n_cbps), r.n_cbps, r.n_bpsc)
+        # src[j] = original index stored at j  => perm[src[j]] = j
+        perm[src] = np.arange(r.n_cbps)
+        subcarrier = perm // r.n_bpsc
+        gaps = np.abs(np.diff(subcarrier[: r.n_cbps // 2]))
+        assert gaps.min() >= 2  # never the same or neighbouring subcarrier
+
+    def test_signal_field_permutation_known_values(self):
+        # For N_CBPS=48, N_BPSC=1: i = 3*(k mod 16) + k//16, j = i.
+        perm = np.empty(48, dtype=int)
+        src = interleave(np.arange(48), 48, 1)
+        perm[src] = np.arange(48)
+        k = np.arange(48)
+        expected = 3 * (k % 16) + k // 16
+        assert np.array_equal(perm, expected)
+
+
+class TestValidation:
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            interleave(np.zeros(50), 48, 1)
+        with pytest.raises(ValueError):
+            deinterleave(np.zeros(50), 48, 1)
+
+    def test_bad_ncbps(self):
+        with pytest.raises(ValueError):
+            interleave(np.zeros(50), 50, 1)
+
+    def test_bad_nbpsc(self):
+        with pytest.raises(ValueError):
+            interleave(np.zeros(48), 48, 3)
+
+    def test_multi_symbol_independence(self):
+        # Interleaving two symbols equals interleaving each separately.
+        r = RATES[12]
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 2, r.n_cbps, dtype=np.uint8)
+        b = rng.integers(0, 2, r.n_cbps, dtype=np.uint8)
+        both = interleave(np.concatenate([a, b]), r.n_cbps, r.n_bpsc)
+        sep = np.concatenate(
+            [interleave(a, r.n_cbps, r.n_bpsc), interleave(b, r.n_cbps, r.n_bpsc)]
+        )
+        assert np.array_equal(both, sep)

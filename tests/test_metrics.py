@@ -1,0 +1,127 @@
+"""Tests for BER/EVM metrics (repro.core.metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    BerCounter,
+    error_vector_magnitude,
+    evm_to_snr_db,
+    snr_to_evm_percent,
+)
+
+
+class TestBerCounter:
+    def test_clean_packets(self):
+        c = BerCounter()
+        bits = np.zeros(100, dtype=np.uint8)
+        c.add_packet(bits, bits)
+        r = c.result()
+        assert r.ber == 0.0
+        assert r.per == 0.0
+        assert r.packets == 1
+
+    def test_bit_errors_counted(self):
+        c = BerCounter()
+        ref = np.zeros(100, dtype=np.uint8)
+        rx = ref.copy()
+        rx[:10] = 1
+        c.add_packet(ref, rx)
+        r = c.result()
+        assert r.ber == pytest.approx(0.1)
+        assert r.per == 1.0
+
+    def test_lost_packet_is_half(self):
+        c = BerCounter()
+        ref = np.zeros(200, dtype=np.uint8)
+        c.add_packet(ref, None)
+        r = c.result()
+        assert r.ber == pytest.approx(0.5)
+        assert r.packets_lost == 1
+
+    def test_wrong_size_counts_as_lost(self):
+        c = BerCounter()
+        c.add_packet(np.zeros(100, np.uint8), np.zeros(50, np.uint8))
+        assert c.packets_lost == 1
+
+    def test_mixed_accumulation(self):
+        c = BerCounter()
+        ref = np.zeros(100, dtype=np.uint8)
+        c.add_packet(ref, ref)
+        c.add_packet(ref, None)
+        r = c.result()
+        assert r.ber == pytest.approx(0.25)
+        assert r.per == pytest.approx(0.5)
+
+    def test_confidence_interval_shrinks(self):
+        wide = BerCounter()
+        narrow = BerCounter()
+        ref100 = np.zeros(100, dtype=np.uint8)
+        rx100 = ref100.copy()
+        rx100[:10] = 1
+        wide.add_packet(ref100, rx100)
+        for _ in range(100):
+            narrow.add_packet(ref100, rx100)
+        w = wide.result()
+        n = narrow.result()
+        assert (n.ci95[1] - n.ci95[0]) < (w.ci95[1] - w.ci95[0])
+
+    def test_ci_bounded(self):
+        c = BerCounter()
+        c.add_packet(np.zeros(4, np.uint8), np.ones(4, np.uint8))
+        r = c.result()
+        assert 0.0 <= r.ci95[0] <= r.ber <= r.ci95[1] <= 1.0
+
+    def test_empty_counter(self):
+        r = BerCounter().result()
+        assert r.ber == 0.0
+        assert r.packets == 0
+
+
+class TestEvm:
+    def test_zero_for_perfect(self):
+        rng = np.random.default_rng(0)
+        ref = rng.standard_normal(100) + 1j * rng.standard_normal(100)
+        assert error_vector_magnitude(ref, ref) == pytest.approx(0.0, abs=1e-12)
+
+    def test_known_noise_level(self):
+        rng = np.random.default_rng(1)
+        ref = np.exp(1j * rng.uniform(0, 2 * np.pi, 100_000))
+        noise = 0.1 * (
+            rng.standard_normal(ref.size) + 1j * rng.standard_normal(ref.size)
+        ) / np.sqrt(2)
+        evm = error_vector_magnitude(ref + noise, ref, normalize=False)
+        assert evm == pytest.approx(0.1, rel=0.03)
+
+    def test_normalization_removes_complex_gain(self):
+        rng = np.random.default_rng(2)
+        ref = rng.standard_normal(1000) + 1j * rng.standard_normal(1000)
+        rotated = ref * 1.3 * np.exp(0.4j)
+        assert error_vector_magnitude(rotated, ref) == pytest.approx(0.0, abs=1e-9)
+        assert error_vector_magnitude(
+            rotated, ref, normalize=False
+        ) > 0.3
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            error_vector_magnitude(np.ones(3), np.ones(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            error_vector_magnitude(np.ones(0), np.ones(0))
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            error_vector_magnitude(np.ones(4), np.zeros(4))
+
+
+class TestEvmSnrConversions:
+    def test_roundtrip(self):
+        assert evm_to_snr_db(
+            snr_to_evm_percent(20.0) / 100.0
+        ) == pytest.approx(20.0)
+
+    def test_known_points(self):
+        assert snr_to_evm_percent(20.0) == pytest.approx(10.0)
+        assert snr_to_evm_percent(40.0) == pytest.approx(1.0)
+        assert evm_to_snr_db(0.0) == np.inf

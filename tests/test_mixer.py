@@ -1,0 +1,132 @@
+"""Tests for mixer and oscillator models (repro.rf.mixer, repro.rf.oscillator)."""
+
+import numpy as np
+import pytest
+
+from repro.rf.mixer import Mixer, QuadratureMixer, image_rejection_ratio_db
+from repro.rf.oscillator import LocalOscillator
+from repro.rf.signal import Signal, dbm_to_watts
+
+
+def _tone(power_dbm, n=8192, fs=80e6, f=2e6, carrier=5.2e9):
+    t = np.arange(n) / fs
+    return Signal(
+        np.sqrt(dbm_to_watts(power_dbm)) * np.exp(2j * np.pi * f * t),
+        fs,
+        carrier,
+    )
+
+
+class TestOscillator:
+    def test_frequency_error_hz(self):
+        lo = LocalOscillator(2.6e9, frequency_error_ppm=20.0)
+        assert lo.frequency_error_hz == pytest.approx(52e3)
+
+    def test_rotation_is_unit_magnitude(self):
+        lo = LocalOscillator(2.6e9, frequency_error_ppm=10.0)
+        rot = lo.envelope_rotation(1000, 80e6)
+        assert np.allclose(np.abs(rot), 1.0)
+
+    def test_no_error_no_rotation(self):
+        lo = LocalOscillator(2.6e9)
+        rot = lo.envelope_rotation(100, 80e6)
+        assert np.allclose(rot, 1.0)
+
+    def test_phase_noise_process_random_walk(self):
+        lo = LocalOscillator(2.6e9, phase_noise_dbc_hz=-85.0)
+        rng = np.random.default_rng(0)
+        phi = lo.phase_noise_process(20000, 80e6, rng)
+        # A random walk's variance grows with time.
+        assert np.var(phi[10000:]) > np.var(phi[:1000])
+
+    def test_phase_noise_disabled_without_rng(self):
+        lo = LocalOscillator(2.6e9, phase_noise_dbc_hz=-85.0)
+        rot = lo.envelope_rotation(100, 80e6, rng=None)
+        assert np.allclose(rot, 1.0)
+
+    def test_phase_noise_none(self):
+        lo = LocalOscillator(2.6e9)
+        assert not lo.phase_noise_process(50, 80e6, np.random.default_rng(0)).any()
+
+
+class TestMixer:
+    def test_carrier_bookkeeping(self):
+        lo = LocalOscillator(2.6e9)
+        mixer = Mixer(lo=lo)
+        out = mixer.process(_tone(-30.0, carrier=5.2e9))
+        assert out.carrier_frequency == pytest.approx(2.6e9)
+
+    def test_conversion_gain(self):
+        mixer = Mixer(lo=LocalOscillator(2.6e9), conversion_gain_db=7.0)
+        out = mixer.process(_tone(-30.0))
+        assert out.power_dbm() == pytest.approx(-23.0, abs=0.01)
+
+    def test_dc_offset_added(self):
+        mixer = Mixer(lo=LocalOscillator(2.6e9), dc_offset_dbm=-40.0)
+        silence = Signal(np.zeros(1024, complex), 80e6, 5.2e9)
+        out = mixer.process(silence)
+        assert out.power_dbm() == pytest.approx(-40.0, abs=0.01)
+        assert np.allclose(out.samples, out.samples[0])  # pure DC
+
+    def test_lo_error_rotates_envelope(self):
+        lo = LocalOscillator(2.6e9, frequency_error_ppm=10.0)  # 26 kHz
+        mixer = Mixer(lo=lo)
+        out = mixer.process(_tone(-30.0, f=0.0))
+        # The output rotates at -26 kHz: measure via phase slope.
+        phase = np.unwrap(np.angle(out.samples))
+        slope = (phase[-1] - phase[0]) / (out.samples.size / 80e6)
+        assert slope / (2 * np.pi) == pytest.approx(-26e3, rel=0.01)
+
+    def test_image_leak_level(self):
+        mixer = Mixer(lo=LocalOscillator(2.6e9), image_rejection_db=30.0)
+        out = mixer.process(_tone(-20.0, f=5e6))
+        n = out.samples.size
+        t = np.arange(n) / 80e6
+        wanted = abs(np.dot(out.samples, np.exp(-2j * np.pi * 5e6 * t)) / n)
+        image = abs(np.dot(out.samples, np.exp(+2j * np.pi * 5e6 * t)) / n)
+        assert 20 * np.log10(wanted / image) == pytest.approx(30.0, abs=0.5)
+
+    def test_noise_requires_rng(self):
+        mixer = Mixer(lo=LocalOscillator(2.6e9), noise_figure_db=8.0)
+        with pytest.raises(ValueError):
+            mixer.process(_tone(-30.0))
+
+    def test_flicker_noise_injected(self):
+        mixer = Mixer(
+            lo=LocalOscillator(2.6e9),
+            flicker_power_dbm=-50.0,
+            flicker_corner_hz=1e6,
+        )
+        rng = np.random.default_rng(1)
+        out = mixer.process(Signal(np.zeros(1 << 14, complex), 80e6, 5.2e9), rng)
+        assert out.power_dbm() == pytest.approx(-50.0, abs=1.0)
+
+
+class TestQuadratureMixer:
+    def test_no_imbalance_matches_base(self):
+        lo = LocalOscillator(2.6e9)
+        base = Mixer(lo=lo, conversion_gain_db=5.0)
+        quad = QuadratureMixer(lo=lo, conversion_gain_db=5.0)
+        tone = _tone(-25.0)
+        assert np.allclose(
+            base.process(tone).samples, quad.process(tone).samples
+        )
+
+    def test_imbalance_creates_image(self):
+        quad = QuadratureMixer(
+            lo=LocalOscillator(2.6e9),
+            amplitude_imbalance_db=1.0,
+            phase_imbalance_deg=5.0,
+        )
+        out = quad.process(_tone(-20.0, f=3e6))
+        n = out.samples.size
+        t = np.arange(n) / 80e6
+        wanted = abs(np.dot(out.samples, np.exp(-2j * np.pi * 3e6 * t)) / n)
+        image = abs(np.dot(out.samples, np.exp(+2j * np.pi * 3e6 * t)) / n)
+        irr = 20 * np.log10(wanted / image)
+        # 1 dB / 5 deg imbalance gives an IRR in the 20-30 dB region.
+        assert 15.0 < irr < 35.0
+
+    def test_helper_irr(self):
+        assert image_rejection_ratio_db(1.0, 0.0) == np.inf
+        assert image_rejection_ratio_db(1.0, 0.1) == pytest.approx(20.0)

@@ -1,0 +1,121 @@
+"""Tests for constellation mapping/demapping (repro.dsp.modulation)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.modulation import (
+    BITS_PER_SYMBOL,
+    Demapper,
+    K_MOD,
+    Mapper,
+    constellation,
+)
+
+ALL_MODS = sorted(BITS_PER_SYMBOL)
+
+
+class TestConstellations:
+    @pytest.mark.parametrize("mod", ALL_MODS)
+    def test_unit_average_energy(self, mod):
+        points = constellation(mod)
+        assert np.mean(np.abs(points) ** 2) == pytest.approx(1.0, rel=1e-12)
+
+    @pytest.mark.parametrize("mod", ALL_MODS)
+    def test_point_count(self, mod):
+        assert constellation(mod).size == 2 ** BITS_PER_SYMBOL[mod]
+
+    def test_bpsk_points(self):
+        assert np.allclose(constellation("BPSK"), [-1, 1])
+
+    def test_qpsk_levels(self):
+        pts = constellation("QPSK")
+        k = K_MOD["QPSK"]
+        assert np.allclose(sorted(np.unique(pts.real)), [-k, k])
+        assert np.allclose(sorted(np.unique(pts.imag)), [-k, k])
+
+    def test_qam16_gray_mapping(self):
+        # Standard: I from b0b1 with 00->-3, 01->-1, 11->+1, 10->+3.
+        pts = constellation("QAM16") / K_MOD["QAM16"]
+        assert pts[0b0000] == pytest.approx(-3 - 3j)
+        assert pts[0b0111] == pytest.approx(-1 + 1j)
+        assert pts[0b0110] == pytest.approx(-1 + 3j)
+        assert pts[0b1010] == pytest.approx(3 + 3j)
+        assert pts[0b1111] == pytest.approx(1 + 1j)
+
+    def test_gray_property_neighbours(self):
+        # Nearest horizontal neighbours differ in exactly one I bit group
+        # bit: check for 64-QAM on the I axis.
+        pts = constellation("QAM64") / K_MOD["QAM64"]
+        by_level = {}
+        for idx in range(64):
+            i_bits = idx >> 3
+            by_level[pts[idx].real] = by_level.get(pts[idx].real, set()) | {i_bits}
+        levels = sorted(by_level)
+        codes = [by_level[l].pop() for l in levels]
+        for a, b in zip(codes, codes[1:]):
+            assert bin(a ^ b).count("1") == 1
+
+
+class TestMapper:
+    @pytest.mark.parametrize("mod", ALL_MODS)
+    def test_map_demap_hard_roundtrip(self, mod):
+        rng = np.random.default_rng(42)
+        n = BITS_PER_SYMBOL[mod] * 100
+        bits = rng.integers(0, 2, n, dtype=np.uint8)
+        symbols = Mapper(mod).map(bits)
+        back = Demapper(mod).demap_hard(symbols)
+        assert np.array_equal(back, bits)
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            Mapper("QAM16").map(np.zeros(5, dtype=np.uint8))
+
+    def test_unknown_modulation(self):
+        with pytest.raises(ValueError):
+            Mapper("QAM256")
+        with pytest.raises(ValueError):
+            Demapper("PSK8")
+
+    def test_symbol_count(self):
+        bits = np.zeros(96, dtype=np.uint8)
+        assert Mapper("QPSK").map(bits).size == 48
+
+
+class TestSoftDemapping:
+    @pytest.mark.parametrize("mod", ALL_MODS)
+    def test_llr_signs_match_hard_decisions(self, mod):
+        rng = np.random.default_rng(7)
+        n = BITS_PER_SYMBOL[mod] * 64
+        bits = rng.integers(0, 2, n, dtype=np.uint8)
+        symbols = Mapper(mod).map(bits)
+        llr = Demapper(mod).demap_soft(symbols, noise_var=0.1)
+        # Positive LLR favours bit 0 by convention.
+        hard_from_llr = (llr < 0).astype(np.uint8)
+        assert np.array_equal(hard_from_llr, bits)
+
+    def test_noise_var_scales_llr(self):
+        bits = np.array([0, 1, 1, 0], dtype=np.uint8)
+        symbols = Mapper("QPSK").map(bits)
+        llr1 = Demapper("QPSK").demap_soft(symbols, noise_var=1.0)
+        llr2 = Demapper("QPSK").demap_soft(symbols, noise_var=0.5)
+        assert np.allclose(llr2, 2.0 * llr1)
+
+    def test_llr_magnitude_reflects_distance(self):
+        # A symbol exactly on a decision boundary has near-zero LLR.
+        d = Demapper("BPSK")
+        llr_boundary = d.demap_soft(np.array([0.0 + 0j]))
+        llr_far = d.demap_soft(np.array([1.0 + 0j]))
+        assert abs(llr_boundary[0]) < 1e-9
+        assert abs(llr_far[0]) > 1.0
+
+    def test_noisy_soft_decisions_majority_correct(self):
+        rng = np.random.default_rng(9)
+        bits = rng.integers(0, 2, 6 * 500, dtype=np.uint8)
+        symbols = Mapper("QAM64").map(bits)
+        noisy = symbols + 0.05 * (
+            rng.standard_normal(symbols.size)
+            + 1j * rng.standard_normal(symbols.size)
+        )
+        llr = Demapper("QAM64").demap_soft(noisy, noise_var=0.005)
+        errors = int(((llr < 0).astype(np.uint8) != bits).sum())
+        assert errors < bits.size * 0.01

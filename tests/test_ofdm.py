@@ -1,0 +1,123 @@
+"""Tests for OFDM modulation/demodulation (repro.dsp.ofdm)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.ofdm import (
+    N_USED,
+    OfdmDemodulator,
+    OfdmModulator,
+    pilot_values,
+    subcarriers_to_fft_bins,
+)
+from repro.dsp.params import N_CP, N_FFT, N_SYMBOL
+
+
+class TestBinMapping:
+    def test_positive_carriers(self):
+        assert subcarriers_to_fft_bins(np.array([1, 26])).tolist() == [1, 26]
+
+    def test_negative_carriers(self):
+        assert subcarriers_to_fft_bins(np.array([-1, -26])).tolist() == [63, 38]
+
+    def test_used_count(self):
+        assert N_USED == 52
+
+
+class TestPilots:
+    def test_pilot_base_pattern(self):
+        # DATA symbol 0 uses polarity index 1 (p_1 = +1).
+        assert pilot_values(0).tolist() == [1.0, 1.0, 1.0, -1.0]
+
+    def test_polarity_cycles_127(self):
+        assert np.array_equal(pilot_values(0), pilot_values(127))
+
+    def test_signal_symbol_polarity(self):
+        # SIGNAL uses p_0 = +1 via symbol_index=-1.
+        assert pilot_values(-1).tolist() == [1.0, 1.0, 1.0, -1.0]
+
+    def test_negative_polarity_somewhere(self):
+        # p_4 = -1 flips all pilots for DATA symbol 3.
+        assert pilot_values(3).tolist() == [-1.0, -1.0, -1.0, 1.0]
+
+
+class TestRoundTrip:
+    def test_single_symbol_roundtrip(self):
+        rng = np.random.default_rng(0)
+        data = (rng.standard_normal(48) + 1j * rng.standard_normal(48)) / np.sqrt(2)
+        mod = OfdmModulator()
+        demod = OfdmDemodulator()
+        time = mod.modulate_symbol(data, symbol_index=0)
+        assert time.size == N_SYMBOL
+        rows = demod.demodulate(time)
+        recovered = demod.extract_data(rows)[0]
+        assert np.allclose(recovered, data, atol=1e-12)
+
+    def test_multi_symbol_roundtrip(self):
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((5, 48)) + 1j * rng.standard_normal((5, 48))
+        mod = OfdmModulator()
+        demod = OfdmDemodulator()
+        stream = mod.modulate(data)
+        assert stream.size == 5 * N_SYMBOL
+        rows = demod.demodulate(stream)
+        assert np.allclose(demod.extract_data(rows), data, atol=1e-12)
+
+    def test_pilots_recovered(self):
+        mod = OfdmModulator()
+        demod = OfdmDemodulator()
+        time = mod.modulate(np.zeros((3, 48), dtype=complex))
+        rows = demod.demodulate(time)
+        pilots = demod.extract_pilots(rows)
+        for n in range(3):
+            assert np.allclose(pilots[n], pilot_values(n), atol=1e-12)
+
+    def test_cyclic_prefix_is_cyclic(self):
+        rng = np.random.default_rng(2)
+        data = rng.standard_normal(48) + 1j * rng.standard_normal(48)
+        time = OfdmModulator().modulate_symbol(data, 0)
+        assert np.allclose(time[:N_CP], time[N_FFT:])
+
+
+class TestNormalization:
+    def test_unit_power_with_unit_constellation(self):
+        rng = np.random.default_rng(3)
+        # Unit-energy QPSK-like points on all 48 data carriers.
+        data = np.exp(1j * rng.uniform(0, 2 * np.pi, (20, 48)))
+        stream = OfdmModulator().modulate(data)
+        power = np.mean(np.abs(stream) ** 2)
+        assert power == pytest.approx(1.0, rel=0.05)
+
+    def test_dc_bin_empty(self):
+        data = np.ones(48, dtype=complex)
+        time = OfdmModulator().modulate_symbol(data, 0)
+        spectrum = np.fft.fft(time[N_CP:])
+        assert abs(spectrum[0]) < 1e-9
+
+    def test_guard_bins_empty(self):
+        data = np.ones(48, dtype=complex)
+        time = OfdmModulator().modulate_symbol(data, 0)
+        spectrum = np.fft.fft(time[N_CP:])
+        for k in range(27, 38):  # carriers +/-27..31 unused
+            assert abs(spectrum[k]) < 1e-9
+
+
+class TestValidation:
+    def test_wrong_data_count(self):
+        with pytest.raises(ValueError):
+            OfdmModulator().modulate_symbol(np.zeros(47), 0)
+
+    def test_wrong_stream_length(self):
+        with pytest.raises(ValueError):
+            OfdmDemodulator().demodulate(np.zeros(81))
+
+    def test_multipath_needs_equalization(self):
+        # A two-tap channel rotates subcarriers; raw demod must differ.
+        rng = np.random.default_rng(4)
+        data = np.exp(1j * rng.uniform(0, 2 * np.pi, 48))
+        time = OfdmModulator().modulate_symbol(data, 0)
+        channel = np.array([1.0, 0.4j])
+        received = np.convolve(time, channel)[: time.size]
+        rows = OfdmDemodulator().demodulate(received)
+        recovered = OfdmDemodulator().extract_data(rows)[0]
+        assert not np.allclose(recovered, data, atol=1e-3)

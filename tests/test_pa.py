@@ -1,0 +1,61 @@
+"""Tests for the transmit power amplifier model (repro.rf.pa)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.transmitter import Transmitter, TxConfig, random_psdu
+from repro.rf.pa import PowerAmplifier
+from repro.rf.signal import Signal, dbm_to_watts
+from repro.spectrum.psd import check_transmit_mask
+
+
+def _ofdm(oversample=4, n_bytes=300, seed=0):
+    rng = np.random.default_rng(seed)
+    wave = Transmitter(TxConfig(rate_mbps=24, oversample=oversample)).transmit(
+        random_psdu(n_bytes, rng)
+    )
+    return Signal(wave, oversample * 20e6)
+
+
+class TestPowerAmplifier:
+    def test_drive_level(self):
+        pa = PowerAmplifier(psat_dbm=24.0, gain_db=25.0)
+        assert pa.drive_level_dbm(6.0) == pytest.approx(-7.0)
+
+    def test_negative_backoff_rejected(self):
+        with pytest.raises(ValueError):
+            PowerAmplifier().drive_level_dbm(-1.0)
+
+    def test_small_signal_gain(self):
+        pa = PowerAmplifier(psat_dbm=24.0, gain_db=25.0, am_pm_deg=0.0)
+        t = np.arange(1024) / 80e6
+        tone = Signal(
+            np.sqrt(dbm_to_watts(-40.0)) * np.exp(2j * np.pi * 1e6 * t), 80e6
+        )
+        out = pa.process(tone)
+        assert out.power_dbm() == pytest.approx(-15.0, abs=0.1)
+
+    def test_backoff_sets_average_output(self):
+        pa = PowerAmplifier(psat_dbm=24.0, gain_db=25.0)
+        out = pa.process(_ofdm(), output_backoff_db=10.0)
+        # With 10 dB OBO the average output sits near Psat - 10, slightly
+        # lower because the peaks compress.
+        assert out.power_dbm() == pytest.approx(14.0, abs=1.5)
+
+    def test_compression_reduces_papr(self):
+        pa = PowerAmplifier(psat_dbm=24.0, gain_db=25.0)
+        sig = _ofdm()
+        backed_off = pa.process(sig, output_backoff_db=12.0)
+        driven = pa.process(sig, output_backoff_db=2.0)
+        assert driven.papr_db() < backed_off.papr_db()
+
+    def test_mask_vs_backoff(self):
+        """Spectral regrowth: hard drive violates the mask, backoff fixes it."""
+        pa = PowerAmplifier(psat_dbm=24.0, gain_db=25.0)
+        sig = _ofdm()
+        clean = pa.process(sig, output_backoff_db=12.0)
+        hot = pa.process(sig, output_backoff_db=1.0)
+        ok_clean, margin_clean = check_transmit_mask(clean)
+        ok_hot, margin_hot = check_transmit_mask(hot)
+        assert margin_clean > margin_hot
+        assert ok_clean

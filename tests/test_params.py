@@ -1,0 +1,151 @@
+"""Tests for the 802.11a parameter tables (repro.dsp.params)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import params
+from repro.dsp.params import (
+    RATES,
+    RATE_BITS_TO_MBPS,
+    WLAN_STANDARDS,
+    padded_data_bits,
+    symbols_for_psdu,
+)
+
+
+class TestRateTable:
+    def test_all_eight_rates_present(self):
+        assert sorted(RATES) == [6, 9, 12, 18, 24, 36, 48, 54]
+
+    @pytest.mark.parametrize(
+        "mbps,modulation,coding,n_bpsc,n_cbps,n_dbps",
+        [
+            (6, "BPSK", (1, 2), 1, 48, 24),
+            (9, "BPSK", (3, 4), 1, 48, 36),
+            (12, "QPSK", (1, 2), 2, 96, 48),
+            (18, "QPSK", (3, 4), 2, 96, 72),
+            (24, "QAM16", (1, 2), 4, 192, 96),
+            (36, "QAM16", (3, 4), 4, 192, 144),
+            (48, "QAM64", (2, 3), 6, 288, 192),
+            (54, "QAM64", (3, 4), 6, 288, 216),
+        ],
+    )
+    def test_standard_table_78(self, mbps, modulation, coding, n_bpsc, n_cbps, n_dbps):
+        r = RATES[mbps]
+        assert r.modulation == modulation
+        assert r.coding_rate == coding
+        assert r.n_bpsc == n_bpsc
+        assert r.n_cbps == n_cbps
+        assert r.n_dbps == n_dbps
+
+    def test_rate_bits_unique_and_invertible(self):
+        assert len(RATE_BITS_TO_MBPS) == 8
+        for mbps, r in RATES.items():
+            assert RATE_BITS_TO_MBPS[r.rate_bits] == mbps
+
+    def test_data_rate_consistency(self):
+        # N_DBPS per 4 us symbol must equal the nominal data rate.
+        for mbps, r in RATES.items():
+            assert r.n_dbps == mbps * 4  # 4 us per OFDM symbol
+
+    def test_coding_rate_float(self):
+        assert RATES[6].coding_rate_float == pytest.approx(0.5)
+        assert RATES[48].coding_rate_float == pytest.approx(2 / 3)
+
+
+class TestCarrierAllocation:
+    def test_counts(self):
+        assert params.DATA_CARRIER_INDICES.size == 48
+        assert params.PILOT_CARRIER_INDICES.size == 4
+
+    def test_no_overlap_and_no_dc(self):
+        data = set(params.DATA_CARRIER_INDICES.tolist())
+        pilots = set(params.PILOT_CARRIER_INDICES.tolist())
+        assert not data & pilots
+        assert 0 not in data
+        assert 0 not in pilots
+
+    def test_range(self):
+        used = np.concatenate(
+            [params.DATA_CARRIER_INDICES, params.PILOT_CARRIER_INDICES]
+        )
+        assert used.min() == -26
+        assert used.max() == 26
+
+    def test_pilot_positions(self):
+        assert params.PILOT_CARRIER_INDICES.tolist() == [-21, -7, 7, 21]
+
+    def test_subcarrier_spacing(self):
+        assert params.SUBCARRIER_SPACING == pytest.approx(312.5e3)
+
+
+class TestPsduSizing:
+    def test_minimal_psdu(self):
+        # 16 + 8 + 6 = 30 bits -> 2 symbols at 6 Mbps (24 bits/symbol).
+        assert symbols_for_psdu(1, RATES[6]) == 2
+
+    def test_exact_fit(self):
+        # 16 + 8n + 6 == k * n_dbps for some n: at 24 Mbps n_dbps=96;
+        # n=121 bytes -> 990 bits -> not exact; pick a constructed case.
+        r = RATES[24]
+        n_bytes = (3 * r.n_dbps - 16 - 6) // 8  # 33 bytes: 286 bits <= 288
+        bits = 16 + 8 * n_bytes + 6
+        assert symbols_for_psdu(n_bytes, r) == int(np.ceil(bits / r.n_dbps))
+
+    def test_padded_bits_multiple_of_ndbps(self):
+        for mbps in RATES:
+            total = padded_data_bits(57, RATES[mbps])
+            assert total % RATES[mbps].n_dbps == 0
+            assert total >= 16 + 8 * 57 + 6
+
+    def test_negative_psdu_rejected(self):
+        with pytest.raises(ValueError):
+            symbols_for_psdu(-1, RATES[6])
+
+
+class TestWlanStandardsTable1:
+    def test_four_standards(self):
+        names = [s.name for s in WLAN_STANDARDS]
+        assert names == ["802.11", "802.11a", "802.11b", "802.11g"]
+
+    def test_a_is_54_at_5ghz(self):
+        a = next(s for s in WLAN_STANDARDS if s.name == "802.11a")
+        assert a.max_rate_mbps == 54.0
+        assert a.freq_band_ghz[0] >= 5.0
+        assert a.approval_year == 1999
+
+    def test_b_is_11_at_2_4ghz(self):
+        b = next(s for s in WLAN_STANDARDS if s.name == "802.11b")
+        assert b.max_rate_mbps == 11.0
+        assert b.freq_band_ghz[0] == pytest.approx(2.4)
+
+    def test_rates_sorted_descending_max_first(self):
+        for s in WLAN_STANDARDS:
+            assert s.max_rate_mbps == max(s.data_rates_mbps)
+
+
+class TestChannelMap:
+    def test_channel_44_is_5_22_ghz(self):
+        from repro.dsp.params import channel_center_frequency
+
+        assert channel_center_frequency(44) == pytest.approx(5.22e9)
+
+    def test_channel_40_is_papers_5_2_ghz(self):
+        # The paper's 5.2 GHz carrier is channel 40.
+        from repro.dsp.params import channel_center_frequency
+
+        assert channel_center_frequency(40) == pytest.approx(5.2e9)
+
+    def test_adjacent_channels_are_20mhz_apart(self):
+        from repro.dsp.params import channel_center_frequency
+
+        assert channel_center_frequency(40) - channel_center_frequency(36) \
+            == pytest.approx(20e6)
+
+    def test_invalid_channel_rejected(self):
+        from repro.dsp.params import channel_center_frequency
+
+        with pytest.raises(ValueError):
+            channel_center_frequency(37)
+        with pytest.raises(ValueError):
+            channel_center_frequency(0)

@@ -1,0 +1,130 @@
+"""Tests for the PLCP preamble and SIGNAL field (repro.dsp.preamble)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.ofdm import OfdmDemodulator
+from repro.dsp.params import MAX_PSDU_BYTES, RATES
+from repro.dsp.preamble import (
+    LONG_TRAINING_SEQUENCE,
+    LTF_LENGTH,
+    PREAMBLE_LENGTH,
+    STF_LENGTH,
+    decode_signal_field,
+    encode_signal_field,
+    long_training_field,
+    long_training_symbol_freq,
+    preamble,
+    short_training_field,
+    signal_field_bits,
+)
+
+
+class TestShortTrainingField:
+    def test_length(self):
+        assert short_training_field().size == STF_LENGTH == 160
+
+    def test_periodicity_16(self):
+        stf = short_training_field()
+        assert np.allclose(stf[:144], stf[16:160])
+
+    def test_unit_power_scale(self):
+        stf = short_training_field()
+        assert np.mean(np.abs(stf) ** 2) == pytest.approx(1.0, rel=0.05)
+
+
+class TestLongTrainingField:
+    def test_length(self):
+        assert long_training_field().size == LTF_LENGTH == 160
+
+    def test_sequence_values(self):
+        assert LONG_TRAINING_SEQUENCE.size == 53
+        assert LONG_TRAINING_SEQUENCE[26] == 0  # DC
+        assert set(np.unique(LONG_TRAINING_SEQUENCE)) == {-1.0, 0.0, 1.0}
+
+    def test_two_identical_symbols(self):
+        ltf = long_training_field()
+        assert np.allclose(ltf[32:96], ltf[96:160])
+
+    def test_guard_is_cyclic(self):
+        ltf = long_training_field()
+        assert np.allclose(ltf[:32], ltf[64:96])
+
+    def test_freq_domain_occupancy(self):
+        freq = long_training_symbol_freq()
+        assert int(np.count_nonzero(freq)) == 52
+
+    def test_preamble_concatenation(self):
+        p = preamble()
+        assert p.size == PREAMBLE_LENGTH == 320
+        assert np.allclose(p[:160], short_training_field())
+        assert np.allclose(p[160:], long_training_field())
+
+
+class TestSignalFieldBits:
+    def test_length_24(self):
+        assert signal_field_bits(RATES[6], 100).size == 24
+
+    def test_rate_bits_first(self):
+        bits = signal_field_bits(RATES[54], 1)
+        assert tuple(bits[:4]) == RATES[54].rate_bits
+
+    def test_length_lsb_first(self):
+        bits = signal_field_bits(RATES[6], 0b000000000101)
+        assert bits[5] == 1 and bits[6] == 0 and bits[7] == 1
+
+    def test_even_parity(self):
+        for length in (1, 77, 4095):
+            bits = signal_field_bits(RATES[24], length)
+            assert bits[:18].sum() % 2 == 0
+
+    def test_tail_zero(self):
+        bits = signal_field_bits(RATES[36], 1000)
+        assert not bits[18:].any()
+
+    @pytest.mark.parametrize("bad", [0, -5, MAX_PSDU_BYTES + 1])
+    def test_invalid_length_rejected(self, bad):
+        with pytest.raises(ValueError):
+            signal_field_bits(RATES[6], bad)
+
+
+class TestSignalFieldCodec:
+    @pytest.mark.parametrize("mbps", sorted(RATES))
+    def test_roundtrip_all_rates(self, mbps):
+        wave = encode_signal_field(RATES[mbps], 345)
+        assert wave.size == 80
+        rows = OfdmDemodulator().demodulate(wave)
+        data = OfdmDemodulator().extract_data(rows)[0]
+        content = decode_signal_field(data)
+        assert content is not None
+        assert content.rate.data_rate_mbps == mbps
+        assert content.length_bytes == 345
+        assert content.parity_ok
+
+    @pytest.mark.parametrize("length", [1, 64, 1500, 4095])
+    def test_roundtrip_lengths(self, length):
+        wave = encode_signal_field(RATES[12], length)
+        rows = OfdmDemodulator().demodulate(wave)
+        data = OfdmDemodulator().extract_data(rows)[0]
+        content = decode_signal_field(data)
+        assert content.length_bytes == length
+
+    def test_noisy_decode(self):
+        rng = np.random.default_rng(0)
+        wave = encode_signal_field(RATES[6], 200)
+        noisy = wave + 0.05 * (
+            rng.standard_normal(wave.size) + 1j * rng.standard_normal(wave.size)
+        )
+        rows = OfdmDemodulator().demodulate(noisy)
+        data = OfdmDemodulator().extract_data(rows)[0]
+        content = decode_signal_field(data, noise_var=0.005)
+        assert content is not None
+        assert content.rate.data_rate_mbps == 6
+        assert content.length_bytes == 200
+
+    def test_garbage_reports_failure(self):
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal(48) + 1j * rng.standard_normal(48)
+        content = decode_signal_field(data)
+        # Either an invalid rate (None) or a parity error must be flagged.
+        assert content is None or not content.parity_ok or content.length_bytes >= 0

@@ -1,0 +1,167 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsp.convcode import ConvolutionalEncoder, depuncture, puncture
+from repro.dsp.interleaver import deinterleave, interleave
+from repro.dsp.modulation import BITS_PER_SYMBOL, Demapper, Mapper
+from repro.dsp.ofdm import OfdmDemodulator, OfdmModulator
+from repro.dsp.params import RATES
+from repro.dsp.scrambler import Scrambler
+from repro.dsp.viterbi import ViterbiDecoder
+from repro.flow.netlist import frontend_to_netlist, netlist_to_config
+from repro.rf.adc import Adc
+from repro.rf.frontend import FrontendConfig
+from repro.rf.nonlinearity import CubicNonlinearity
+from repro.rf.signal import Signal, dbm_to_watts
+
+bits_arrays = st.integers(1, 400).flatmap(
+    lambda n: st.builds(
+        lambda seed: np.random.default_rng(seed).integers(
+            0, 2, n, dtype=np.uint8
+        ),
+        st.integers(0, 2**31),
+    )
+)
+
+
+class TestScramblerProperties:
+    @given(seed=st.integers(1, 127), bits=bits_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_involution(self, seed, bits):
+        s1 = Scrambler(seed).process(bits)
+        s2 = Scrambler(seed).process(s1)
+        assert np.array_equal(s2, bits)
+
+    @given(seed=st.integers(1, 127))
+    @settings(max_examples=30, deadline=None)
+    def test_sequence_period_divides_127(self, seed):
+        seq = Scrambler(seed).sequence(254)
+        assert np.array_equal(seq[:127], seq[127:])
+
+
+class TestCodecProperties:
+    @given(bits=bits_arrays, rate_key=st.sampled_from([(1, 2), (2, 3), (3, 4)]))
+    @settings(max_examples=30, deadline=None)
+    def test_encode_puncture_decode_roundtrip(self, bits, rate_key):
+        data = np.concatenate([bits, np.zeros(6, dtype=np.uint8)])
+        coded = ConvolutionalEncoder().encode(data)
+        period = {(1, 2): 2, (2, 3): 4, (3, 4): 6}[rate_key]
+        usable = coded.size - coded.size % period
+        kept = puncture(coded[:usable], rate_key)
+        llr = depuncture((1.0 - 2.0 * kept) * 8.0, rate_key)
+        decoded = ViterbiDecoder(terminated=False).decode_soft(llr)
+        n = decoded.size
+        assert np.array_equal(decoded, data[:n])
+
+    @given(bits=bits_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_encoder_is_rate_half(self, bits):
+        assert ConvolutionalEncoder().encode(bits).size == 2 * bits.size
+
+
+class TestInterleaverProperties:
+    @given(
+        mbps=st.sampled_from(sorted(RATES)),
+        seed=st.integers(0, 2**31),
+        n_sym=st.integers(1, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip(self, mbps, seed, n_sym):
+        r = RATES[mbps]
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, n_sym * r.n_cbps, dtype=np.uint8)
+        out = deinterleave(
+            interleave(bits, r.n_cbps, r.n_bpsc), r.n_cbps, r.n_bpsc
+        )
+        assert np.array_equal(out, bits)
+
+
+class TestModulationProperties:
+    @given(
+        mod=st.sampled_from(sorted(BITS_PER_SYMBOL)),
+        seed=st.integers(0, 2**31),
+        n=st.integers(1, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_map_demap_identity(self, mod, seed, n):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, n * BITS_PER_SYMBOL[mod], dtype=np.uint8)
+        assert np.array_equal(
+            Demapper(mod).demap_hard(Mapper(mod).map(bits)), bits
+        )
+
+    @given(
+        mod=st.sampled_from(sorted(BITS_PER_SYMBOL)),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_soft_hard_agree_on_clean_symbols(self, mod, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, 24 * BITS_PER_SYMBOL[mod], dtype=np.uint8)
+        symbols = Mapper(mod).map(bits)
+        llr = Demapper(mod).demap_soft(symbols)
+        assert np.array_equal((llr < 0).astype(np.uint8), bits)
+
+
+class TestOfdmProperties:
+    @given(seed=st.integers(0, 2**31), n_sym=st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_modulate_demodulate_unitary(self, seed, n_sym):
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((n_sym, 48)) + 1j * rng.standard_normal(
+            (n_sym, 48)
+        )
+        demod = OfdmDemodulator()
+        rows = demod.demodulate(OfdmModulator().modulate(data))
+        assert np.allclose(demod.extract_data(rows), data, atol=1e-10)
+
+
+class TestRfProperties:
+    @given(
+        gain=st.floats(-10.0, 30.0),
+        iip3=st.floats(-30.0, 20.0),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cubic_never_expands(self, gain, iip3, seed):
+        # Output amplitude never exceeds the linear-gain projection.
+        nl = CubicNonlinearity(gain_db=gain, iip3_dbm=iip3)
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+        x *= np.sqrt(dbm_to_watts(iip3)) / 2
+        y = nl.apply(x)
+        linear = 10 ** (gain / 20.0) * np.abs(x)
+        assert (np.abs(y) <= linear + 1e-12).all()
+
+    @given(
+        bits=st.integers(2, 12),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_adc_output_bounded(self, bits, seed):
+        adc = Adc(n_bits=bits, full_scale_dbm=0.0)
+        rng = np.random.default_rng(seed)
+        x = 10 * adc.clip_amplitude * (
+            rng.standard_normal(128) + 1j * rng.standard_normal(128)
+        )
+        out = adc.process(Signal(x, 20e6))
+        assert (np.abs(out.samples.real) <= adc.clip_amplitude).all()
+        assert (np.abs(out.samples.imag) <= adc.clip_amplitude).all()
+
+    @given(
+        p1db=st.floats(-40.0, 0.0),
+        edge=st.floats(2e6, 9.9e6),
+        ppm=st.floats(-20.0, 20.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_netlist_roundtrip_random_configs(self, p1db, edge, ppm):
+        cfg = FrontendConfig(
+            lna_p1db_dbm=p1db, lpf_edge_hz=edge, lo_error_ppm=ppm
+        )
+        back = netlist_to_config(frontend_to_netlist(cfg))
+        assert back.lna_p1db_dbm == pytest.approx(p1db, rel=1e-9)
+        assert back.lpf_edge_hz == pytest.approx(edge, rel=1e-9)
+        assert back.lo_error_ppm == pytest.approx(ppm, rel=1e-9)

@@ -1,0 +1,63 @@
+"""Tests for text rendering (repro.core.reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.core.reporting import render_ascii_plot, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        table = render_table(
+            ["name", "value"], [["a", "1"], ["longer", "22"]]
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # equal widths
+
+    def test_header_present(self):
+        table = render_table(["x", "BER"], [["1", "0.5"]])
+        assert "BER" in table.splitlines()[0]
+
+    def test_empty_rows(self):
+        table = render_table(["a", "b"], [])
+        assert "a" in table
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only one"]])
+
+    def test_non_string_cells(self):
+        table = render_table(["n"], [[42]])
+        assert "42" in table
+
+
+class TestAsciiPlot:
+    def test_contains_points(self):
+        plot = render_ascii_plot([0, 1, 2], [0.0, 0.5, 1.0], title="t")
+        assert "*" in plot
+        assert plot.splitlines()[0] == "t"
+
+    def test_axis_labels(self):
+        plot = render_ascii_plot(
+            [0, 10], [1, 2], x_label="P1dB", y_label="BER"
+        )
+        assert "P1dB" in plot
+        assert "BER" in plot
+
+    def test_log_scale(self):
+        plot = render_ascii_plot(
+            [1, 2, 3], [0.5, 1e-3, 0.0], logy=True
+        )
+        assert "*" in plot
+
+    def test_nan_skipped(self):
+        plot = render_ascii_plot([0, 1, 2], [np.nan, 1.0, 2.0])
+        assert "*" in plot
+
+    def test_no_data(self):
+        assert render_ascii_plot([], []) == "(no data)"
+
+    def test_constant_y(self):
+        plot = render_ascii_plot([0, 1], [5.0, 5.0])
+        assert "*" in plot

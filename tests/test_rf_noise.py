@@ -1,0 +1,107 @@
+"""Tests for noise generation (repro.rf.noise)."""
+
+import numpy as np
+import pytest
+
+from repro.rf.noise import (
+    BOLTZMANN,
+    NoiseSource,
+    flicker_noise,
+    noise_figure_to_added_power,
+    thermal_noise_power,
+    thermal_noise_psd_dbm_hz,
+    white_noise,
+)
+
+
+class TestThermalFloor:
+    def test_kTB(self):
+        assert thermal_noise_power(1.0) == pytest.approx(BOLTZMANN * 290.0)
+
+    def test_minus_174_dbm_hz(self):
+        assert thermal_noise_psd_dbm_hz() == pytest.approx(-174.0, abs=0.1)
+
+    def test_20mhz_floor(self):
+        # kTB over 20 MHz is about -101 dBm.
+        p = thermal_noise_power(20e6)
+        assert 10 * np.log10(p / 1e-3) == pytest.approx(-101.0, abs=0.2)
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            thermal_noise_power(-1.0)
+
+
+class TestWhiteNoise:
+    def test_power_accuracy(self):
+        rng = np.random.default_rng(0)
+        n = white_noise(200_000, 2e-6, rng)
+        assert np.mean(np.abs(n) ** 2) == pytest.approx(2e-6, rel=0.02)
+
+    def test_zero_power(self):
+        rng = np.random.default_rng(1)
+        n = white_noise(100, 0.0, rng)
+        assert not n.any()
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            white_noise(10, -1.0, np.random.default_rng(0))
+
+    def test_circular_symmetry(self):
+        rng = np.random.default_rng(2)
+        n = white_noise(100_000, 1.0, rng)
+        assert np.mean(n.real**2) == pytest.approx(0.5, rel=0.05)
+        assert np.mean(n.imag**2) == pytest.approx(0.5, rel=0.05)
+        assert abs(np.mean(n.real * n.imag)) < 0.01
+
+
+class TestFlickerNoise:
+    def test_total_power_normalized(self):
+        rng = np.random.default_rng(3)
+        n = flicker_noise(65536, 5e-7, 1e6, 80e6, rng)
+        assert np.mean(np.abs(n) ** 2) == pytest.approx(5e-7, rel=1e-6)
+
+    def test_spectrum_slopes_down(self):
+        rng = np.random.default_rng(4)
+        n = flicker_noise(1 << 16, 1.0, 2e6, 80e6, rng)
+        spectrum = np.abs(np.fft.fft(n)) ** 2
+        freqs = np.fft.fftfreq(n.size, 1 / 80e6)
+        low = spectrum[(np.abs(freqs) > 1e4) & (np.abs(freqs) < 1e5)].mean()
+        high = spectrum[(np.abs(freqs) > 1e7) & (np.abs(freqs) < 3e7)].mean()
+        assert low > 10 * high
+
+    def test_empty(self):
+        assert flicker_noise(0, 1.0, 1e6, 80e6, np.random.default_rng(0)).size == 0
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            flicker_noise(16, -1.0, 1e6, 80e6, np.random.default_rng(0))
+
+
+class TestNoiseSource:
+    def test_combined_power(self):
+        rng = np.random.default_rng(5)
+        src = NoiseSource(
+            white_power_watts=1e-6,
+            flicker_power_watts=5e-7,
+            flicker_corner_hz=1e6,
+        )
+        n = src.generate(1 << 16, 80e6, rng)
+        assert np.mean(np.abs(n) ** 2) == pytest.approx(1.5e-6, rel=0.1)
+
+    def test_silent_source(self):
+        src = NoiseSource()
+        n = src.generate(128, 80e6, np.random.default_rng(0))
+        assert not n.any()
+
+
+class TestNoiseFigure:
+    def test_zero_nf_adds_nothing(self):
+        assert noise_figure_to_added_power(0.0, 20e6) == 0.0
+
+    def test_3db_doubles_floor(self):
+        added = noise_figure_to_added_power(10 * np.log10(2.0), 20e6)
+        assert added == pytest.approx(thermal_noise_power(20e6), rel=1e-9)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            noise_figure_to_added_power(-1.0, 20e6)

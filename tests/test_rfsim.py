@@ -1,0 +1,106 @@
+"""Tests for the SpectreRF-style analyses (repro.flow.rfsim)."""
+
+import numpy as np
+import pytest
+
+from repro.flow.rfsim import (
+    ac_response,
+    measure_noise_figure,
+    swept_power_compression,
+    two_tone_intermod,
+)
+from repro.rf.amplifier import Amplifier
+from repro.rf.filters import chebyshev_lowpass
+from repro.rf.nonlinearity import iip3_from_p1db
+
+
+class TestCompression:
+    def test_linear_amp_never_compresses(self):
+        amp = Amplifier(gain_db=12.0)
+        result = swept_power_compression(amp)
+        assert np.isnan(result.input_p1db_dbm)
+        assert result.small_signal_gain_db == pytest.approx(12.0, abs=0.05)
+
+    @pytest.mark.parametrize("p1db", [-20.0, -12.0, 0.0])
+    def test_p1db_extraction_cubic(self, p1db):
+        amp = Amplifier.spw_style(16.0, 0.0, p1db)
+        result = swept_power_compression(
+            amp, input_dbm=np.arange(p1db - 30, p1db + 8, 1.0)
+        )
+        assert result.input_p1db_dbm == pytest.approx(p1db, abs=0.2)
+
+    def test_p1db_extraction_rapp(self):
+        amp = Amplifier.spectre_style(10.0, 0.0, iip3_dbm=-5.0)
+        result = swept_power_compression(amp)
+        assert result.input_p1db_dbm == pytest.approx(
+            -5.0 - 9.636, abs=0.5
+        )
+
+    def test_output_power_monotone(self):
+        amp = Amplifier.spw_style(10.0, 0.0, -10.0)
+        result = swept_power_compression(amp)
+        assert (np.diff(result.output_dbm) > -0.5).all()
+
+
+class TestIntermod:
+    def test_iip3_matches_cubic_model(self):
+        amp = Amplifier.spw_style(16.0, 0.0, -12.0)
+        result = two_tone_intermod(amp, tone_power_dbm=-40.0)
+        expected = iip3_from_p1db(-12.0)
+        assert result.iip3_dbm == pytest.approx(expected, abs=0.3)
+
+    def test_oip3_is_iip3_plus_gain(self):
+        amp = Amplifier.spw_style(10.0, 0.0, 0.0)
+        result = two_tone_intermod(amp, tone_power_dbm=-30.0)
+        assert result.oip3_dbm - result.iip3_dbm == pytest.approx(
+            result.gain_db, abs=0.01
+        )
+
+    def test_im3_below_fundamental(self):
+        amp = Amplifier.spw_style(10.0, 0.0, -5.0)
+        result = two_tone_intermod(amp, tone_power_dbm=-35.0)
+        assert result.im3_dbm < result.fundamental_dbm - 30.0
+
+    def test_extraction_stable_across_drive(self):
+        amp = Amplifier.spw_style(12.0, 0.0, -10.0)
+        lo = two_tone_intermod(amp, tone_power_dbm=-45.0)
+        hi = two_tone_intermod(amp, tone_power_dbm=-35.0)
+        assert lo.iip3_dbm == pytest.approx(hi.iip3_dbm, abs=0.7)
+
+
+class TestNoiseFigure:
+    @pytest.mark.parametrize("nf", [2.0, 5.0, 9.0])
+    def test_nf_extraction(self, nf):
+        amp = Amplifier(gain_db=20.0, noise_figure_db=nf)
+        result = measure_noise_figure(
+            amp, rng=np.random.default_rng(7), n_trials=12
+        )
+        assert result.noise_figure_db == pytest.approx(nf, abs=0.4)
+
+    def test_noiseless_nf_zero(self):
+        amp = Amplifier(gain_db=15.0)
+        result = measure_noise_figure(amp, rng=np.random.default_rng(8))
+        assert result.noise_figure_db == pytest.approx(0.0, abs=0.3)
+
+    def test_gain_reported(self):
+        amp = Amplifier(gain_db=17.0, noise_figure_db=3.0)
+        result = measure_noise_figure(amp, rng=np.random.default_rng(9))
+        assert result.gain_db == pytest.approx(17.0, abs=0.2)
+
+
+class TestAcResponse:
+    def test_flat_for_amplifier(self):
+        amp = Amplifier(gain_db=6.0)
+        gains = ac_response(amp, [1e6, 5e6, 15e6])
+        assert np.allclose(np.abs(gains), 10 ** (6.0 / 20.0), rtol=0.02)
+
+    def test_filter_rolloff(self):
+        filt = chebyshev_lowpass(8e6, 80e6, order=7)
+        gains = ac_response(filt, [1e6, 20e6])
+        assert abs(gains[0]) > 0.8
+        assert abs(gains[1]) < 0.01
+
+    def test_returns_complex_phase(self):
+        filt = chebyshev_lowpass(8e6, 80e6, order=3)
+        gains = ac_response(filt, [4e6])
+        assert abs(np.angle(gains[0])) > 0.01  # causal filter: phase lag

@@ -1,0 +1,69 @@
+"""Tests for the 802.11a scrambler (repro.dsp.scrambler)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.scrambler import Scrambler, pilot_polarity_sequence, scramble
+
+
+class TestScrambler:
+    def test_sequence_period_127(self):
+        seq = Scrambler(0b1011101).sequence(254)
+        assert np.array_equal(seq[:127], seq[127:254])
+
+    def test_sequence_not_constant(self):
+        seq = Scrambler(0b1011101).sequence(127)
+        assert 0 < seq.sum() < 127
+
+    def test_scramble_is_involution(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, 500, dtype=np.uint8)
+        once = scramble(bits, seed=0b0110110)
+        twice = scramble(once, seed=0b0110110)
+        assert np.array_equal(twice, bits)
+
+    def test_different_seeds_differ(self):
+        bits = np.zeros(127, dtype=np.uint8)
+        a = scramble(bits, seed=1)
+        b = scramble(bits, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_scrambling_all_zero_yields_sequence(self):
+        s = Scrambler(0b1111111)
+        zeros = np.zeros(64, dtype=np.uint8)
+        assert np.array_equal(s.process(zeros), s.sequence(64))
+
+    @pytest.mark.parametrize("seed", [0, 128, -1, 200])
+    def test_invalid_seed_rejected(self, seed):
+        with pytest.raises(ValueError):
+            Scrambler(seed)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            Scrambler(1).sequence(-1)
+
+    def test_empty_input(self):
+        out = Scrambler(1).process(np.zeros(0, dtype=np.uint8))
+        assert out.size == 0
+
+
+class TestPilotPolarity:
+    def test_length_127(self):
+        assert pilot_polarity_sequence().size == 127
+
+    def test_values_pm_one(self):
+        p = pilot_polarity_sequence()
+        assert set(np.unique(p)) <= {-1.0, 1.0}
+
+    def test_standard_prefix(self):
+        # First 20 values of p_n from IEEE 802.11a-1999, 17.3.5.9.
+        expected = [1, 1, 1, 1, -1, -1, -1, 1, -1, -1, -1, -1, 1, 1, -1, 1,
+                    -1, -1, 1, 1]
+        p = pilot_polarity_sequence()
+        assert p[:20].tolist() == expected
+
+    def test_balance(self):
+        # The maximal-length LFSR sequence has 64 ones and 63 zeros.
+        p = pilot_polarity_sequence()
+        assert int((p == -1).sum()) == 64
+        assert int((p == 1).sum()) == 63

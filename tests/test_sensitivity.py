@@ -1,0 +1,116 @@
+"""Tests for sensitivity/ACR measurements (repro.core.sensitivity)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sensitivity import (
+    STANDARD_ADJACENT_REJECTION_DB,
+    STANDARD_SENSITIVITY_DBM,
+    find_sensitivity,
+    measure_adjacent_rejection,
+    measure_per,
+)
+from repro.core.testbench import TestbenchConfig
+from repro.rf.frontend import FrontendConfig
+
+
+class TestStandardTables:
+    def test_all_rates_present(self):
+        assert sorted(STANDARD_SENSITIVITY_DBM) == [6, 9, 12, 18, 24, 36, 48, 54]
+        assert sorted(STANDARD_ADJACENT_REJECTION_DB) == sorted(
+            STANDARD_SENSITIVITY_DBM
+        )
+
+    def test_monotone_with_rate(self):
+        rates = sorted(STANDARD_SENSITIVITY_DBM)
+        sens = [STANDARD_SENSITIVITY_DBM[r] for r in rates]
+        rej = [STANDARD_ADJACENT_REJECTION_DB[r] for r in rates]
+        assert sens == sorted(sens)  # higher rates need more power
+        assert rej == sorted(rej, reverse=True)  # and tolerate less ACI
+
+    def test_key_values(self):
+        assert STANDARD_SENSITIVITY_DBM[6] == -82.0
+        assert STANDARD_SENSITIVITY_DBM[54] == -65.0
+        assert STANDARD_ADJACENT_REJECTION_DB[6] == 16.0
+        assert STANDARD_ADJACENT_REJECTION_DB[54] == -1.0
+
+
+class TestMeasurePer:
+    def test_strong_signal_zero_per(self):
+        cfg = TestbenchConfig(
+            rate_mbps=24, psdu_bytes=60, thermal_floor=True,
+            frontend=FrontendConfig(), input_level_dbm=-55.0,
+        )
+        assert measure_per(cfg, n_packets=3, seed=0) == 0.0
+
+    def test_weak_signal_high_per(self):
+        cfg = TestbenchConfig(
+            rate_mbps=54, psdu_bytes=60, thermal_floor=True,
+            frontend=FrontendConfig(), input_level_dbm=-90.0,
+        )
+        assert measure_per(cfg, n_packets=3, seed=1) > 0.5
+
+
+class TestSensitivitySearch:
+    @pytest.mark.parametrize("rate,start", [(6, -86.0), (54, -70.0)])
+    def test_meets_standard(self, rate, start):
+        result = find_sensitivity(
+            rate, n_packets=5, psdu_bytes=100, start_dbm=start, seed=2
+        )
+        assert result.meets_standard, result
+        assert result.margin_db > 5.0  # NF 3.5 vs the assumed 10 dB
+        assert result.per_at_sensitivity <= 0.1
+
+    def test_rate_ordering(self):
+        low = find_sensitivity(6, n_packets=4, psdu_bytes=80,
+                               start_dbm=-86.0, seed=3)
+        high = find_sensitivity(54, n_packets=4, psdu_bytes=80,
+                                start_dbm=-70.0, seed=3)
+        assert low.sensitivity_dbm < high.sensitivity_dbm
+
+    def test_unknown_rate(self):
+        with pytest.raises(ValueError):
+            find_sensitivity(11)
+
+    def test_broken_receiver_raises(self):
+        # A front end compressed into uselessness never meets the PER
+        # target at the start level.
+        fe = FrontendConfig(lna_p1db_dbm=-90.0)
+        with pytest.raises(RuntimeError):
+            find_sensitivity(
+                54, frontend=fe, n_packets=3, psdu_bytes=60,
+                start_dbm=-60.0, floor_dbm=-62.0, seed=4,
+            )
+
+
+class TestAdjacentRejection:
+    def test_meets_standard_at_24mbps(self):
+        result = measure_adjacent_rejection(
+            24, sensitivity_dbm=-74.0, n_packets=4, psdu_bytes=80,
+            step_db=4.0, max_excess_db=24.0, seed=5,
+        )
+        assert result.offset_channels == 1
+        assert result.standard_requirement_db == 8.0
+        assert result.meets_standard
+
+    def test_bandwidth_validation(self):
+        with pytest.raises(ValueError):
+            measure_adjacent_rejection(
+                24, sensitivity_dbm=-74.0, offset_channels=2,
+                frontend=FrontendConfig(),  # only 80 MHz
+            )
+
+    def test_alternate_channel_no_requirement(self):
+        result = measure_adjacent_rejection(
+            24,
+            sensitivity_dbm=-74.0,
+            frontend=FrontendConfig(sample_rate_in=120e6),
+            offset_channels=2,
+            n_packets=3,
+            psdu_bytes=60,
+            step_db=8.0,
+            max_excess_db=16.0,
+            seed=6,
+        )
+        assert result.standard_requirement_db is None
+        assert result.meets_standard

@@ -1,0 +1,92 @@
+"""Tests for the SigCalc waveform toolkit (repro.flow.sigcalc)."""
+
+import numpy as np
+import pytest
+
+from repro.flow.sigcalc import (
+    estimate_tone,
+    render_constellation,
+    render_waveform,
+    waveform_stats,
+)
+from repro.rf.signal import Signal, dbm_to_watts
+
+
+def _tone(power_dbm, f, fs=20e6, n=4096):
+    t = np.arange(n) / fs
+    return Signal(
+        np.sqrt(dbm_to_watts(power_dbm)) * np.exp(2j * np.pi * f * t), fs
+    )
+
+
+class TestStats:
+    def test_constant_waveform(self):
+        s = Signal(np.full(100, 2.0 + 0j), 20e6)
+        stats = waveform_stats(s)
+        assert stats.rms == pytest.approx(2.0)
+        assert stats.peak == pytest.approx(2.0)
+        assert stats.crest_factor_db == pytest.approx(0.0)
+        assert stats.dc_fraction == pytest.approx(1.0)
+
+    def test_tone_crest_factor(self):
+        stats = waveform_stats(_tone(0.0, 1e6))
+        assert stats.crest_factor_db == pytest.approx(0.0, abs=0.01)
+        assert stats.mean_power_dbm == pytest.approx(0.0, abs=0.01)
+        assert stats.dc_fraction < 0.05
+
+    def test_ofdm_crest_factor(self):
+        from repro.dsp.transmitter import Transmitter, TxConfig, random_psdu
+
+        wave = Transmitter(TxConfig(rate_mbps=24)).transmit(
+            random_psdu(200, np.random.default_rng(0))
+        )
+        stats = waveform_stats(Signal(wave, 20e6))
+        assert 5.0 < stats.crest_factor_db < 15.0  # OFDM PAPR regime
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            waveform_stats(Signal(np.zeros(0, complex), 20e6))
+
+
+class TestToneEstimation:
+    @pytest.mark.parametrize("f", [-7.3e6, -1e6, 0.4e6, 5.12345e6])
+    def test_frequency_accuracy(self, f):
+        freq, power = estimate_tone(_tone(-10.0, f))
+        assert freq == pytest.approx(f, abs=2e3)  # sub-bin accuracy
+
+    def test_power_accuracy(self):
+        _, power = estimate_tone(_tone(-23.0, 3e6))
+        assert power == pytest.approx(-23.0, abs=0.3)
+
+    def test_strongest_line_wins(self):
+        a = _tone(-10.0, 2e6)
+        b = _tone(-30.0, -5e6)
+        combined = a.with_samples(a.samples + b.samples)
+        freq, _ = estimate_tone(combined)
+        assert freq == pytest.approx(2e6, abs=5e3)
+
+    def test_short_waveform_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_tone(Signal(np.zeros(4, complex), 20e6))
+
+
+class TestRendering:
+    def test_waveform_render(self):
+        text = render_waveform(_tone(0.0, 1e6), title="probe n1")
+        assert "probe n1" in text
+        assert "time [us]" in text
+
+    def test_waveform_render_empty(self):
+        assert "empty" in render_waveform(Signal(np.zeros(0, complex), 20e6))
+
+    def test_constellation_has_axes_and_points(self):
+        from repro.dsp.modulation import Mapper
+
+        bits = np.random.default_rng(0).integers(0, 2, 400, dtype=np.uint8)
+        symbols = Mapper("QAM16").map(bits)
+        text = render_constellation(symbols)
+        assert "*" in text
+        assert "+" in text  # axis crossing
+
+    def test_constellation_empty(self):
+        assert "no symbols" in render_constellation(np.zeros(0, complex))

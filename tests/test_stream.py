@@ -1,0 +1,95 @@
+"""Tests for multi-packet stream reception (repro.dsp.stream)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.receiver import RxConfig
+from repro.dsp.stream import StreamReceiver
+from repro.dsp.transmitter import Transmitter, TxConfig, random_psdu
+
+
+def _stream(psdus, rates, gap=300, snr_db=28.0, seed=0):
+    rng = np.random.default_rng(seed)
+    pieces = [np.zeros(gap, complex)]
+    for psdu, rate in zip(psdus, rates):
+        pieces.append(Transmitter(TxConfig(rate_mbps=rate)).transmit(psdu))
+        pieces.append(np.zeros(gap, complex))
+    samples = np.concatenate(pieces)
+    p = 10.0 ** (-snr_db / 10.0)
+    return samples + np.sqrt(p / 2) * (
+        rng.standard_normal(samples.size)
+        + 1j * rng.standard_normal(samples.size)
+    )
+
+
+class TestStreamReceiver:
+    def test_three_packets_same_rate(self):
+        rng = np.random.default_rng(1)
+        psdus = [random_psdu(60, rng) for _ in range(3)]
+        report = StreamReceiver().receive_stream(
+            _stream(psdus, [24, 24, 24], seed=1)
+        )
+        assert len(report.packets) == 3
+        for sent, got in zip(psdus, report.psdus):
+            assert np.array_equal(sent, got)
+
+    def test_mixed_rates_and_sizes(self):
+        rng = np.random.default_rng(2)
+        psdus = [random_psdu(n, rng) for n in (30, 200, 80)]
+        rates = [6, 54, 24]
+        report = StreamReceiver().receive_stream(
+            _stream(psdus, rates, seed=2)
+        )
+        assert len(report.packets) == 3
+        decoded_rates = [p.result.rate.data_rate_mbps for p in report.packets]
+        assert decoded_rates == rates
+        for sent, got in zip(psdus, report.psdus):
+            assert np.array_equal(sent, got)
+
+    def test_packet_starts_ordered(self):
+        rng = np.random.default_rng(3)
+        psdus = [random_psdu(40, rng) for _ in range(2)]
+        report = StreamReceiver().receive_stream(
+            _stream(psdus, [12, 12], seed=3)
+        )
+        starts = [p.start_index for p in report.packets]
+        assert starts == sorted(starts)
+        assert starts[1] - starts[0] > 400
+
+    def test_noise_only_stream(self):
+        rng = np.random.default_rng(4)
+        noise = rng.standard_normal(8000) + 1j * rng.standard_normal(8000)
+        report = StreamReceiver().receive_stream(noise)
+        assert report.packets == []
+
+    def test_empty_stream(self):
+        report = StreamReceiver().receive_stream(np.zeros(10, complex))
+        assert report.packets == []
+        assert report.samples_consumed == 0
+
+    def test_genie_timing_rejected(self):
+        with pytest.raises(ValueError):
+            StreamReceiver(RxConfig(genie_timing=True))
+
+    def test_failure_counted_not_fatal(self):
+        # A truncated packet followed by a good one: the good one should
+        # still be recovered.
+        rng = np.random.default_rng(5)
+        good = random_psdu(60, rng)
+        bad_wave = Transmitter(TxConfig(rate_mbps=24)).transmit(
+            random_psdu(400, rng)
+        )[:900]  # cut mid-DATA
+        good_wave = Transmitter(TxConfig(rate_mbps=24)).transmit(good)
+        samples = np.concatenate(
+            [np.zeros(200, complex), bad_wave, np.zeros(300, complex),
+             good_wave, np.zeros(200, complex)]
+        )
+        p = 10.0 ** (-28.0 / 10.0)
+        samples = samples + np.sqrt(p / 2) * (
+            rng.standard_normal(samples.size)
+            + 1j * rng.standard_normal(samples.size)
+        )
+        report = StreamReceiver().receive_stream(samples)
+        assert any(
+            np.array_equal(psdu, good) for psdu in report.psdus
+        )

@@ -1,0 +1,88 @@
+"""Tests for the per-subcarrier error profile (repro.core.metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import subcarrier_error_profile
+from repro.core.testbench import TestbenchConfig, WlanTestbench
+from repro.dsp.params import DATA_CARRIER_INDICES
+
+
+class TestProfileMath:
+    def test_perfect_is_zero(self):
+        rng = np.random.default_rng(0)
+        ref = rng.standard_normal((10, 48)) + 1j * rng.standard_normal((10, 48))
+        profile = subcarrier_error_profile(ref, ref)
+        assert profile.shape == (48,)
+        assert np.allclose(profile, 0.0)
+
+    def test_single_bad_column(self):
+        ref = np.ones((20, 48), dtype=complex)
+        rx = ref.copy()
+        rx[:, 7] += 0.5
+        profile = subcarrier_error_profile(rx, ref)
+        assert profile[7] == pytest.approx(0.5)
+        others = np.delete(profile, 7)
+        assert np.allclose(others, 0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            subcarrier_error_profile(np.ones((2, 48)), np.ones((3, 48)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            subcarrier_error_profile(
+                np.ones((0, 48)), np.ones((0, 48))
+            )
+
+
+class TestDiagnosticUse:
+    def test_zeroif_notch_hits_inner_subcarriers(self):
+        """A wide zero-IF DC block inflates EVM on the inner subcarriers."""
+        from repro.rf.zeroif import ZeroIfConfig
+
+        bench = WlanTestbench(
+            TestbenchConfig(
+                rate_mbps=24,
+                psdu_bytes=100,
+                thermal_floor=True,
+                frontend=ZeroIfConfig(
+                    dc_block_cutoff_hz=2.5e6,
+                    dc_block_order=2,
+                    lo_error_ppm=0.0,
+                    dc_offset_dbm=None,
+                    flicker_power_dbm=None,
+                    noise_enabled=False,
+                    adc_bits=None,
+                ),
+                input_level_dbm=-60.0,
+            )
+        )
+        rng = np.random.default_rng(1)
+        outcome = bench.run_packet(rng)
+        assert not outcome.lost
+        n = min(outcome.rx_result.data_symbols.shape[0],
+                outcome.tx_symbols.shape[0])
+        profile = subcarrier_error_profile(
+            outcome.rx_result.data_symbols[:n], outcome.tx_symbols[:n]
+        )
+        # Columns follow DATA_CARRIER_INDICES order: identify inner
+        # (|k| <= 2) and outer (|k| >= 20) carriers.
+        inner = np.abs(DATA_CARRIER_INDICES) <= 2
+        outer = np.abs(DATA_CARRIER_INDICES) >= 20
+        assert profile[inner].mean() > 2.0 * profile[outer].mean()
+
+    def test_awgn_profile_flat(self):
+        bench = WlanTestbench(
+            TestbenchConfig(rate_mbps=24, psdu_bytes=150, snr_db=18.0,
+                            genie_rx=True)
+        )
+        rng = np.random.default_rng(2)
+        outcome = bench.run_packet(rng)
+        n = min(outcome.rx_result.data_symbols.shape[0],
+                outcome.tx_symbols.shape[0])
+        profile = subcarrier_error_profile(
+            outcome.rx_result.data_symbols[:n], outcome.tx_symbols[:n]
+        )
+        # White noise: no subcarrier should be wildly above the median.
+        assert profile.max() < 4.0 * np.median(profile)

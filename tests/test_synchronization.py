@@ -1,0 +1,117 @@
+"""Tests for timing/frequency synchronization (repro.dsp.synchronization)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.synchronization import (
+    apply_cfo,
+    coarse_cfo_estimate,
+    detect_packet,
+    fine_cfo_estimate,
+    symbol_timing,
+)
+from repro.dsp.transmitter import Transmitter, TxConfig, random_psdu
+
+
+def _packet(rng, pad=300, rate=24, snr_db=20.0, cfo_hz=0.0):
+    wave = Transmitter(TxConfig(rate_mbps=rate)).transmit(
+        random_psdu(50, rng)
+    )
+    samples = np.concatenate(
+        [np.zeros(pad, complex), wave, np.zeros(100, complex)]
+    )
+    if cfo_hz:
+        samples = apply_cfo(samples, cfo_hz)
+    noise_power = 10.0 ** (-snr_db / 10.0)
+    samples = samples + np.sqrt(noise_power / 2) * (
+        rng.standard_normal(samples.size)
+        + 1j * rng.standard_normal(samples.size)
+    )
+    return samples
+
+
+class TestPacketDetection:
+    def test_detects_near_start(self):
+        rng = np.random.default_rng(0)
+        samples = _packet(rng, pad=300)
+        idx = detect_packet(samples)
+        assert idx is not None
+        assert 250 <= idx <= 340
+
+    def test_no_packet_in_noise(self):
+        rng = np.random.default_rng(1)
+        noise = (rng.standard_normal(2000) + 1j * rng.standard_normal(2000))
+        assert detect_packet(noise) is None
+
+    def test_too_short_input(self):
+        assert detect_packet(np.zeros(50, complex)) is None
+
+    def test_detection_at_low_snr(self):
+        rng = np.random.default_rng(2)
+        samples = _packet(rng, pad=400, snr_db=8.0)
+        idx = detect_packet(samples)
+        assert idx is not None
+        assert 300 <= idx <= 460
+
+
+class TestCfoEstimation:
+    @pytest.mark.parametrize("cfo", [-200e3, -50e3, 0.0, 104e3, 400e3])
+    def test_coarse_accuracy(self, cfo):
+        rng = np.random.default_rng(3)
+        samples = _packet(rng, pad=0, snr_db=25.0, cfo_hz=cfo)
+        est = coarse_cfo_estimate(samples[:160])
+        assert est == pytest.approx(cfo, abs=8e3)
+
+    def test_fine_accuracy(self):
+        rng = np.random.default_rng(4)
+        cfo = 30e3
+        samples = _packet(rng, pad=0, snr_db=25.0, cfo_hz=cfo)
+        est = fine_cfo_estimate(samples[160:320])
+        assert est == pytest.approx(cfo, abs=2e3)
+
+    def test_two_stage_residual_small(self):
+        rng = np.random.default_rng(5)
+        cfo = 137e3
+        samples = _packet(rng, pad=0, snr_db=25.0, cfo_hz=cfo)
+        coarse = coarse_cfo_estimate(samples[:160])
+        corrected = apply_cfo(samples, -coarse)
+        fine = fine_cfo_estimate(corrected[160:320])
+        assert coarse + fine == pytest.approx(cfo, abs=1.5e3)
+
+    def test_apply_cfo_invertible(self):
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal(100) + 1j * rng.standard_normal(100)
+        y = apply_cfo(apply_cfo(x, 55e3), -55e3)
+        assert np.allclose(x, y)
+
+    def test_short_input_rejected(self):
+        with pytest.raises(ValueError):
+            coarse_cfo_estimate(np.zeros(10, complex))
+        with pytest.raises(ValueError):
+            fine_cfo_estimate(np.zeros(100, complex))
+
+
+class TestSymbolTiming:
+    def test_finds_ltf_guard_start(self):
+        rng = np.random.default_rng(7)
+        pad = 333
+        samples = _packet(rng, pad=pad, snr_db=25.0)
+        # LTF guard starts at pad + 160.
+        gi = symbol_timing(samples, search_start=pad + 60)
+        assert gi is not None
+        assert abs(gi - (pad + 160)) <= 2
+
+    def test_search_window_too_small(self):
+        assert symbol_timing(np.zeros(30, complex), search_start=0) is None
+
+    def test_timing_with_multipath(self):
+        rng = np.random.default_rng(8)
+        pad = 200
+        samples = _packet(rng, pad=pad, snr_db=25.0)
+        channel = np.array([1.0, 0.3 + 0.2j, 0.1])
+        faded = np.convolve(samples, channel)[: samples.size]
+        gi = symbol_timing(faded, search_start=pad + 60)
+        assert gi is not None
+        # Multipath may bias timing by a couple of samples; the cyclic
+        # prefix absorbs that at the receiver.
+        assert abs(gi - (pad + 160)) <= 8

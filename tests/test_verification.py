@@ -1,0 +1,50 @@
+"""Tests for the executable design flow (repro.core.verification)."""
+
+import pytest
+
+from repro.core.verification import DesignFlow
+
+
+@pytest.fixture(scope="module")
+def completed_flow():
+    flow = DesignFlow(n_packets=2, psdu_bytes=40, seed=1)
+    flow.run_all()
+    return flow
+
+
+class TestDesignFlow:
+    def test_all_steps_executed(self, completed_flow):
+        assert len(completed_flow.reports) == 5
+        names = [r.name for r in completed_flow.reports]
+        assert names[0].startswith("1:")
+        assert names[-1].startswith("5:")
+
+    def test_all_steps_pass(self, completed_flow):
+        failing = [r.name for r in completed_flow.reports if not r.passed]
+        assert not failing, f"steps failed: {failing}"
+        assert completed_flow.all_passed
+
+    def test_step2_records_library_mismatch(self, completed_flow):
+        step2 = completed_flow.reports[1]
+        mismatches = step2.details["library_parameter_mismatches"]
+        assert any(name == "lna_model" for name, _, _ in mismatches)
+
+    def test_step4_calibration_folded_back(self, completed_flow):
+        step4 = completed_flow.reports[3]
+        assert abs(step4.details["residual_p1db_db"]) < 0.5
+
+    def test_step5_noise_gap_documented(self, completed_flow):
+        step5 = completed_flow.reports[4]
+        assert step5.details["netlist_warnings"]
+        assert step5.details["cosim_ber"] <= step5.details["system_ber"] + 1e-12
+
+    def test_step5_cosim_slower(self, completed_flow):
+        assert completed_flow.reports[4].details["cosim_slowdown"] > 1.0
+
+    def test_summary_renders(self, completed_flow):
+        text = completed_flow.summary()
+        assert "[PASS]" in text
+        assert "co-simulation" in text
+
+    def test_fresh_flow_not_passed(self):
+        assert not DesignFlow().all_passed

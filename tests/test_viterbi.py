@@ -1,0 +1,113 @@
+"""Tests for the Viterbi decoder (repro.dsp.viterbi)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.convcode import ConvolutionalEncoder, depuncture, puncture
+from repro.dsp.viterbi import ViterbiDecoder
+
+
+def _encode_terminated(bits):
+    bits = np.concatenate([bits, np.zeros(6, dtype=np.uint8)])
+    return bits, ConvolutionalEncoder().encode(bits)
+
+
+class TestHardDecoding:
+    def test_noiseless_roundtrip(self):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 2, 200, dtype=np.uint8)
+        bits, coded = _encode_terminated(data)
+        decoded = ViterbiDecoder().decode_hard(coded)
+        assert np.array_equal(decoded, bits)
+
+    def test_corrects_isolated_errors(self):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 2, 300, dtype=np.uint8)
+        bits, coded = _encode_terminated(data)
+        corrupted = coded.copy()
+        # Flip well-separated bits (free distance 10 of the K=7 code).
+        for pos in (10, 100, 250, 400, 550):
+            corrupted[pos] ^= 1
+        decoded = ViterbiDecoder().decode_hard(corrupted)
+        assert np.array_equal(decoded, bits)
+
+    def test_burst_beyond_capability_fails(self):
+        rng = np.random.default_rng(2)
+        data = rng.integers(0, 2, 100, dtype=np.uint8)
+        bits, coded = _encode_terminated(data)
+        corrupted = coded.copy()
+        corrupted[20:40] ^= 1  # 20-bit burst
+        decoded = ViterbiDecoder().decode_hard(corrupted)
+        assert not np.array_equal(decoded, bits)
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError):
+            ViterbiDecoder().decode_hard(np.zeros(7))
+
+
+class TestSoftDecoding:
+    def test_soft_roundtrip(self):
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 2, 150, dtype=np.uint8)
+        bits, coded = _encode_terminated(data)
+        llr = (1.0 - 2.0 * coded) * 5.0
+        decoded = ViterbiDecoder().decode_soft(llr)
+        assert np.array_equal(decoded, bits)
+
+    def test_soft_beats_hard_with_noise(self):
+        rng = np.random.default_rng(4)
+        n_trials = 8
+        soft_errors = 0
+        hard_errors = 0
+        for t in range(n_trials):
+            data = rng.integers(0, 2, 200, dtype=np.uint8)
+            bits, coded = _encode_terminated(data)
+            tx = 1.0 - 2.0 * coded
+            rx = tx + rng.normal(scale=0.85, size=tx.size)
+            soft = ViterbiDecoder().decode_soft(2.0 * rx)
+            hard = ViterbiDecoder().decode_hard((rx < 0).astype(np.uint8))
+            soft_errors += int((soft != bits).sum())
+            hard_errors += int((hard != bits).sum())
+        assert soft_errors <= hard_errors
+
+    @pytest.mark.parametrize("rate", [(2, 3), (3, 4)])
+    def test_punctured_roundtrip(self, rate):
+        rng = np.random.default_rng(5)
+        n = 120 if rate == (2, 3) else 120
+        data = rng.integers(0, 2, n, dtype=np.uint8)
+        bits, coded = _encode_terminated(data)
+        # Trim to a multiple of the puncture period.
+        period = 4 if rate == (2, 3) else 6
+        usable = coded.size - coded.size % period
+        coded = coded[:usable]
+        kept = puncture(coded, rate)
+        llr = depuncture((1.0 - 2.0 * kept) * 4.0, rate)
+        decoded = ViterbiDecoder(terminated=False).decode_soft(llr)
+        assert np.array_equal(decoded, bits[: decoded.size])
+
+    def test_erasures_only_decodes_something(self):
+        # All-zero LLRs carry no information; decoding must not crash and
+        # must return a valid bit array.
+        decoded = ViterbiDecoder(terminated=False).decode_soft(np.zeros(100))
+        assert decoded.size == 50
+        assert set(np.unique(decoded)) <= {0, 1}
+
+
+class TestTermination:
+    def test_unterminated_tail_needs_best_state(self):
+        rng = np.random.default_rng(6)
+        data = rng.integers(0, 2, 64, dtype=np.uint8)  # no tail bits
+        coded = ConvolutionalEncoder().encode(data)
+        llr = (1.0 - 2.0 * coded) * 3.0
+        decoded = ViterbiDecoder(terminated=False).decode_soft(llr)
+        assert np.array_equal(decoded, data)
+
+    def test_terminated_flag_wrong_degrades_tail(self):
+        rng = np.random.default_rng(7)
+        data = rng.integers(0, 2, 64, dtype=np.uint8)
+        data[-1] = 1  # ensure a non-zero final state
+        coded = ConvolutionalEncoder().encode(data)
+        llr = (1.0 - 2.0 * coded) * 3.0
+        decoded = ViterbiDecoder(terminated=True).decode_soft(llr)
+        # Forcing state 0 at the end corrupts at least the final bit.
+        assert not np.array_equal(decoded, data)
