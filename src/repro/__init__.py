@@ -13,9 +13,11 @@ The package provides:
   characterization analyses, netlisting, co-simulation),
 * :mod:`repro.core` — the paper's verification methodology: test benches,
   BER/EVM metrics, parameter sweeps, model calibration and the suggested
-  top-down design flow.
+  top-down design flow,
+* :mod:`repro.obs` — observability: structured tracing, metrics, run
+  manifests and profiling for every layer above.
 """
 
 __version__ = "1.0.0"
 
-__all__ = ["dsp", "rf", "channel", "spectrum", "flow", "core"]
+__all__ = ["dsp", "rf", "channel", "spectrum", "flow", "core", "obs"]

@@ -2,18 +2,25 @@
 
 Usage::
 
-    python -m repro quickstart
-    python -m repro fig5 [--packets N]
-    python -m repro fig6 [--packets N]
-    python -m repro table2
-    python -m repro sensitivity [--rates 6,24,54]
-    python -m repro flow
-    python -m repro netlist
+    repro quickstart                    (or: python -m repro ...)
+    repro fig5 [--packets N]
+    repro fig6 [--packets N]
+    repro table2
+    repro sensitivity [--rates 6,24,54]
+    repro flow
+    repro netlist
+    repro profile fig5 [--packets N]
+
+Observability: every command accepts ``--trace PATH`` (write a JSONL
+span/event trace with a run-manifest header line) and ``--metrics PATH``
+(write the run's metrics plus manifest as JSON).  ``repro profile``
+wraps any experiment in a tracer and prints a per-block time breakdown.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -178,6 +185,50 @@ def _cmd_campaign(args) -> int:
     return 0 if report.passed else 1
 
 
+#: Experiments the profiler can wrap, and whether they take --packets.
+_PROFILABLE = {
+    "quickstart": False,
+    "fig5": True,
+    "fig6": True,
+    "table2": False,
+    "sensitivity": True,
+    "flow": True,
+    "campaign": False,
+}
+
+
+def _cmd_profile(args) -> int:
+    from repro import obs
+    from repro.core.reporting import render_table
+
+    inner_argv = ["--seed", str(args.seed), args.experiment]
+    if _PROFILABLE[args.experiment]:
+        inner_argv += ["--packets", str(args.packets)]
+    inner = build_parser().parse_args(inner_argv)
+
+    # Reuse an already-installed tracer (e.g. from an outer --trace) so
+    # the profile and the trace file see the same spans.
+    active = obs.get_tracer()
+    tracer = active if active.enabled else obs.Tracer()
+    previous = obs.set_tracer(tracer)
+    try:
+        code = inner.func(inner)
+    finally:
+        obs.set_tracer(previous)
+
+    rows = obs.profile_rows(tracer.records, prefix="block:")
+    print()
+    print(f"per-block time breakdown ({args.experiment}):")
+    if rows:
+        print(render_table(
+            ["block", "calls", "total [s]", "mean [ms]", "share", "samples"],
+            rows,
+        ))
+    else:
+        print("(no block spans recorded)")
+    return code
+
+
 def _cmd_netlist(args) -> int:
     from repro.flow.netlist import NetlistCompiler, frontend_to_netlist
     from repro.rf.frontend import FrontendConfig
@@ -200,6 +251,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL span/event trace of the run to PATH",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write run metrics + manifest as JSON to PATH",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("quickstart", help="one packet end to end")
@@ -237,13 +300,59 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("netlist", help="emit + compile the RF netlist")
     p.add_argument("--target", choices=("ams", "spectre"), default="ams")
     p.set_defaults(func=_cmd_netlist)
+
+    p = sub.add_parser(
+        "profile",
+        help="run an experiment under the tracer and print the "
+             "per-block time breakdown",
+    )
+    p.add_argument("experiment", choices=sorted(_PROFILABLE))
+    p.add_argument("--packets", type=int, default=3)
+    p.set_defaults(func=_cmd_profile)
     return parser
+
+
+def _run_observed(args, argv) -> int:
+    """Run the selected command under a tracer + fresh metrics registry."""
+    from repro import obs
+
+    tracer = obs.Tracer()
+    registry = obs.MetricsRegistry()
+    manifest = obs.build_manifest(
+        seed=args.seed,
+        command="repro " + " ".join(argv if argv is not None else sys.argv[1:]),
+        config={
+            k: v for k, v in vars(args).items()
+            if k not in ("func", "trace", "metrics")
+        },
+    )
+    previous_tracer = obs.set_tracer(tracer)
+    previous_registry = obs.set_registry(registry)
+    try:
+        with tracer.span(f"run:{args.command}"):
+            code = args.func(args)
+    finally:
+        obs.set_tracer(previous_tracer)
+        obs.set_registry(previous_registry)
+    if args.trace:
+        tracer.write_jsonl(args.trace, header=manifest.as_dict())
+    if args.metrics:
+        payload = {
+            "manifest": manifest.as_dict(),
+            "metrics": registry.as_dict(),
+        }
+        with open(args.metrics, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return code
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.trace or args.metrics:
+        return _run_observed(args, argv)
     return args.func(args)
 
 

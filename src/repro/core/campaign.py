@@ -14,13 +14,14 @@ raises the packet counts for release-grade confidence.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.reporting import render_table
+from repro.obs.progress import ProgressEvent
 from repro.rf.frontend import FrontendConfig
 
 
@@ -90,23 +91,23 @@ class VerificationCampaign:
         from repro.dsp.receiver import Receiver, RxConfig
         from repro.dsp.transmitter import Transmitter, TxConfig, random_psdu
 
-        start = time.perf_counter()
-        rng = np.random.default_rng(self.seed)
-        failures = []
-        for rate in sorted(RATES):
-            psdu = random_psdu(60, rng)
-            wave = Transmitter(TxConfig(rate_mbps=rate)).transmit(psdu)
-            samples = np.concatenate(
-                [np.zeros(150, complex), wave, np.zeros(80, complex)]
-            )
-            result = Receiver(RxConfig()).receive(samples)
-            if not (result.success and np.array_equal(result.psdu, psdu)):
-                failures.append(rate)
+        with obs.timed("check:phy_loopback") as timer:
+            rng = np.random.default_rng(self.seed)
+            failures = []
+            for rate in sorted(RATES):
+                psdu = random_psdu(60, rng)
+                wave = Transmitter(TxConfig(rate_mbps=rate)).transmit(psdu)
+                samples = np.concatenate(
+                    [np.zeros(150, complex), wave, np.zeros(80, complex)]
+                )
+                result = Receiver(RxConfig()).receive(samples)
+                if not (result.success and np.array_equal(result.psdu, psdu)):
+                    failures.append(rate)
         return CheckResult(
             "phy loopback (8 rates)",
             not failures,
             "all rates decode" if not failures else f"failed: {failures}",
-            time.perf_counter() - start,
+            timer.elapsed,
         )
 
     def check_transmit_mask(self) -> CheckResult:
@@ -115,83 +116,83 @@ class VerificationCampaign:
         from repro.rf.signal import Signal
         from repro.spectrum.psd import check_transmit_mask
 
-        start = time.perf_counter()
-        rng = np.random.default_rng(self.seed)
-        wave = Transmitter(TxConfig(rate_mbps=54, oversample=4)).transmit(
-            random_psdu(300, rng)
-        )
-        ok, margin = check_transmit_mask(Signal(wave, 80e6))
+        with obs.timed("check:transmit_mask") as timer:
+            rng = np.random.default_rng(self.seed)
+            wave = Transmitter(TxConfig(rate_mbps=54, oversample=4)).transmit(
+                random_psdu(300, rng)
+            )
+            ok, margin = check_transmit_mask(Signal(wave, 80e6))
         return CheckResult(
             "transmit spectral mask",
             ok,
             f"worst margin {margin:+.1f} dB",
-            time.perf_counter() - start,
+            timer.elapsed,
         )
 
     def check_sensitivity(self) -> CheckResult:
         """Sensitivity meets IEEE table 91 at the lowest and highest rate."""
         from repro.core.sensitivity import find_sensitivity
 
-        start = time.perf_counter()
-        details = []
-        ok = True
-        for rate, start_dbm in ((6, -84.0), (54, -66.0)):
-            try:
-                result = find_sensitivity(
-                    rate,
-                    frontend=self.frontend,
-                    n_packets=self._n,
-                    psdu_bytes=100,
-                    start_dbm=start_dbm,
-                    seed=self.seed,
+        with obs.timed("check:sensitivity") as timer:
+            details = []
+            ok = True
+            for rate, start_dbm in ((6, -84.0), (54, -66.0)):
+                try:
+                    result = find_sensitivity(
+                        rate,
+                        frontend=self.frontend,
+                        n_packets=self._n,
+                        psdu_bytes=100,
+                        start_dbm=start_dbm,
+                        seed=self.seed,
+                    )
+                except RuntimeError:
+                    # The receiver misses the PER target even at the
+                    # starting level: an unambiguous sensitivity failure.
+                    ok = False
+                    details.append(
+                        f"{rate}M: fails even at {start_dbm:.0f} dBm"
+                    )
+                    continue
+                ok &= result.meets_standard
+                details.append(
+                    f"{rate}M: {result.sensitivity_dbm:.0f} dBm "
+                    f"(req {result.standard_requirement_dbm:.0f})"
                 )
-            except RuntimeError:
-                # The receiver misses the PER target even at the starting
-                # level: an unambiguous sensitivity failure.
-                ok = False
-                details.append(f"{rate}M: fails even at {start_dbm:.0f} dBm")
-                continue
-            ok &= result.meets_standard
-            details.append(
-                f"{rate}M: {result.sensitivity_dbm:.0f} dBm "
-                f"(req {result.standard_requirement_dbm:.0f})"
-            )
         return CheckResult(
             "minimum sensitivity",
             ok,
             "; ".join(details),
-            time.perf_counter() - start,
+            timer.elapsed,
         )
 
     def check_adjacent_rejection(self) -> CheckResult:
         """Adjacent-channel rejection meets table 91 at 24 Mbps."""
         from repro.core.sensitivity import measure_adjacent_rejection
 
-        start = time.perf_counter()
-        result = measure_adjacent_rejection(
-            24,
-            sensitivity_dbm=-74.0,
-            frontend=self.frontend,
-            n_packets=self._n,
-            psdu_bytes=100,
-            step_db=4.0,
-            max_excess_db=24.0,
-            seed=self.seed,
-        )
+        with obs.timed("check:adjacent_rejection") as timer:
+            result = measure_adjacent_rejection(
+                24,
+                sensitivity_dbm=-74.0,
+                frontend=self.frontend,
+                n_packets=self._n,
+                psdu_bytes=100,
+                step_db=4.0,
+                max_excess_db=24.0,
+                seed=self.seed,
+            )
         return CheckResult(
             "adjacent channel rejection",
             result.meets_standard,
             f"{result.rejection_db:+.0f} dB "
             f"(req {result.standard_requirement_db:+.0f})",
-            time.perf_counter() - start,
+            timer.elapsed,
         )
 
     def check_filter_valley(self) -> CheckResult:
         """Figure-5 shape: the nominal filter decodes, a narrow one fails."""
         from repro.channel.interference import InterferenceScenario
         from repro.core.testbench import TestbenchConfig, WlanTestbench
-
-        start = time.perf_counter()
 
         def ber(edge):
             cfg = TestbenchConfig(
@@ -206,22 +207,21 @@ class VerificationCampaign:
                 n_packets=self._n, seed=self.seed
             ).ber
 
-        nominal = ber(8.6e6)
-        narrow = ber(3e6)
+        with obs.timed("check:filter_valley") as timer:
+            nominal = ber(8.6e6)
+            narrow = ber(3e6)
         ok = nominal < 0.02 and narrow > 0.3
         return CheckResult(
             "figure-5 filter valley",
             ok,
             f"BER nominal {nominal:.3f}, narrow {narrow:.3f}",
-            time.perf_counter() - start,
+            timer.elapsed,
         )
 
     def check_linearity_waterfall(self) -> CheckResult:
         """Figure-6 shape: the design's P1dB survives the +16 dB adjacent."""
         from repro.channel.interference import InterferenceScenario
         from repro.core.testbench import TestbenchConfig, WlanTestbench
-
-        start = time.perf_counter()
 
         def ber(p1db):
             cfg = TestbenchConfig(
@@ -236,32 +236,33 @@ class VerificationCampaign:
                 n_packets=self._n, seed=self.seed
             ).ber
 
-        nominal = ber(self.frontend.lna_p1db_dbm)
-        compressed = ber(-50.0)
+        with obs.timed("check:linearity_waterfall") as timer:
+            nominal = ber(self.frontend.lna_p1db_dbm)
+            compressed = ber(-50.0)
         ok = nominal < 0.02 and compressed > 0.3
         return CheckResult(
             "figure-6 linearity waterfall",
             ok,
             f"BER at design P1dB {nominal:.3f}, at -50 dBm {compressed:.3f}",
-            time.perf_counter() - start,
+            timer.elapsed,
         )
 
     def check_cosim_consistency(self) -> CheckResult:
         """Co-simulation agrees at a clean point and warns about noise."""
         from repro.flow.cosim import CoSimConfig, CoSimulation
 
-        start = time.perf_counter()
-        cosim = CoSimulation(
-            self.frontend,
-            CoSimConfig(
-                rate_mbps=24,
-                psdu_bytes=60,
-                input_level_dbm=-55.0,
-                analog_substeps=1,
-            ),
-        )
-        system = cosim.run_system_only(2, seed=self.seed)
-        co = cosim.run_cosim(2, seed=self.seed)
+        with obs.timed("check:cosim_consistency") as timer:
+            cosim = CoSimulation(
+                self.frontend,
+                CoSimConfig(
+                    rate_mbps=24,
+                    psdu_bytes=60,
+                    input_level_dbm=-55.0,
+                    analog_substeps=1,
+                ),
+            )
+            system = cosim.run_system_only(2, seed=self.seed)
+            co = cosim.run_cosim(2, seed=self.seed)
         ok = (
             system.ber == 0.0
             and co.ber == 0.0
@@ -273,7 +274,7 @@ class VerificationCampaign:
             ok,
             f"system/cosim BER {system.ber:.3f}/{co.ber:.3f}, "
             f"slowdown {co.wall_time_s / max(system.wall_time_s, 1e-9):.0f}x",
-            time.perf_counter() - start,
+            timer.elapsed,
         )
 
     #: Check registry in execution order.
@@ -287,12 +288,43 @@ class VerificationCampaign:
         "check_cosim_consistency",
     )
 
-    def run(self, only: Optional[List[str]] = None) -> CampaignReport:
-        """Execute the campaign (or a named subset of checks)."""
+    def run(
+        self,
+        only: Optional[List[str]] = None,
+        progress: Optional[Callable] = None,
+    ) -> CampaignReport:
+        """Execute the campaign (or a named subset of checks).
+
+        Args:
+            only: short check names to run (e.g. ``["phy_loopback"]``).
+            progress: same accepted shapes as
+                :meth:`repro.core.sweep.ParameterSweep.run` — ``None``,
+                a string callback, or a structured listener; one event
+                is emitted per completed check.
+        """
+        emit = obs.as_listener(progress)
+        selected = [
+            name for name in self.CHECKS
+            if only is None or name.removeprefix("check_") in only
+        ]
         report = CampaignReport()
-        for method_name in self.CHECKS:
-            short = method_name.removeprefix("check_")
-            if only is not None and short not in only:
-                continue
-            report.results.append(getattr(self, method_name)())
+        with obs.span("campaign", depth=self.depth, checks=len(selected)):
+            for i, method_name in enumerate(selected):
+                result = getattr(self, method_name)()
+                report.results.append(result)
+                emit(ProgressEvent(
+                    stage="campaign",
+                    current=i + 1,
+                    total=len(selected),
+                    message=(
+                        f"{result.name}: "
+                        f"{'PASS' if result.passed else 'FAIL'} "
+                        f"({result.duration_s:.1f}s) {result.detail}"
+                    ),
+                    data={
+                        "check": method_name.removeprefix("check_"),
+                        "passed": result.passed,
+                        "duration_s": result.duration_s,
+                    },
+                ))
         return report

@@ -16,9 +16,11 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.metrics import BerMeasurement
 from repro.core.reporting import render_table
 from repro.core.testbench import TestbenchConfig, WlanTestbench
+from repro.obs.progress import ProgressEvent
 
 
 @dataclass
@@ -110,21 +112,45 @@ class ParameterSweep:
             )
         return replace(cfg, **{self.parameter: value})
 
-    def run(self, progress: Optional[Callable[[str], None]] = None) -> SweepResult:
-        """Execute the sweep and return per-point measurements."""
+    def run(self, progress: Optional[Callable] = None) -> SweepResult:
+        """Execute the sweep and return per-point measurements.
+
+        Args:
+            progress: ``None``, a legacy string callback (e.g.
+                :func:`print`), or a structured
+                :class:`repro.obs.ProgressListener`; every point is also
+                mirrored to the active tracer as a progress event.
+        """
+        emit = obs.as_listener(progress)
         points = []
-        for i, value in enumerate(self.values):
-            bench = WlanTestbench(self._configured(value))
-            measurement = bench.measure_ber(
-                n_packets=self.n_packets,
-                seed=self.seed + 1000 * i,
-                max_bit_errors=self.max_bit_errors,
-            )
-            points.append(SweepPoint(float(value), measurement))
-            if progress is not None:
-                progress(
-                    f"{self.parameter}={value:.6g}: BER={measurement.ber:.4g}"
-                )
+        with obs.span(
+            "sweep", parameter=self.parameter, n_points=len(self.values)
+        ):
+            for i, value in enumerate(self.values):
+                bench = WlanTestbench(self._configured(value))
+                with obs.span("sweep:point", value=float(value)):
+                    measurement = bench.measure_ber(
+                        n_packets=self.n_packets,
+                        seed=self.seed + 1000 * i,
+                        max_bit_errors=self.max_bit_errors,
+                    )
+                points.append(SweepPoint(float(value), measurement))
+                emit(ProgressEvent(
+                    stage="sweep",
+                    current=i + 1,
+                    total=len(self.values),
+                    message=(
+                        f"{self.parameter}={value:.6g}: "
+                        f"BER={measurement.ber:.4g}"
+                    ),
+                    data={
+                        "parameter": self.parameter,
+                        "value": float(value),
+                        "ber": measurement.ber,
+                        "per": measurement.per,
+                        "packets": measurement.packets,
+                    },
+                ))
         return SweepResult(self.parameter, points)
 
 

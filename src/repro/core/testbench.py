@@ -18,6 +18,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.channel.awgn import AwgnChannel
 from repro.channel.fading import FadingChannel
 from repro.channel.interference import InterferenceScenario
@@ -151,11 +152,18 @@ class WlanTestbench:
 
     # ------------------------------------------------------------------
     def run_packet(self, rng: np.random.Generator) -> PacketOutcome:
-        """Send one packet through the complete chain and decode it."""
+        """Send one packet through the complete chain and decode it.
+
+        Each stage runs under a ``block:`` span so a traced run yields a
+        per-block time breakdown (``repro profile``); with the default
+        no-op tracer the spans cost nothing.
+        """
         cfg = self.config
         tx = Transmitter(self._tx_config)
         psdu = random_psdu(cfg.psdu_bytes, rng)
-        wave = tx.transmit(psdu)
+        with obs.span("block:transmitter", rate_mbps=cfg.rate_mbps) as sp:
+            wave = tx.transmit(psdu)
+            sp.set(samples=wave.size)
         guard = np.zeros(cfg.guard_samples * self.oversample, dtype=complex)
         samples = np.concatenate([guard, wave, guard])
         sample_rate = self._tx_config.sample_rate
@@ -167,25 +175,28 @@ class WlanTestbench:
         if cfg.frontend is not None or cfg.thermal_floor:
             sig = sig.scaled_to_dbm(cfg.input_level_dbm)
 
-        sig = cfg.interference.apply(sig, rng)
-        if cfg.fading is not None:
-            sig = cfg.fading.process(sig, rng)
-        sig = AwgnChannel(
-            snr_db=cfg.snr_db,
-            include_thermal_floor=cfg.thermal_floor,
-        ).process(sig, rng)
+        with obs.span("block:channel", samples=len(sig)):
+            sig = cfg.interference.apply(sig, rng)
+            if cfg.fading is not None:
+                sig = cfg.fading.process(sig, rng)
+            sig = AwgnChannel(
+                snr_db=cfg.snr_db,
+                include_thermal_floor=cfg.thermal_floor,
+            ).process(sig, rng)
 
         if cfg.frontend is not None:
-            sig = _build_frontend(cfg.frontend).process(sig, rng)
+            with obs.span("block:rf_frontend", samples=len(sig)):
+                sig = _build_frontend(cfg.frontend).process(sig, rng)
         elif self.oversample > 1:
             # No RF front end: decimate back to 20 MHz for the receiver
             # (ideal anti-alias — the DSP-only configuration).
             from scipy.signal import resample_poly
 
-            sig = Signal(
-                resample_poly(sig.samples, 1, self.oversample),
-                sample_rate / self.oversample,
-            )
+            with obs.span("block:decimator", samples=len(sig)):
+                sig = Signal(
+                    resample_poly(sig.samples, 1, self.oversample),
+                    sample_rate / self.oversample,
+                )
 
         # Output level adaptation ("constant multipliers").
         power = sig.power_watts()
@@ -196,7 +207,8 @@ class WlanTestbench:
             # valid without a front end (whose group delay would shift it).
             baseband = baseband[cfg.guard_samples :]
 
-        result = Receiver(self._rx_config).receive(baseband)
+        with obs.span("block:receiver", samples=baseband.size):
+            result = Receiver(self._rx_config).receive(baseband)
         n_bits = 8 * cfg.psdu_bytes
         tx_symbols = tx.data_symbols(psdu)
         if not result.success or result.psdu.size != psdu.size:
@@ -242,7 +254,15 @@ class WlanTestbench:
                 and counter.bit_errors >= max_bit_errors
             ):
                 break
-        return counter.result()
+        measurement = counter.result()
+        registry = obs.get_registry()
+        registry.counter(
+            "packets_simulated", "packets run through the test bench"
+        ).inc(measurement.packets)
+        registry.histogram(
+            "ber", "bit error rate per BER measurement"
+        ).observe(measurement.ber, rate_mbps=self.config.rate_mbps)
+        return measurement
 
     # ------------------------------------------------------------------
     def measure_evm(

@@ -14,14 +14,24 @@ interpreted and compiled (SPB-C) simulation:
 Probes capture wire contents; they can be deselected ("to avoid a data
 overload, it can be necessary to deselect probes during simulations with a
 large number of samples").
+
+Every run also accounts *time* per block: :class:`RunResult` carries a
+:class:`BlockStat` per block (invocations, work seconds, samples in/out)
+in both execution modes — the engine-side extension of the probe concept
+from signals to wall-clock.  When a :class:`repro.obs.Tracer` is active
+the compiled mode additionally emits one ``block:<name>`` span per
+invocation, so ``repro profile`` can render a breakdown offline.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro import obs
 
 
 class SchematicError(RuntimeError):
@@ -324,6 +334,25 @@ class Schematic:
 
 
 @dataclass
+class BlockStat:
+    """Per-block accounting for one engine run.
+
+    Attributes:
+        name: block instance name.
+        calls: ``work()`` invocations (0 for pre-rolled sources in
+            interpreted mode).
+        work_seconds: monotonic time spent inside ``work()``.
+        samples_in / samples_out: summed array sizes over all ports.
+    """
+
+    name: str
+    calls: int = 0
+    work_seconds: float = 0.0
+    samples_in: int = 0
+    samples_out: int = 0
+
+
+@dataclass
 class RunResult:
     """Outcome of one engine run.
 
@@ -332,11 +361,14 @@ class RunResult:
             every block, keyed ``"block.port"``.
         probes: captured samples for probed wires, keyed ``"block.port"``.
         n_block_invocations: total block work() calls (engine statistics).
+        block_stats: per-block time and sample accounting, keyed by
+            block instance name.
     """
 
     outputs: Dict[str, np.ndarray]
     probes: Dict[str, np.ndarray]
     n_block_invocations: int
+    block_stats: Dict[str, BlockStat] = field(default_factory=dict)
 
 
 class DataflowEngine:
@@ -348,6 +380,9 @@ class DataflowEngine:
         frame_size: samples per frame in interpreted mode.
         sample_rate: nominal sample rate handed to blocks.
         seed: seed of the run's random generator.
+        tracer: span sink for per-block timing; None uses the process
+            tracer (a no-op unless one was installed via
+            :func:`repro.obs.set_tracer`).
     """
 
     def __init__(
@@ -356,6 +391,7 @@ class DataflowEngine:
         frame_size: int = 256,
         sample_rate: float = 20e6,
         seed: int = 0,
+        tracer=None,
     ):
         if mode not in ("compiled", "interpreted"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -365,6 +401,10 @@ class DataflowEngine:
         self.frame_size = frame_size
         self.sample_rate = sample_rate
         self.seed = seed
+        self.tracer = tracer
+
+    def _active_tracer(self):
+        return self.tracer if self.tracer is not None else obs.get_tracer()
 
     def run(self, schematic: Schematic) -> RunResult:
         """Run the schematic until its sources are exhausted."""
@@ -377,13 +417,19 @@ class DataflowEngine:
         )
         for block in schematic.blocks.values():
             block.reset()
-        if self.mode == "compiled":
-            return self._run_compiled(schematic, order, ctx)
-        return self._run_interpreted(schematic, order, ctx)
+        with self._active_tracer().span(
+            "engine:run", schematic=schematic.name, mode=self.mode
+        ):
+            if self.mode == "compiled":
+                return self._run_compiled(schematic, order, ctx)
+            return self._run_interpreted(schematic, order, ctx)
 
     def _run_compiled(self, schematic, order, ctx) -> RunResult:
+        tracer = self._active_tracer()
+        tracing = tracer.enabled
         values: Dict[Tuple[str, str], np.ndarray] = {}
         probes: Dict[str, np.ndarray] = {}
+        stats: Dict[str, BlockStat] = {}
         invocations = 0
         for name in order:
             block = schematic._blocks[name]
@@ -391,7 +437,10 @@ class DataflowEngine:
                 port: values[schematic._input_bindings[(name, port)]]
                 for port in block.inputs
             }
+            n_in = sum(arr.size for arr in inputs.values())
+            start = time.perf_counter()
             outputs = block.work(inputs, ctx)
+            work_s = time.perf_counter() - start
             invocations += 1
             for port in block.outputs:
                 if port not in outputs:
@@ -399,13 +448,27 @@ class DataflowEngine:
                         f"{name} did not produce output {port!r}"
                     )
                 values[(name, port)] = outputs[port]
+            n_out = sum(
+                outputs[port].size for port in block.outputs
+            )
+            stats[name] = BlockStat(name, 1, work_s, n_in, n_out)
+            if tracing:
+                tracer.record_span(
+                    f"block:{name}",
+                    work_s,
+                    kind=type(block).__name__,
+                    mode="compiled",
+                    samples=n_out,
+                    samples_in=n_in,
+                )
         for key, wire in schematic._wires.items():
             if wire.probed and key in values:
                 probes[f"{key[0]}.{key[1]}"] = values[key]
         outputs = {f"{b}.{p}": v for (b, p), v in values.items()}
-        return RunResult(outputs, probes, invocations)
+        return RunResult(outputs, probes, invocations, stats)
 
     def _run_interpreted(self, schematic, order, ctx) -> RunResult:
+        tracer = self._active_tracer()
         for name in order:
             block = schematic._blocks[name]
             if not block.supports_interpreted:
@@ -413,6 +476,9 @@ class DataflowEngine:
                     f"block {name} ({type(block).__name__}) does not "
                     f"support interpreted mode; use compiled mode"
                 )
+        stats: Dict[str, BlockStat] = {
+            name: BlockStat(name) for name in order
+        }
         # Sources produce their full stream once; the engine then steps
         # through it frame by frame.
         source_streams: Dict[str, Dict[str, np.ndarray]] = {}
@@ -420,9 +486,14 @@ class DataflowEngine:
         for name in order:
             block = schematic._blocks[name]
             if not block.inputs:
+                start = time.perf_counter()
                 outputs = block.work({}, ctx)
+                stat = stats[name]
+                stat.calls += 1
+                stat.work_seconds += time.perf_counter() - start
                 source_streams[name] = outputs
                 for arr in outputs.values():
+                    stat.samples_out += arr.size
                     stream_length = max(stream_length, arr.size)
         chunks: Dict[Tuple[str, str], List[np.ndarray]] = {}
         invocations = 0
@@ -443,11 +514,35 @@ class DataflowEngine:
                         port: values[schematic._input_bindings[(name, port)]]
                         for port in block.inputs
                     }
+                    stat = stats[name]
+                    stat.samples_in += sum(
+                        arr.size for arr in inputs.values()
+                    )
+                    start = time.perf_counter()
                     outputs = block.work(inputs, ctx)
+                    stat.work_seconds += time.perf_counter() - start
+                    stat.calls += 1
+                    stat.samples_out += sum(
+                        arr.size for arr in outputs.values()
+                    )
                     invocations += 1
                 for port, arr in outputs.items():
                     values[(name, port)] = arr
                     chunks.setdefault((name, port), []).append(arr)
+        if tracer.enabled:
+            # One summary span per block (not per frame) keeps traces
+            # bounded for long interpreted runs.
+            for name in order:
+                stat = stats[name]
+                tracer.record_span(
+                    f"block:{name}",
+                    stat.work_seconds,
+                    kind=type(schematic._blocks[name]).__name__,
+                    mode="interpreted",
+                    calls=stat.calls,
+                    samples=stat.samples_out,
+                    samples_in=stat.samples_in,
+                )
         merged = {
             f"{b}.{p}": np.concatenate(arrs) if arrs else np.zeros(0)
             for (b, p), arrs in chunks.items()
@@ -457,4 +552,4 @@ class DataflowEngine:
             for k, wire in schematic._wires.items()
             if wire.probed and f"{k[0]}.{k[1]}" in merged
         }
-        return RunResult(merged, probes, invocations)
+        return RunResult(merged, probes, invocations, stats)

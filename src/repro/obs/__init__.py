@@ -1,0 +1,134 @@
+"""``repro.obs`` — observability for the verification flow.
+
+One package instruments the whole stack: structured tracing (nested
+spans and events with a JSONL sink), a metrics registry (counters,
+gauges, histograms with labels), run manifests (seed, config, versions,
+source revision), unified progress events, and trace-profile analysis.
+
+The instrumentation is **zero-cost when disabled**: the default tracer
+is a no-op, so library code can be sprinkled with ``obs.span(...)``
+without slowing down untraced runs.
+
+Typical producer code::
+
+    from repro import obs
+
+    with obs.span("block:receiver", samples=baseband.size):
+        result = receiver.receive(baseband)
+    obs.get_registry().counter("packets_simulated").inc()
+
+Typical consumer code::
+
+    tracer = obs.Tracer()
+    previous = obs.set_tracer(tracer)
+    try:
+        run_experiment()
+    finally:
+        obs.set_tracer(previous)
+    tracer.write_jsonl("run.jsonl", header=obs.build_manifest().as_dict())
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.obs.manifest import RunManifest, build_manifest, source_revision
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.profile import SpanSummary, aggregate_spans, profile_rows
+from repro.obs.progress import ProgressEvent, ProgressListener, as_listener, printer
+from repro.obs.tracer import (
+    EventRecord,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    event,
+    get_tracer,
+    read_jsonl,
+    set_tracer,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "EventRecord",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "ProgressEvent",
+    "ProgressListener",
+    "RunManifest",
+    "SpanRecord",
+    "SpanSummary",
+    "Timed",
+    "Tracer",
+    "aggregate_spans",
+    "as_listener",
+    "build_manifest",
+    "event",
+    "get_registry",
+    "get_tracer",
+    "printer",
+    "profile_rows",
+    "read_jsonl",
+    "set_registry",
+    "set_tracer",
+    "source_revision",
+    "span",
+    "timed",
+]
+
+
+class Timed:
+    """A context manager that always measures, and traces when enabled.
+
+    Unlike :func:`span` — which is free when tracing is off and
+    therefore measures nothing — ``Timed`` always reads the monotonic
+    clock, so callers that *need* the duration (the campaign's
+    ``CheckResult.duration_s``, the co-simulation's wall times) get it
+    identically whether or not a tracer is active.
+
+    Attributes:
+        elapsed: monotonic seconds; live while open, frozen after exit.
+    """
+
+    def __init__(self, name: str, **attributes):
+        self._name = name
+        self._attributes = attributes
+        self._span = None
+        self._start = 0.0
+        self._elapsed: Optional[float] = None
+
+    @property
+    def elapsed(self) -> float:
+        if self._elapsed is not None:
+            return self._elapsed
+        return time.perf_counter() - self._start
+
+    def set(self, **attributes) -> "Timed":
+        """Attach attributes to the underlying span (if tracing)."""
+        self._span.set(**attributes)
+        return self
+
+    def __enter__(self) -> "Timed":
+        self._span = span(self._name, **self._attributes)
+        self._span.__enter__()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._elapsed = time.perf_counter() - self._start
+        self._span.__exit__(exc_type, exc, tb)
+
+
+def timed(name: str, **attributes) -> Timed:
+    """Open a :class:`Timed` region (the campaign's timing primitive)."""
+    return Timed(name, **attributes)

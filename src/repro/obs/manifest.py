@@ -1,0 +1,137 @@
+"""Run manifests: who/what/when of a simulation run.
+
+Every traced run writes a manifest — seed, command line, a config
+snapshot, tool versions, and a git-describe-style identifier — so a
+trace file found on disk six months later is still attributable to an
+exact code state and invocation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["RunManifest", "build_manifest", "source_revision"]
+
+
+def source_revision() -> Optional[str]:
+    """``git describe --always --dirty`` of the source tree, or None.
+
+    Best-effort: returns None when the package is not running from a git
+    checkout (installed wheel, stripped CI checkout, no git binary).
+    """
+    here = os.path.dirname(os.path.abspath(__file__))
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            cwd=here,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    rev = out.stdout.strip()
+    return rev or None
+
+
+def _package_versions() -> Dict[str, str]:
+    versions = {"python": platform.python_version()}
+    for module_name in ("numpy", "scipy"):
+        module = sys.modules.get(module_name)
+        if module is None:
+            try:
+                module = __import__(module_name)
+            except ImportError:
+                continue
+        versions[module_name] = getattr(module, "__version__", "unknown")
+    return versions
+
+
+def _config_snapshot(config: Any) -> Any:
+    """Best-effort JSON-friendly rendering of a configuration object."""
+    if config is None:
+        return None
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        config = dataclasses.asdict(config)
+    if isinstance(config, dict):
+        return {str(k): _config_snapshot(v) for k, v in config.items()}
+    if isinstance(config, (list, tuple)):
+        return [_config_snapshot(v) for v in config]
+    if isinstance(config, (str, int, float, bool)):
+        return config
+    return repr(config)
+
+
+@dataclass
+class RunManifest:
+    """Provenance record written alongside a trace.
+
+    Attributes:
+        run_id: git-describe-style identifier of this run.
+        created_unix_s / created_iso: run start timestamp.
+        seed: the run's base random seed (None if not applicable).
+        command: the invoking command line.
+        config: JSON-friendly snapshot of the run configuration.
+        versions: python/numpy/scipy versions.
+        platform: interpreter platform string.
+    """
+
+    run_id: str
+    created_unix_s: float
+    created_iso: str
+    seed: Optional[int] = None
+    command: Optional[str] = None
+    config: Any = None
+    versions: Dict[str, str] = field(default_factory=dict)
+    platform: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        d = dataclasses.asdict(self)
+        d["type"] = "manifest"
+        return d
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+
+def build_manifest(
+    seed: Optional[int] = None,
+    command: Optional[str] = None,
+    config: Any = None,
+) -> RunManifest:
+    """Assemble a :class:`RunManifest` for the current process.
+
+    The run id composes the package version, the source revision when
+    available, and a timestamp fragment for uniqueness:
+    ``repro-1.0.0-g3f2a1c9-8a4f2b`` style.
+    """
+    try:
+        from repro import __version__ as version
+    except ImportError:
+        version = "unknown"
+    now = time.time()
+    rev = source_revision()
+    parts = [f"repro-{version}"]
+    if rev:
+        parts.append(rev if rev.startswith("g") else f"g{rev}")
+    parts.append(f"{int(now * 1e6) & 0xFFFFFF:06x}")
+    return RunManifest(
+        run_id="-".join(parts),
+        created_unix_s=now,
+        created_iso=time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime(now)),
+        seed=seed,
+        command=command,
+        config=_config_snapshot(config),
+        versions=_package_versions(),
+        platform=platform.platform(),
+    )

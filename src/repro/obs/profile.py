@@ -1,0 +1,122 @@
+"""Trace analysis: aggregate spans into a per-block time profile.
+
+The ``repro profile`` subcommand and the Table-2 reproduction both boil
+down to the same question — *where did the wall-clock go?* — answered by
+grouping finished spans by name and summing durations.  The functions
+here accept either live :class:`~repro.obs.tracer.SpanRecord` objects or
+the dicts produced by :func:`~repro.obs.tracer.read_jsonl`, so a profile
+can be computed in-process right after a run or offline from a trace
+file written months earlier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = ["SpanSummary", "aggregate_spans", "profile_rows"]
+
+
+@dataclass
+class SpanSummary:
+    """Aggregate statistics for one span name.
+
+    Attributes:
+        name: span name (shared by all aggregated instances).
+        calls: number of finished spans.
+        total_s: summed duration.
+        min_s / max_s: extreme single-span durations.
+        samples: summed ``samples`` attribute where present (sample
+            throughput accounting from the dataflow engine).
+    """
+
+    name: str
+    calls: int = 0
+    total_s: float = 0.0
+    min_s: float = float("inf")
+    max_s: float = 0.0
+    samples: int = 0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.calls if self.calls else 0.0
+
+
+def _span_fields(record) -> Optional[Dict[str, Any]]:
+    """Normalise a SpanRecord or a JSONL dict to (name, duration, attrs)."""
+    if isinstance(record, dict):
+        if record.get("type") != "span":
+            return None
+        return {
+            "name": record["name"],
+            "duration_s": record["duration_s"],
+            "attributes": record.get("attributes") or {},
+        }
+    name = getattr(record, "name", None)
+    duration = getattr(record, "duration_s", None)
+    if name is None or duration is None:
+        return None
+    return {
+        "name": name,
+        "duration_s": duration,
+        "attributes": getattr(record, "attributes", {}) or {},
+    }
+
+
+def aggregate_spans(
+    records: Iterable[Any], prefix: str = ""
+) -> Dict[str, SpanSummary]:
+    """Group spans by name and accumulate duration/call/sample totals.
+
+    Args:
+        records: span records or trace-file dicts (non-spans skipped).
+        prefix: keep only span names starting with this prefix.
+
+    Returns:
+        Mapping of span name to its :class:`SpanSummary`.
+    """
+    summaries: Dict[str, SpanSummary] = {}
+    for record in records:
+        fields = _span_fields(record)
+        if fields is None or not fields["name"].startswith(prefix):
+            continue
+        name = fields["name"]
+        summary = summaries.get(name)
+        if summary is None:
+            summary = summaries[name] = SpanSummary(name)
+        duration = float(fields["duration_s"])
+        summary.calls += 1
+        summary.total_s += duration
+        summary.min_s = min(summary.min_s, duration)
+        summary.max_s = max(summary.max_s, duration)
+        samples = fields["attributes"].get("samples")
+        if samples is not None:
+            summary.samples += int(samples)
+    return summaries
+
+
+def profile_rows(
+    records: Iterable[Any], prefix: str = "block:"
+) -> List[List[str]]:
+    """Render a per-block breakdown as table rows, hottest first.
+
+    Columns: block, calls, total seconds, mean milliseconds, share of
+    the summed block time, samples processed.
+    """
+    summaries = aggregate_spans(records, prefix=prefix)
+    grand_total = sum(s.total_s for s in summaries.values())
+    rows = []
+    for summary in sorted(
+        summaries.values(), key=lambda s: s.total_s, reverse=True
+    ):
+        share = 100.0 * summary.total_s / grand_total if grand_total else 0.0
+        rows.append([
+            summary.name[len(prefix):]
+            if summary.name.startswith(prefix) else summary.name,
+            str(summary.calls),
+            f"{summary.total_s:.3f}",
+            f"{summary.mean_s * 1e3:.2f}",
+            f"{share:.1f}%",
+            str(summary.samples) if summary.samples else "-",
+        ])
+    return rows

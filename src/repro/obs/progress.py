@@ -1,0 +1,105 @@
+"""Unified progress reporting for sweeps, campaigns, and long runs.
+
+Before this module existed every long-running loop invented its own
+callback shape (``ParameterSweep.run(progress=print)`` took a string
+callback, the campaign had none at all).  The obs layer replaces them
+with one structured event:
+
+* producers emit :class:`ProgressEvent` objects through a listener;
+* :func:`as_listener` adapts whatever the caller passed — ``None``, a
+  plain ``Callable[[str], None]`` like :func:`print` (the legacy shape,
+  kept so existing CLI output is unchanged), or a structured listener —
+  into a uniform ``Callable[[ProgressEvent], None]``;
+* every event is mirrored onto the active tracer as a ``progress``
+  event, so traces capture the run's heartbeat even when nothing prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.obs import tracer as _tracer
+
+__all__ = ["ProgressEvent", "ProgressListener", "as_listener", "printer"]
+
+
+@dataclass
+class ProgressEvent:
+    """One step of a long-running operation.
+
+    Attributes:
+        stage: producer name, e.g. ``"sweep"`` or ``"campaign"``.
+        current: 1-based step just completed.
+        total: total steps when known.
+        message: human-readable one-liner (what legacy callbacks got).
+        data: structured payload (parameter values, BER, verdicts...).
+    """
+
+    stage: str
+    current: int
+    total: Optional[int]
+    message: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class ProgressListener:
+    """Base class for structured listeners (subclass or duck-type).
+
+    Anything with an ``on_event(ProgressEvent)`` method is treated as
+    structured; any other callable is assumed to be a legacy string
+    callback.
+    """
+
+    def on_event(self, event: ProgressEvent) -> None:
+        raise NotImplementedError
+
+
+def printer(print_fn: Callable[[str], None] = print) -> ProgressListener:
+    """A structured listener that prints each event's message."""
+    listener = ProgressListener()
+    listener.on_event = lambda event: print_fn(event.message)  # type: ignore[method-assign]
+    return listener
+
+
+def as_listener(progress) -> Callable[[ProgressEvent], None]:
+    """Normalise any accepted progress argument into an event callable.
+
+    Args:
+        progress: ``None`` (trace-only), an object with ``on_event``,
+            a ``Callable[[ProgressEvent], None]`` marked structured by
+            being a :class:`ProgressListener`, or a legacy
+            ``Callable[[str], None]`` such as :func:`print`.
+
+    Returns:
+        A callable that forwards the event to the caller's sink (if
+        any) and mirrors it onto the active tracer.
+    """
+    if progress is None:
+        sink = None
+    elif hasattr(progress, "on_event"):
+        sink = progress.on_event
+    elif callable(progress):
+        def sink(event, _cb=progress):
+            _cb(event.message)
+    else:
+        raise TypeError(
+            f"progress must be None, a callable, or a ProgressListener; "
+            f"got {type(progress).__name__}"
+        )
+
+    def emit(event: ProgressEvent) -> None:
+        active = _tracer.get_tracer()
+        if active.enabled:
+            active.event(
+                "progress",
+                stage=event.stage,
+                current=event.current,
+                total=event.total,
+                message=event.message,
+                **event.data,
+            )
+        if sink is not None:
+            sink(event)
+
+    return emit

@@ -1,5 +1,7 @@
 """Tests for the command-line interface (repro.cli)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -15,7 +17,7 @@ class TestParser:
         commands = set(subparsers.choices)
         assert commands == {
             "quickstart", "fig5", "fig6", "table2", "sensitivity",
-            "flow", "netlist", "campaign",
+            "flow", "netlist", "campaign", "profile",
         }
 
     def test_missing_command_errors(self):
@@ -70,3 +72,85 @@ class TestCommands:
         assert code == 0
         assert "adjacent +16 dB" in out
         assert "frontend.lna_p1db_dbm" in out
+
+
+class TestObservability:
+    def test_trace_writes_manifest_and_spans(self, tmp_path, capsys):
+        from repro.obs import read_jsonl
+
+        trace = tmp_path / "run.jsonl"
+        code = main([
+            "--trace", str(trace),
+            "quickstart", "--rate", "24", "--bytes", "60", "--level", "-55",
+        ])
+        capsys.readouterr()
+        assert code == 0
+        records = read_jsonl(trace)
+        assert records[0]["type"] == "manifest"
+        assert records[0]["seed"] == 0
+        assert records[0]["run_id"].startswith("repro-")
+        spans = [r for r in records if r["type"] == "span"]
+        assert any(r["name"] == "run:quickstart" for r in spans)
+
+    def test_trace_captures_block_spans_and_progress(self, tmp_path, capsys):
+        from repro.obs import read_jsonl
+
+        trace = tmp_path / "fig5.jsonl"
+        code = main(["--trace", str(trace), "fig5", "--packets", "1"])
+        capsys.readouterr()
+        assert code == 0
+        records = read_jsonl(trace)
+        span_names = {r["name"] for r in records if r["type"] == "span"}
+        assert "block:receiver" in span_names
+        assert "block:rf_frontend" in span_names
+        assert "sweep:point" in span_names
+        progress = [
+            r for r in records
+            if r["type"] == "event" and r["name"] == "progress"
+        ]
+        assert len(progress) == 6  # fig5 sweeps six filter bandwidths
+        assert all("ber" in r["attributes"] for r in progress)
+
+    def test_metrics_json(self, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        code = main(["--metrics", str(metrics), "table2"])
+        capsys.readouterr()
+        assert code == 0
+        payload = json.loads(metrics.read_text())
+        assert payload["manifest"]["run_id"].startswith("repro-")
+        wall = payload["metrics"]["cosim_wall_seconds"]
+        phases = {
+            (s["labels"]["mode"], s["labels"]["phase"])
+            for s in wall["series"]
+        }
+        assert phases == {
+            ("cosim", "stimulus"), ("cosim", "rf"), ("cosim", "dsp"),
+            ("system", "stimulus"), ("system", "rf"), ("system", "dsp"),
+        }
+        assert payload["metrics"]["cosim_packets"]["kind"] == "counter"
+
+    def test_profile_prints_block_table(self, capsys):
+        code = main(["profile", "fig5", "--packets", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "per-block time breakdown (fig5)" in out
+        assert "block" in out and "total [s]" in out and "share" in out
+        assert "receiver" in out
+        assert "rf_frontend" in out
+
+    def test_disabled_instrumentation_bit_identical(self, capsys):
+        main(["fig5", "--packets", "1"])
+        plain = capsys.readouterr().out
+        main(["profile", "fig5", "--packets", "1"])
+        profiled = capsys.readouterr().out
+        # The profiled run prints the identical experiment output (same
+        # BER table line for line) before the breakdown.
+        assert plain.strip() in profiled
+
+    def test_tracer_restored_after_run(self, tmp_path, capsys):
+        from repro import obs
+        from repro.obs.tracer import NullTracer
+
+        main(["--trace", str(tmp_path / "t.jsonl"), "netlist"])
+        capsys.readouterr()
+        assert isinstance(obs.get_tracer(), NullTracer)

@@ -188,3 +188,87 @@ class TestInterpretedMode:
         result = DataflowEngine().run(sch)
         assert np.allclose(result.outputs["split.lo"], np.arange(5.0))
         assert np.allclose(result.outputs["split.hi"], np.arange(5.0, 10.0))
+
+
+class TestInstrumentation:
+    def test_compiled_block_stats(self):
+        result = DataflowEngine(mode="compiled").run(_simple_schematic(64))
+        stats = result.block_stats
+        assert set(stats) == {"src", "double", "offset"}
+        for stat in stats.values():
+            assert stat.calls == 1
+            assert stat.work_seconds >= 0.0
+        assert stats["src"].samples_in == 0
+        assert stats["src"].samples_out == 64
+        assert stats["double"].samples_in == 64
+        assert stats["double"].samples_out == 64
+
+    def test_interpreted_block_stats(self):
+        result = DataflowEngine(mode="interpreted", frame_size=16).run(
+            _simple_schematic(64)
+        )
+        stats = result.block_stats
+        # The source pre-rolls once; processing blocks run per frame.
+        assert stats["src"].calls == 1
+        assert stats["src"].samples_out == 64
+        assert stats["double"].calls == 4
+        assert stats["double"].samples_in == 64
+        assert stats["double"].samples_out == 64
+
+    def test_compiled_emits_block_spans(self):
+        from repro import obs
+
+        tracer = obs.Tracer()
+        previous = obs.set_tracer(tracer)
+        try:
+            DataflowEngine(mode="compiled").run(_simple_schematic(32))
+        finally:
+            obs.set_tracer(previous)
+        block_spans = tracer.spans("block:")
+        assert {s.name for s in block_spans} == {
+            "block:src", "block:double", "block:offset",
+        }
+        engine_span = tracer.spans("engine:run")[0]
+        for s in block_spans:
+            assert s.parent_id == engine_span.span_id
+        double = next(s for s in block_spans if s.name == "block:double")
+        assert double.attributes["samples"] == 32
+        assert double.attributes["mode"] == "compiled"
+
+    def test_interpreted_emits_one_summary_span_per_block(self):
+        from repro import obs
+
+        tracer = obs.Tracer()
+        previous = obs.set_tracer(tracer)
+        try:
+            DataflowEngine(mode="interpreted", frame_size=8).run(
+                _simple_schematic(64)
+            )
+        finally:
+            obs.set_tracer(previous)
+        double_spans = tracer.spans("block:double")
+        assert len(double_spans) == 1
+        assert double_spans[0].attributes["calls"] == 8
+        assert double_spans[0].attributes["samples"] == 64
+
+    def test_explicit_tracer_overrides_global(self):
+        from repro import obs
+
+        tracer = obs.Tracer()
+        result = DataflowEngine(mode="compiled", tracer=tracer).run(
+            _simple_schematic(8)
+        )
+        assert len(tracer.spans("block:")) == 3
+        assert result.n_block_invocations == 3
+
+    def test_disabled_instrumentation_identical_outputs(self):
+        from repro import obs
+
+        plain = DataflowEngine(mode="compiled").run(_simple_schematic(100))
+        tracer = obs.Tracer()
+        traced = DataflowEngine(mode="compiled", tracer=tracer).run(
+            _simple_schematic(100)
+        )
+        assert np.array_equal(
+            plain.outputs["offset.out"], traced.outputs["offset.out"]
+        )
