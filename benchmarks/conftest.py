@@ -2,7 +2,9 @@
 
 Each benchmark regenerates one table or figure of the paper, prints it and
 writes it to ``benchmarks/results/<name>.txt`` so the rendered artefacts
-survive pytest's output capturing.
+survive pytest's output capturing.  The same artefact is also persisted as
+a run in ``benchmarks/results/runs`` so ``repro runs diff`` can gate a new
+recording against an old one.
 """
 
 import pathlib
@@ -20,6 +22,17 @@ def save_result():
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n")
-        print(f"\n{text}\n[saved to {path}]")
+        try:
+            from repro.obs.store import RunStore
+
+            writer = RunStore(RESULTS_DIR / "runs").create(
+                kind="bench-table", name=name
+            )
+            writer.add_table(name, text)
+            record = writer.finalize(tracer=None, registry=None)
+            stored = f", run {record.run_id}"
+        except Exception as exc:  # persistence must never fail a bench
+            stored = f", run store skipped ({exc})"
+        print(f"\n{text}\n[saved to {path}{stored}]")
 
     return _save

@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Record benchmark wall-clock and KPIs into ``BENCH_obs.json``.
+
+Runs a small, fixed set of representative workloads — the quick-start BER
+measurement, a miniature figure-5 sweep, the table-2 co-simulation timing
+comparison and a sensitivity search — and writes one JSON document with
+per-benchmark wall-clock and key KPIs.  With ``--store`` each benchmark
+also persists a run in a :class:`repro.obs.RunStore`, so successive
+recordings can be gated with ``repro runs diff``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record.py --out BENCH_obs.json \
+        --store benchmarks/results/runs --packets 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.sensitivity import find_sensitivity  # noqa: E402
+from repro.core.sweep import ParameterSweep  # noqa: E402
+from repro.core.testbench import TestbenchConfig, WlanTestbench  # noqa: E402
+from repro.flow.cosim import CoSimConfig, CoSimulation  # noqa: E402
+from repro.obs.store import RunStore  # noqa: E402
+from repro.rf.frontend import FrontendConfig  # noqa: E402
+
+
+def bench_quickstart(packets: int) -> dict:
+    """Default-bench BER at a fixed SNR (the README quick start)."""
+    bench = WlanTestbench(TestbenchConfig(rate_mbps=24, snr_db=20.0))
+    m = bench.measure_ber(n_packets=packets, seed=0)
+    return {"ber": m.ber, "per": m.per, "packets": float(m.packets)}
+
+
+def bench_fig5_sweep(packets: int) -> dict:
+    """Three-point slice of the figure-5 filter-bandwidth sweep."""
+    from repro.channel.interference import InterferenceScenario
+
+    cfg = TestbenchConfig(
+        rate_mbps=36,
+        psdu_bytes=60,
+        thermal_floor=True,
+        frontend=FrontendConfig(),
+        interference=InterferenceScenario.adjacent(),
+        input_level_dbm=-60.0,
+    )
+    sweep = ParameterSweep(
+        cfg, "frontend.lpf_edge_hz", [5e6, 8.6e6, 14e6], n_packets=packets
+    )
+    result = sweep.run()
+    return {
+        f"ber[lpf={p.value:.3g}]": p.measurement.ber for p in result.points
+    }
+
+
+def bench_table2_cosim(packets: int) -> dict:
+    """Table-2 timing comparison at small packet counts."""
+    cosim = CoSimulation(
+        FrontendConfig(),
+        CoSimConfig(rate_mbps=24, psdu_bytes=60, analog_substeps=1),
+    )
+    rows = cosim.compare(packet_counts=(1, min(2, max(packets, 1))), seed=0)
+    kpis = {}
+    for row in rows:
+        n = row["packets"]
+        kpis[f"slowdown[packets={n}]"] = row["slowdown"]
+        kpis[f"system_time_s[packets={n}]"] = row["system_time_s"]
+        kpis[f"cosim_time_s[packets={n}]"] = row["cosim_time_s"]
+    return kpis
+
+
+def bench_sensitivity(packets: int) -> dict:
+    """Coarse 24 Mbps sensitivity search."""
+    result = find_sensitivity(
+        24,
+        frontend=FrontendConfig(),
+        n_packets=max(packets, 2),
+        psdu_bytes=60,
+        step_db=4.0,
+        start_dbm=-66.0,
+        seed=0,
+    )
+    return {
+        "sensitivity_dbm": result.sensitivity_dbm,
+        "meets_standard": 1.0 if result.meets_standard else 0.0,
+    }
+
+
+BENCHES = (
+    ("quickstart", bench_quickstart),
+    ("fig5_sweep", bench_fig5_sweep),
+    ("table2_cosim", bench_table2_cosim),
+    ("sensitivity_24", bench_sensitivity),
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_obs.json", metavar="PATH",
+                        help="output JSON path (default BENCH_obs.json)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="also persist each benchmark as a stored run")
+    parser.add_argument("--packets", type=int, default=2,
+                        help="packets per measurement (default 2)")
+    parser.add_argument("--only", default=None,
+                        help="comma-separated benchmark names to run")
+    args = parser.parse_args(argv)
+
+    selected = None if args.only is None else set(args.only.split(","))
+    store = RunStore(args.store) if args.store else None
+
+    results = []
+    for name, fn in BENCHES:
+        if selected is not None and name not in selected:
+            continue
+        print(f"[{name}] running ...", flush=True)
+        t0 = time.perf_counter()
+        kpis = fn(args.packets)
+        wall_s = time.perf_counter() - t0
+        entry = {"name": name, "wall_s": round(wall_s, 4), "kpis": kpis}
+        if store is not None:
+            writer = store.create(
+                kind="bench",
+                name=name,
+                seed=0,
+                config={"packets": args.packets},
+                command=f"benchmarks/record.py --only {name}",
+            )
+            writer.add_kpis(kpis)
+            writer.add_kpis({"wall_s": wall_s})
+            record = writer.finalize(tracer=None, registry=None)
+            entry["run_id"] = record.run_id
+        results.append(entry)
+        print(f"[{name}] {wall_s:.2f}s  "
+              + " ".join(f"{k}={v:.4g}" for k, v in sorted(kpis.items())),
+              flush=True)
+
+    doc = {
+        "schema": "repro-bench/1",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "packets": args.packets,
+        "benchmarks": results,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out} ({len(results)} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,12 +9,23 @@ Usage::
     repro sensitivity [--rates 6,24,54]
     repro flow
     repro netlist
-    repro profile fig5 [--packets N]
+    repro profile fig5 [--packets N] [--chrome-trace out.json]
 
 Observability: every command accepts ``--trace PATH`` (write a JSONL
 span/event trace with a run-manifest header line) and ``--metrics PATH``
 (write the run's metrics plus manifest as JSON).  ``repro profile``
 wraps any experiment in a tracer and prints a per-block time breakdown.
+
+Run store: ``--store DIR`` persists the whole run — manifest, metrics,
+trace, result tables, BER curves, KPIs — as a content-addressed run
+directory under DIR (default ``runs/``).  Stored runs are consumed by::
+
+    repro runs list|show|diff|gc        inspect / regression-gate / prune
+    repro report <run_id>               render markdown/HTML + chrome trace
+
+``repro runs diff <baseline> <candidate>`` exits nonzero when any KPI,
+metric, BER curve or wall-clock aggregate regresses beyond tolerance —
+the CI gate.  Run ids accept unique prefixes and the ``latest`` keyword.
 """
 
 from __future__ import annotations
@@ -111,7 +122,7 @@ def _cmd_fig6(args) -> int:
             values=[-55.0, -45.0, -40.0, -35.0, -25.0, -15.0],
             n_packets=args.packets,
             seed=args.seed,
-        ).run()
+        ).run(run_name=name)
         print(f"\n== {name} ==")
         print(result.as_table())
     return 0
@@ -226,7 +237,147 @@ def _cmd_profile(args) -> int:
         ))
     else:
         print("(no block spans recorded)")
+    if args.chrome_trace:
+        obs.write_chrome_trace(args.chrome_trace, tracer.records)
+        print(f"chrome trace written to {args.chrome_trace} "
+              "(load in chrome://tracing or ui.perfetto.dev)")
     return code
+
+
+# -- run-store consumers ------------------------------------------------
+def _open_store(args):
+    from repro.obs import RunStore
+
+    return RunStore(args.store or "runs")
+
+
+def _cmd_runs_list(args) -> int:
+    from repro.core.reporting import render_table
+
+    store = _open_store(args)
+    entries = store.list_runs(kind=args.kind)
+    if args.ids:
+        for entry in entries:
+            print(entry.run_id)
+        return 0
+    if not entries:
+        print(f"(no runs under {store.root})")
+        return 0
+    print(render_table(
+        ["run id", "kind", "name", "seed", "created"],
+        [
+            [
+                e.run_id,
+                e.kind,
+                e.name or "-",
+                str(e.seed) if e.seed is not None else "-",
+                e.created_iso,
+            ]
+            for e in entries
+        ],
+    ))
+    return 0
+
+
+def _cmd_runs_show(args) -> int:
+    from repro.core.reporting import render_table
+
+    store = _open_store(args)
+    try:
+        run = store.load_run(args.run)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    manifest = run.manifest
+    print(render_table(["field", "value"], [
+        ["run id", run.run_id],
+        ["created", str(manifest.get("created_iso", "-"))],
+        ["seed", str(manifest.get("seed", "-"))],
+        ["command", str(manifest.get("command", "-"))],
+        ["integrity", "ok" if run.integrity_ok else
+         "MODIFIED AFTER STORAGE"],
+        ["curves", ", ".join(sorted(run.curves)) or "-"],
+        ["tables", ", ".join(sorted(run.tables)) or "-"],
+        ["trace", "yes" if run.has_trace else "no"],
+    ]))
+    if run.kpis:
+        print()
+        print(render_table(
+            ["kpi", "value"],
+            [[k, f"{v:.6g}"] for k, v in sorted(run.kpis.items())],
+        ))
+    return 0
+
+
+def _cmd_runs_diff(args) -> int:
+    from repro.core.reporting import render_table
+    from repro.obs import RegressionConfig, compare_runs
+
+    store = _open_store(args)
+    try:
+        baseline = store.load_run(args.baseline)
+        candidate = store.load_run(args.candidate)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    config = RegressionConfig(
+        kpi_abs_tol=args.kpi_abs_tol,
+        kpi_rel_tol=args.kpi_rel_tol,
+        timing_rel_tol=args.timing_tol,
+        ber_shift_tol_db=args.ber_tol_db,
+        compare_timing=not args.no_timing,
+    )
+    verdict = compare_runs(baseline, candidate, config)
+    headers, rows = verdict.rows(only_interesting=True)
+    if rows:
+        print(render_table(headers, rows))
+        print()
+    print(verdict.summary())
+    return 0 if verdict.passed else 1
+
+
+def _cmd_runs_gc(args) -> int:
+    store = _open_store(args)
+    removed = store.gc(args.keep, dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    if removed:
+        for run_id in removed:
+            print(f"{verb} {run_id}")
+    kept = len(store.list_runs()) - (len(removed) if args.dry_run else 0)
+    print(f"{verb} {len(removed)} run(s), kept {kept} under {store.root}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro import obs
+
+    store = _open_store(args)
+    try:
+        run = store.load_run(args.run)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if args.chrome_trace:
+        obs.write_chrome_trace(
+            args.chrome_trace, run.trace_records(),
+            metadata={"run_id": run.run_id},
+        )
+        print(f"chrome trace written to {args.chrome_trace} "
+              "(load in chrome://tracing or ui.perfetto.dev)",
+              file=sys.stderr)
+    sections = obs.run_sections(run)
+    title = f"Run {run.run_id}"
+    text = (
+        obs.render_html(title, sections) if args.html
+        else obs.render_markdown(title, sections)
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"report written to {args.out}", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
 
 
 def _cmd_netlist(args) -> int:
@@ -262,6 +413,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write run metrics + manifest as JSON to PATH",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help=(
+            "persist the run (manifest, metrics, trace, tables, curves, "
+            "KPIs) as a run directory under DIR; 'repro runs'/'repro "
+            "report' read the same store (their default DIR is runs/)"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -308,32 +469,127 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("experiment", choices=sorted(_PROFILABLE))
     p.add_argument("--packets", type=int, default=3)
+    p.add_argument(
+        "--chrome-trace",
+        metavar="PATH",
+        default=None,
+        help="additionally export the trace as Chrome trace-event JSON "
+             "(chrome://tracing / Perfetto)",
+    )
     p.set_defaults(func=_cmd_profile)
+
+    # Store consumers also accept --store *after* the subcommand; the
+    # value parsed at the global position wins (argparse only applies a
+    # subparser default when the attribute is not set yet).
+    store_opt = argparse.ArgumentParser(add_help=False)
+    store_opt.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="run store directory (default runs/)",
+    )
+
+    p = sub.add_parser("runs", help="inspect the persistent run store")
+    runs_sub = p.add_subparsers(dest="runs_command", required=True)
+
+    q = runs_sub.add_parser("list", parents=[store_opt],
+                            help="list stored runs, newest first")
+    q.add_argument("--kind", default=None, help="only runs of this kind")
+    q.add_argument("--ids", action="store_true",
+                   help="print bare run ids only")
+    q.set_defaults(func=_cmd_runs_list, consumes_store=True)
+
+    q = runs_sub.add_parser("show", parents=[store_opt],
+                            help="summarize one stored run")
+    q.add_argument("run", help="run id, unique prefix, or 'latest'")
+    q.set_defaults(func=_cmd_runs_show, consumes_store=True)
+
+    q = runs_sub.add_parser(
+        "diff",
+        parents=[store_opt],
+        help="compare a candidate run against a baseline; exits nonzero "
+             "on any regression beyond tolerance",
+    )
+    q.add_argument("baseline", help="run id, unique prefix, or 'latest'")
+    q.add_argument("candidate", help="run id, unique prefix, or 'latest'")
+    q.add_argument("--kpi-abs-tol", type=float, default=0.0,
+                   help="absolute KPI/metric tolerance (default exact)")
+    q.add_argument("--kpi-rel-tol", type=float, default=0.0,
+                   help="relative KPI/metric tolerance (default exact)")
+    q.add_argument("--ber-tol-db", type=float, default=1.0,
+                   help="allowed BER-curve shift in dB at fixed BER")
+    q.add_argument("--timing-tol", type=float, default=0.5,
+                   help="allowed one-sided wall-clock growth (0.5 = +50%%)")
+    q.add_argument("--no-timing", action="store_true",
+                   help="skip wall-clock comparisons entirely")
+    q.set_defaults(func=_cmd_runs_diff, consumes_store=True)
+
+    q = runs_sub.add_parser(
+        "gc", parents=[store_opt],
+        help="prune the oldest runs, keeping the N newest",
+    )
+    q.add_argument("--keep", type=int, required=True,
+                   help="number of newest runs to keep")
+    q.add_argument("--dry-run", action="store_true",
+                   help="list what would be removed without deleting")
+    q.set_defaults(func=_cmd_runs_gc, consumes_store=True)
+
+    p = sub.add_parser(
+        "report",
+        parents=[store_opt],
+        help="render a stored run as markdown/HTML, optionally with a "
+             "chrome://tracing export",
+    )
+    p.add_argument("run", help="run id, unique prefix, or 'latest'")
+    p.add_argument("--html", action="store_true",
+                   help="render HTML instead of markdown")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="write to PATH instead of stdout")
+    p.add_argument("--chrome-trace", metavar="PATH", default=None,
+                   help="also export the stored trace as Chrome "
+                        "trace-event JSON")
+    p.set_defaults(func=_cmd_report, consumes_store=True)
     return parser
 
 
 def _run_observed(args, argv) -> int:
-    """Run the selected command under a tracer + fresh metrics registry."""
+    """Run the selected command under a tracer + fresh metrics registry.
+
+    With ``--store`` the whole observed run — manifest, metrics, trace,
+    plus whatever tables/curves/KPIs the command's sweeps, campaigns and
+    co-simulations contributed — is additionally persisted as one run
+    directory.
+    """
     from repro import obs
 
     tracer = obs.Tracer()
     registry = obs.MetricsRegistry()
+    command_line = (
+        "repro " + " ".join(argv if argv is not None else sys.argv[1:])
+    )
     manifest = obs.build_manifest(
         seed=args.seed,
-        command="repro " + " ".join(argv if argv is not None else sys.argv[1:]),
+        command=command_line,
         config={
             k: v for k, v in vars(args).items()
-            if k not in ("func", "trace", "metrics")
+            if k not in ("func", "trace", "metrics", "store")
         },
     )
+    writer = None
+    if args.store:
+        store = obs.RunStore(args.store)
+        writer = store.create(
+            args.command, name=args.command, seed=args.seed,
+            command=command_line,
+        )
     previous_tracer = obs.set_tracer(tracer)
     previous_registry = obs.set_registry(registry)
+    previous_writer = obs.set_current_writer(writer)
     try:
         with tracer.span(f"run:{args.command}"):
             code = args.func(args)
     finally:
         obs.set_tracer(previous_tracer)
         obs.set_registry(previous_registry)
+        obs.set_current_writer(previous_writer)
     if args.trace:
         tracer.write_jsonl(args.trace, header=manifest.as_dict())
     if args.metrics:
@@ -344,6 +600,12 @@ def _run_observed(args, argv) -> int:
         with open(args.metrics, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
+    if writer is not None:
+        record = writer.finalize(
+            tracer=tracer, registry=registry, manifest=manifest
+        )
+        print(f"run stored: {record.run_id} ({record.path})",
+              file=sys.stderr)
     return code
 
 
@@ -351,7 +613,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.trace or args.metrics:
+    if getattr(args, "consumes_store", False):
+        # Store consumers (runs/report) read run directories; they never
+        # trace or persist themselves.
+        return args.func(args)
+    if args.trace or args.metrics or args.store:
         return _run_observed(args, argv)
     return args.func(args)
 

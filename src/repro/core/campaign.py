@@ -292,6 +292,8 @@ class VerificationCampaign:
         self,
         only: Optional[List[str]] = None,
         progress: Optional[Callable] = None,
+        store=None,
+        run_name: str = "campaign",
     ) -> CampaignReport:
         """Execute the campaign (or a named subset of checks).
 
@@ -301,6 +303,10 @@ class VerificationCampaign:
                 :meth:`repro.core.sweep.ParameterSweep.run` — ``None``,
                 a string callback, or a structured listener; one event
                 is emitted per completed check.
+            store: optional :class:`repro.obs.RunStore`; the sign-off
+                report, per-check verdicts and durations are persisted
+                there (or to the ambient CLI run when one is active).
+            run_name: store name for the campaign run.
         """
         emit = obs.as_listener(progress)
         selected = [
@@ -327,4 +333,19 @@ class VerificationCampaign:
                         "duration_s": result.duration_s,
                     },
                 ))
+        kpis = {"passed": 1.0 if report.passed else 0.0}
+        for method_name, result in zip(selected, report.results):
+            short = method_name.removeprefix("check_")
+            kpis[f"check.{short}.passed"] = 1.0 if result.passed else 0.0
+            kpis[f"check.{short}.duration_s"] = result.duration_s
+        obs.contribute(
+            store,
+            kind="campaign",
+            name=run_name,
+            seed=self.seed,
+            config={"depth": self.depth, "frontend": self.frontend,
+                    "checks": list(selected)},
+            tables={run_name: report.as_table()},
+            kpis=kpis,
+        )
         return report

@@ -67,6 +67,28 @@ class SweepResult:
             [self.parameter, "BER", "PER", "packets", "lost"], rows
         )
 
+    def as_curve(self) -> Dict:
+        """The sweep as a run-store BER curve (x grid + BER/PER arrays)."""
+        return {
+            "x_label": self.parameter,
+            "x": [p.value for p in self.points],
+            "ber": [p.measurement.ber for p in self.points],
+            "per": [p.measurement.per for p in self.points],
+            "packets": [p.measurement.packets for p in self.points],
+        }
+
+    def as_kpis(self) -> Dict[str, float]:
+        """Flat key results: per-point BER plus the curve extremes."""
+        kpis = {
+            f"ber[{self.parameter}={p.value:.6g}]": p.measurement.ber
+            for p in self.points
+        }
+        if self.points:
+            bers = [p.measurement.ber for p in self.points]
+            kpis["ber_min"] = min(bers)
+            kpis["ber_max"] = max(bers)
+        return kpis
+
 
 @dataclass
 class ParameterSweep:
@@ -112,7 +134,12 @@ class ParameterSweep:
             )
         return replace(cfg, **{self.parameter: value})
 
-    def run(self, progress: Optional[Callable] = None) -> SweepResult:
+    def run(
+        self,
+        progress: Optional[Callable] = None,
+        store=None,
+        run_name: Optional[str] = None,
+    ) -> SweepResult:
         """Execute the sweep and return per-point measurements.
 
         Args:
@@ -120,6 +147,12 @@ class ParameterSweep:
                 :func:`print`), or a structured
                 :class:`repro.obs.ProgressListener`; every point is also
                 mirrored to the active tracer as a progress event.
+            store: optional :class:`repro.obs.RunStore`; when given, the
+                sweep persists its own run directory (table, BER curve,
+                per-point KPIs).  Without one, the same artefacts attach
+                to the ambient run writer if the CLI installed one.
+            run_name: store name for the sweep (defaults to the
+                parameter name).
         """
         emit = obs.as_listener(progress)
         points = []
@@ -151,7 +184,24 @@ class ParameterSweep:
                         "packets": measurement.packets,
                     },
                 ))
-        return SweepResult(self.parameter, points)
+        result = SweepResult(self.parameter, points)
+        name = run_name or self.parameter
+        obs.contribute(
+            store,
+            kind="sweep",
+            name=name,
+            seed=self.seed,
+            config={
+                "parameter": self.parameter,
+                "values": [float(v) for v in self.values],
+                "n_packets": self.n_packets,
+                "base_config": self.base_config,
+            },
+            tables={name: result.as_table()},
+            curves={name: result.as_curve()},
+            kpis=result.as_kpis(),
+        )
+        return result
 
 
 class SimulationManager:

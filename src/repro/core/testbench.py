@@ -224,6 +224,8 @@ class WlanTestbench:
         n_packets: int = 20,
         seed: int = 0,
         max_bit_errors: Optional[float] = None,
+        store=None,
+        run_name: str = "ber",
     ) -> BerMeasurement:
         """Run ``n_packets`` packets and accumulate the BER.
 
@@ -233,6 +235,11 @@ class WlanTestbench:
             max_bit_errors: early-stop threshold — once this many bit
                 errors are counted the estimate is statistically settled
                 (classic BER-measurement shortcut).
+            store: optional :class:`repro.obs.RunStore`; when given, the
+                measurement persists its own run (BER/PER/packet KPIs).
+                Unlike the sweep, a bare measurement never attaches to
+                the ambient CLI run — sweeps already aggregate it.
+            run_name: store name for the measurement run.
         """
         counter = BerCounter()
         rng = np.random.default_rng(seed)
@@ -262,6 +269,21 @@ class WlanTestbench:
         registry.histogram(
             "ber", "bit error rate per BER measurement"
         ).observe(measurement.ber, rate_mbps=self.config.rate_mbps)
+        if store is not None:
+            obs.contribute(
+                store,
+                kind="ber",
+                name=run_name,
+                seed=seed,
+                config=self.config,
+                kpis={
+                    "ber": measurement.ber,
+                    "per": measurement.per,
+                    "packets": float(measurement.packets),
+                    "packets_lost": float(measurement.packets_lost),
+                },
+                ambient=False,
+            )
         return measurement
 
     # ------------------------------------------------------------------

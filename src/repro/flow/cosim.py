@@ -478,8 +478,17 @@ class CoSimulation:
             [],
         )
 
-    def compare(self, packet_counts=(1, 2, 4), seed: int = 0):
+    def compare(self, packet_counts=(1, 2, 4), seed: int = 0,
+                store=None, run_name: str = "table2"):
         """Reproduce table 2: wall-clock of system sim vs co-simulation.
+
+        Args:
+            packet_counts: packet counts to time at.
+            seed: base random seed.
+            store: optional :class:`repro.obs.RunStore`; the timing
+                table, slowdown/BER KPIs per packet count are persisted
+                there (or to the ambient CLI run when one is active).
+            run_name: store name for the comparison run.
 
         Returns:
             List of dictionaries with packets, both wall times and the
@@ -502,4 +511,37 @@ class CoSimulation:
                     "cosim_ber": cosim_report.ber,
                 }
             )
+        # Lazy import: repro.core pulls in flow.cosim at package-import
+        # time, so the reverse import must not run at module top.
+        from repro.core.reporting import render_table
+
+        kpis = {}
+        for r in rows:
+            n = r["packets"]
+            kpis[f"slowdown[packets={n}]"] = r["slowdown"]
+            kpis[f"system_time_s[packets={n}]"] = r["system_time_s"]
+            kpis[f"cosim_time_s[packets={n}]"] = r["cosim_time_s"]
+            kpis[f"system_ber[packets={n}]"] = r["system_ber"]
+            kpis[f"cosim_ber[packets={n}]"] = r["cosim_ber"]
+        table = render_table(
+            ["packets", "system [s]", "co-sim [s]", "slowdown",
+             "system BER", "co-sim BER"],
+            [
+                [str(r["packets"]), f"{r['system_time_s']:.3f}",
+                 f"{r['cosim_time_s']:.3f}", f"{r['slowdown']:.1f}x",
+                 f"{r['system_ber']:.4g}", f"{r['cosim_ber']:.4g}"]
+                for r in rows
+            ],
+        )
+        obs.contribute(
+            store,
+            kind="cosim",
+            name=run_name,
+            seed=seed,
+            config={"cosim": self.config,
+                    "frontend": self.frontend_config,
+                    "packet_counts": [int(n) for n in packet_counts]},
+            tables={run_name: table},
+            kpis=kpis,
+        )
         return rows

@@ -34,6 +34,31 @@ import time
 from typing import Optional
 
 from repro.obs.manifest import RunManifest, build_manifest, source_revision
+from repro.obs.store import (
+    RunEntry,
+    RunRecord,
+    RunStore,
+    RunWriter,
+    contribute,
+    current_writer,
+    set_current_writer,
+)
+from repro.obs.regress import (
+    Delta,
+    RegressionConfig,
+    RegressionVerdict,
+    compare_runs,
+    flatten_metrics,
+)
+from repro.obs.report import (
+    chrome_trace,
+    render_html,
+    render_markdown,
+    render_run_markdown,
+    render_timeline,
+    run_sections,
+    write_chrome_trace,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -58,6 +83,7 @@ from repro.obs.tracer import (
 
 __all__ = [
     "Counter",
+    "Delta",
     "EventRecord",
     "Gauge",
     "Histogram",
@@ -65,7 +91,13 @@ __all__ = [
     "NullTracer",
     "ProgressEvent",
     "ProgressListener",
+    "RegressionConfig",
+    "RegressionVerdict",
+    "RunEntry",
     "RunManifest",
+    "RunRecord",
+    "RunStore",
+    "RunWriter",
     "SpanRecord",
     "SpanSummary",
     "Timed",
@@ -73,17 +105,29 @@ __all__ = [
     "aggregate_spans",
     "as_listener",
     "build_manifest",
+    "chrome_trace",
+    "compare_runs",
+    "contribute",
+    "current_writer",
     "event",
+    "flatten_metrics",
     "get_registry",
     "get_tracer",
     "printer",
     "profile_rows",
     "read_jsonl",
+    "render_html",
+    "render_markdown",
+    "render_run_markdown",
+    "render_timeline",
+    "run_sections",
+    "set_current_writer",
     "set_registry",
     "set_tracer",
     "source_revision",
     "span",
     "timed",
+    "write_chrome_trace",
 ]
 
 

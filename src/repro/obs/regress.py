@@ -1,0 +1,466 @@
+"""Regression detection: compare two stored runs, return a CI verdict.
+
+The paper's numbers only mean something *relative to a baseline* — the
+figure-5 BER valley, the table-2 slowdown, the sensitivity margins.
+:func:`compare_runs` takes two :class:`~repro.obs.store.RunRecord`\\ s
+(typically a stored baseline and a fresh candidate) and checks, with
+per-class tolerances:
+
+* **KPIs** (``kpis.json``): absolute + relative tolerance, two-sided —
+  any drift of a key result is flagged, exact by default since same-seed
+  simulations are deterministic;
+* **metrics** (``metrics.json``): flattened to ``name{labels}`` scalars
+  and compared like KPIs, except *timing-class* series (wall seconds,
+  durations) which use a one-sided ratio tolerance — only slower fails;
+* **BER curves** (``curves.json``): pointwise drift in decades of BER,
+  plus the horizontal shift in dB at a fixed BER level when both curves
+  cross it (the "1 dB worse at BER 1e-2" number an RF engineer quotes);
+* **wall clock** (``trace.jsonl``): per-span-name totals from
+  :func:`~repro.obs.profile.aggregate_spans` under the timing tolerance;
+* **integrity**: a run whose content no longer matches its stored
+  digest fails outright — tampered results are never silently compared.
+
+The result is a structured :class:`RegressionVerdict` whose ``passed``
+flag maps straight onto a CI exit code (``repro runs diff``).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.obs.profile import aggregate_spans
+from repro.obs.store import RunRecord
+
+__all__ = [
+    "Delta",
+    "RegressionConfig",
+    "RegressionVerdict",
+    "compare_runs",
+    "curve_drift_decades",
+    "flatten_metrics",
+    "shift_at_fixed_ber",
+]
+
+#: Series whose values are wall-clock-like and jitter run to run.
+_TIMING_RE = re.compile(
+    r"(_s$|_s\[|_s\{|seconds|duration|wall|slowdown|_time)", re.IGNORECASE
+)
+
+
+def is_timing_name(name: str) -> bool:
+    """Whether a KPI/metric name denotes wall-clock-class data."""
+    return bool(_TIMING_RE.search(name))
+
+
+@dataclass
+class Delta:
+    """One compared quantity.
+
+    Attributes:
+        name: the compared key (KPI name, ``metric{labels}``,
+            ``curve:<name>:<check>``, ``span:<name>``...).
+        kind: ``kpi`` / ``metric`` / ``timing`` / ``curve`` /
+            ``integrity``.
+        baseline / candidate: the two values (None when missing).
+        delta: candidate - baseline (or the drift measure for curves).
+        limit: human-readable tolerance that was applied.
+        passed: verdict for this quantity.
+        note: extra context (units, "missing", crossing level...).
+    """
+
+    name: str
+    kind: str
+    baseline: Optional[float]
+    candidate: Optional[float]
+    delta: float
+    limit: str
+    passed: bool
+    note: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "baseline": self.baseline,
+            "candidate": self.candidate,
+            "delta": self.delta,
+            "limit": self.limit,
+            "passed": self.passed,
+            "note": self.note,
+        }
+
+
+@dataclass
+class RegressionConfig:
+    """Tolerances for :func:`compare_runs`.
+
+    Attributes:
+        kpi_abs_tol / kpi_rel_tol: two-sided default KPI tolerance
+            (exact by default: same-seed runs are deterministic).
+        kpi_overrides: ``fnmatch`` pattern -> ``(abs_tol, rel_tol)``
+            overrides for individual KPI/metric names.
+        timing_rel_tol: allowed one-sided growth of timing-class values
+            (0.5 = the candidate may be up to 50 % slower).
+        timing_abs_tol: absolute slack added on top (seconds).
+        timing_min_s: timing values where both sides are below this are
+            ignored entirely (sub-jitter noise).
+        compare_metrics / compare_timing / compare_curves: master
+            switches per comparison class.
+        ber_floor: BER values are clamped up to this before log-domain
+            math (a zero-error run is "at or below the floor").
+        ber_drift_tol_decades: allowed pointwise |log10 BER| drift.
+        ber_shift_tol_db: allowed horizontal shift at the fixed BER.
+        ber_target: BER level for the shift measurement; None picks the
+            geometric midpoint of the baseline curve's dynamic range.
+        require_integrity: fail runs whose stored digest mismatches.
+    """
+
+    kpi_abs_tol: float = 0.0
+    kpi_rel_tol: float = 0.0
+    kpi_overrides: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    timing_rel_tol: float = 0.5
+    timing_abs_tol: float = 0.25
+    timing_min_s: float = 0.05
+    compare_metrics: bool = True
+    compare_timing: bool = True
+    compare_curves: bool = True
+    ber_floor: float = 1e-7
+    ber_drift_tol_decades: float = 0.5
+    ber_shift_tol_db: float = 1.0
+    ber_target: Optional[float] = None
+    require_integrity: bool = True
+
+    def tolerance_for(self, name: str) -> Tuple[float, float]:
+        """(abs_tol, rel_tol) for a KPI/metric name, honouring overrides."""
+        for pattern, tol in self.kpi_overrides.items():
+            if fnmatch.fnmatch(name, pattern):
+                return tol
+        return (self.kpi_abs_tol, self.kpi_rel_tol)
+
+
+@dataclass
+class RegressionVerdict:
+    """Structured outcome of a run comparison."""
+
+    baseline_id: str
+    candidate_id: str
+    deltas: List[Delta] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(d.passed for d in self.deltas)
+
+    @property
+    def failures(self) -> List[Delta]:
+        return [d for d in self.deltas if not d.passed]
+
+    @property
+    def nonzero(self) -> List[Delta]:
+        return [d for d in self.deltas if d.delta != 0.0]
+
+    def summary(self) -> str:
+        """One line fit for a CI log."""
+        verdict = "PASS" if self.passed else "FAIL"
+        return (
+            f"{verdict}: {len(self.deltas)} comparisons, "
+            f"{len(self.nonzero)} nonzero deltas, "
+            f"{len(self.failures)} over tolerance "
+            f"({self.candidate_id} vs baseline {self.baseline_id})"
+        )
+
+    def rows(
+        self, only_interesting: bool = True
+    ) -> Tuple[List[str], List[List[str]]]:
+        """(headers, rows) for table rendering.
+
+        Args:
+            only_interesting: keep failures and nonzero deltas only.
+        """
+        def fmt(v):
+            return "-" if v is None else f"{v:.6g}"
+
+        deltas = self.deltas
+        if only_interesting:
+            deltas = [d for d in deltas if not d.passed or d.delta != 0.0]
+        headers = ["quantity", "baseline", "candidate", "delta",
+                   "limit", "verdict"]
+        rows = [
+            [
+                d.name if not d.note else f"{d.name} ({d.note})",
+                fmt(d.baseline),
+                fmt(d.candidate),
+                f"{d.delta:+.6g}",
+                d.limit,
+                "ok" if d.passed else "FAIL",
+            ]
+            for d in deltas
+        ]
+        return headers, rows
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "baseline": self.baseline_id,
+            "candidate": self.candidate_id,
+            "passed": self.passed,
+            "deltas": [d.as_dict() for d in self.deltas],
+        }
+
+
+# -- metrics flattening -------------------------------------------------
+def flatten_metrics(metrics: Mapping[str, Any]) -> Dict[str, float]:
+    """Flatten a ``MetricsRegistry.as_dict()`` snapshot to scalars.
+
+    Counters/gauges become ``name{k=v,...}``; histogram summaries expand
+    to ``name.count{...}``, ``name.sum{...}``, ``name.p50{...}`` etc.
+    """
+    flat: Dict[str, float] = {}
+    for name, entry in metrics.items():
+        for series in entry.get("series", []):
+            labels = series.get("labels", {})
+            label_str = (
+                "{" + ",".join(
+                    f"{k}={v}" for k, v in sorted(labels.items())
+                ) + "}"
+                if labels else ""
+            )
+            if entry.get("kind") == "histogram":
+                for stat, value in series.items():
+                    if stat == "labels":
+                        continue
+                    flat[f"{name}.{stat}{label_str}"] = float(value)
+            elif "value" in series:
+                flat[f"{name}{label_str}"] = float(series["value"])
+    return flat
+
+
+# -- curve comparison ---------------------------------------------------
+def curve_drift_decades(
+    baseline: Mapping[str, Any],
+    candidate: Mapping[str, Any],
+    floor: float = 1e-7,
+) -> Optional[float]:
+    """Max pointwise |log10(BER)| drift over the common grid points.
+
+    Returns None when the two curves share no x values.
+    """
+    base = dict(zip(baseline["x"], baseline["ber"]))
+    worst = None
+    for x, ber_b in zip(candidate["x"], candidate["ber"]):
+        if x not in base:
+            continue
+        drift = abs(
+            math.log10(max(ber_b, floor)) - math.log10(max(base[x], floor))
+        )
+        worst = drift if worst is None else max(worst, drift)
+    return worst
+
+
+def _crossing(
+    x: List[float], ber: List[float], target: float, floor: float
+) -> Optional[float]:
+    """First x where the curve crosses ``target`` (log-BER interpolation)."""
+    lt = math.log10(target)
+    lb = [math.log10(max(b, floor)) for b in ber]
+    for i in range(len(x) - 1):
+        b0, b1 = lb[i], lb[i + 1]
+        if b0 == lt:
+            return float(x[i])
+        if (b0 - lt) * (b1 - lt) < 0 or b1 == lt:
+            frac = (lt - b0) / (b1 - b0)
+            return float(x[i] + frac * (x[i + 1] - x[i]))
+    return None
+
+
+def shift_at_fixed_ber(
+    baseline: Mapping[str, Any],
+    candidate: Mapping[str, Any],
+    target: Optional[float] = None,
+    floor: float = 1e-7,
+) -> Optional[Tuple[float, float]]:
+    """Horizontal curve shift, in dB, at a fixed BER level.
+
+    For a dB-valued x axis (``x_label`` containing "db") the shift is
+    the plain x difference; otherwise it is ``10*log10(x_c/x_b)`` (e.g.
+    a filter-bandwidth axis in Hz).  Returns ``(shift_db, target_ber)``
+    or None when either curve never crosses the target.
+    """
+    bers = [b for b in baseline["ber"] if b > 0]
+    if target is None:
+        if not bers:
+            return None
+        lo, hi = max(min(bers), floor), min(max(bers), 0.5)
+        if hi <= lo:
+            return None
+        target = math.sqrt(lo * hi)
+    xb = _crossing(list(baseline["x"]), list(baseline["ber"]), target, floor)
+    xc = _crossing(list(candidate["x"]), list(candidate["ber"]), target, floor)
+    if xb is None or xc is None:
+        return None
+    if "db" in str(baseline.get("x_label", "")).lower():
+        return (float(xc - xb), target)
+    if xb <= 0 or xc <= 0:
+        return None
+    return (float(10.0 * math.log10(xc / xb)), target)
+
+
+# -- comparison core ----------------------------------------------------
+def _compare_scalar(
+    name: str,
+    kind: str,
+    a: Optional[float],
+    b: Optional[float],
+    config: RegressionConfig,
+) -> Optional[Delta]:
+    """Compare one scalar under the right tolerance class."""
+    if a is None or b is None:
+        present, missing = ("baseline", "candidate") if b is None else (
+            "candidate", "baseline"
+        )
+        return Delta(
+            name=name, kind=kind, baseline=a, candidate=b,
+            delta=0.0, limit="present in both",
+            passed=False, note=f"missing from {missing}, {present} has it",
+        )
+    if is_timing_name(name):
+        if not config.compare_timing:
+            return None
+        if abs(a) < config.timing_min_s and abs(b) < config.timing_min_s:
+            return None
+        allowed = abs(a) * config.timing_rel_tol + config.timing_abs_tol
+        return Delta(
+            name=name, kind="timing", baseline=a, candidate=b,
+            delta=b - a,
+            limit=f"<= +{config.timing_rel_tol:.0%} +{config.timing_abs_tol}s",
+            passed=(b - a) <= allowed,
+            note="one-sided",
+        )
+    abs_tol, rel_tol = config.tolerance_for(name)
+    allowed = abs_tol + rel_tol * abs(a)
+    return Delta(
+        name=name, kind=kind, baseline=a, candidate=b,
+        delta=b - a,
+        limit=f"|delta| <= {allowed:.6g}",
+        passed=abs(b - a) <= allowed,
+    )
+
+
+def compare_runs(
+    baseline: RunRecord,
+    candidate: RunRecord,
+    config: Optional[RegressionConfig] = None,
+) -> RegressionVerdict:
+    """Compare a candidate run against a baseline run.
+
+    Args:
+        baseline: the reference (stored golden) run.
+        candidate: the run under test.
+        config: tolerances; defaults are exact for KPIs/metrics, +50 %
+            for wall clock, 0.5 decades / 1 dB for BER curves.
+
+    Returns:
+        A :class:`RegressionVerdict`; ``verdict.passed`` is the CI gate.
+    """
+    config = config or RegressionConfig()
+    verdict = RegressionVerdict(baseline.run_id, candidate.run_id)
+    deltas = verdict.deltas
+
+    # Integrity first: never compare tampered content silently.
+    if config.require_integrity:
+        for role, run in (("baseline", baseline), ("candidate", candidate)):
+            if not run.integrity_ok:
+                deltas.append(Delta(
+                    name=f"integrity:{role}", kind="integrity",
+                    baseline=None, candidate=None, delta=0.0,
+                    limit="content matches stored digest", passed=False,
+                    note=f"{run.run_id} was modified after storage",
+                ))
+
+    # KPIs.
+    for name in sorted(set(baseline.kpis) | set(candidate.kpis)):
+        delta = _compare_scalar(
+            name, "kpi", baseline.kpis.get(name), candidate.kpis.get(name),
+            config,
+        )
+        if delta is not None:
+            deltas.append(delta)
+
+    # Metrics snapshots.
+    if config.compare_metrics:
+        flat_a = flatten_metrics(baseline.metrics)
+        flat_b = flatten_metrics(candidate.metrics)
+        for name in sorted(set(flat_a) | set(flat_b)):
+            delta = _compare_scalar(
+                name, "metric", flat_a.get(name), flat_b.get(name), config
+            )
+            if delta is not None:
+                deltas.append(delta)
+
+    # BER curves.
+    if config.compare_curves:
+        for name in sorted(set(baseline.curves) | set(candidate.curves)):
+            curve_a = baseline.curves.get(name)
+            curve_b = candidate.curves.get(name)
+            if curve_a is None or curve_b is None:
+                missing = "candidate" if curve_b is None else "baseline"
+                deltas.append(Delta(
+                    name=f"curve:{name}", kind="curve",
+                    baseline=None, candidate=None, delta=0.0,
+                    limit="present in both", passed=False,
+                    note=f"missing from {missing}",
+                ))
+                continue
+            drift = curve_drift_decades(curve_a, curve_b, config.ber_floor)
+            if drift is None:
+                deltas.append(Delta(
+                    name=f"curve:{name}", kind="curve",
+                    baseline=None, candidate=None, delta=0.0,
+                    limit="curves share grid points", passed=False,
+                    note="no common x values",
+                ))
+                continue
+            deltas.append(Delta(
+                name=f"curve:{name}:drift", kind="curve",
+                baseline=0.0, candidate=drift, delta=drift,
+                limit=f"<= {config.ber_drift_tol_decades} decades",
+                passed=drift <= config.ber_drift_tol_decades,
+                note="max pointwise log10 BER drift",
+            ))
+            shift = shift_at_fixed_ber(
+                curve_a, curve_b, config.ber_target, config.ber_floor
+            )
+            if shift is not None:
+                shift_db, target = shift
+                deltas.append(Delta(
+                    name=f"curve:{name}:shift", kind="curve",
+                    baseline=0.0, candidate=shift_db, delta=shift_db,
+                    limit=f"|shift| <= {config.ber_shift_tol_db} dB",
+                    passed=abs(shift_db) <= config.ber_shift_tol_db,
+                    note=f"at BER {target:.3g}",
+                ))
+
+    # Wall clock from span aggregates.
+    if config.compare_timing:
+        spans_a = aggregate_spans(baseline.trace_records())
+        spans_b = aggregate_spans(candidate.trace_records())
+        if spans_a and spans_b:
+            for name in sorted(set(spans_a) & set(spans_b)):
+                a_s = spans_a[name].total_s
+                b_s = spans_b[name].total_s
+                if a_s < config.timing_min_s and b_s < config.timing_min_s:
+                    continue
+                allowed = a_s * config.timing_rel_tol + config.timing_abs_tol
+                deltas.append(Delta(
+                    name=f"span:{name}", kind="timing",
+                    baseline=a_s, candidate=b_s, delta=b_s - a_s,
+                    limit=(
+                        f"<= +{config.timing_rel_tol:.0%} "
+                        f"+{config.timing_abs_tol}s"
+                    ),
+                    passed=(b_s - a_s) <= allowed,
+                    note="total seconds",
+                ))
+    return verdict

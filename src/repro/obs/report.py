@@ -1,0 +1,434 @@
+"""Report rendering: a stored run (or a run-pair diff) as md/HTML.
+
+The renderer is deliberately two-stage: a run is first distilled into
+plain :class:`Section` objects (title, paragraphs, tables, code blocks),
+then serialised by :func:`render_markdown` or :func:`render_html`.  Both
+renderings are **deterministic** given the stored content — every map is
+sorted, nothing reads the clock — so report files diff cleanly between
+runs and can themselves live in version control.
+
+The module also exports traces in the Chrome trace-event format
+(``chrome://tracing`` / Perfetto "JSON object format"): every stored
+span becomes a complete ("X") event with microsecond timestamps rebased
+to the run start, every point event an instant ("i") event, so a
+``trace.jsonl`` written months ago opens in a timeline UI today.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.profile import profile_rows
+from repro.obs.store import RunRecord
+
+__all__ = [
+    "Section",
+    "chrome_trace",
+    "chrome_trace_events",
+    "diff_sections",
+    "render_html",
+    "render_markdown",
+    "render_run_markdown",
+    "render_timeline",
+    "run_sections",
+    "write_chrome_trace",
+]
+
+Table = Tuple[Sequence[str], Sequence[Sequence[str]]]
+
+
+@dataclass
+class Section:
+    """One report section: prose, tables and code blocks under a title."""
+
+    title: str
+    paragraphs: List[str] = field(default_factory=list)
+    tables: List[Table] = field(default_factory=list)
+    code: List[Tuple[str, str]] = field(default_factory=list)
+
+
+# -- section builders ---------------------------------------------------
+def _manifest_section(run: RunRecord) -> Section:
+    manifest = run.manifest
+    versions = manifest.get("versions") or {}
+    rows = [
+        ["run id", run.run_id],
+        ["manifest id", str(manifest.get("run_id", "-"))],
+        ["created", str(manifest.get("created_iso", "-"))],
+        ["seed", str(manifest.get("seed", "-"))],
+        ["command", str(manifest.get("command", "-"))],
+        ["platform", str(manifest.get("platform", "-"))],
+        ["versions", ", ".join(
+            f"{k} {v}" for k, v in sorted(versions.items())
+        ) or "-"],
+        ["integrity", "ok" if run.integrity_ok else
+         "MODIFIED AFTER STORAGE"],
+    ]
+    section = Section("Manifest", tables=[(["field", "value"], rows)])
+    config = manifest.get("config")
+    if config is not None:
+        section.code.append(
+            ("json", json.dumps(config, indent=2, sort_keys=True))
+        )
+    return section
+
+
+def _kpi_section(run: RunRecord) -> Optional[Section]:
+    if not run.kpis:
+        return None
+    rows = [[name, f"{value:.6g}"] for name, value in sorted(run.kpis.items())]
+    return Section("Key results", tables=[(["kpi", "value"], rows)])
+
+
+def _metrics_sections(run: RunRecord) -> List[Section]:
+    scalars: List[List[str]] = []
+    histograms: List[List[str]] = []
+    for name, entry in sorted(run.metrics.items()):
+        kind = entry.get("kind", "?")
+        for series in entry.get("series", []):
+            labels = series.get("labels", {})
+            label_str = ",".join(
+                f"{k}={v}" for k, v in sorted(labels.items())
+            ) or "-"
+            if kind == "histogram":
+                if series.get("count", 0):
+                    histograms.append([
+                        name, label_str, str(series["count"]),
+                        f"{series['sum']:.6g}", f"{series['min']:.6g}",
+                        f"{series['p50']:.6g}", f"{series['p90']:.6g}",
+                        f"{series['p99']:.6g}", f"{series['max']:.6g}",
+                    ])
+                else:
+                    histograms.append(
+                        [name, label_str, "0"] + ["-"] * 6
+                    )
+            else:
+                scalars.append(
+                    [name, kind, label_str, f"{series.get('value', 0):.6g}"]
+                )
+    sections = []
+    if scalars:
+        sections.append(Section(
+            "Metrics",
+            tables=[(["metric", "kind", "labels", "value"], scalars)],
+        ))
+    if histograms:
+        sections.append(Section(
+            "Histograms",
+            tables=[(
+                ["metric", "labels", "count", "sum", "min", "p50", "p90",
+                 "p99", "max"],
+                histograms,
+            )],
+        ))
+    return sections
+
+
+def _time_split_section(run: RunRecord) -> Optional[Section]:
+    """Table-2-style wall-clock split from ``*_wall_seconds`` metrics."""
+    splits: Dict[str, Dict[Tuple[str, str], float]] = {}
+    for name, entry in run.metrics.items():
+        if "wall_seconds" not in name:
+            continue
+        for series in entry.get("series", []):
+            labels = series.get("labels", {})
+            mode = labels.get("mode")
+            phase = labels.get("phase")
+            if mode is None or phase is None:
+                continue
+            splits.setdefault(name, {})[(mode, phase)] = float(
+                series.get("value", 0.0)
+            )
+    if not splits:
+        return None
+    section = Section(
+        "Time split",
+        paragraphs=[
+            "Wall-clock decomposition per engine mode (the table-2 "
+            "comparison: the RF phase carries the co-simulation "
+            "slowdown)."
+        ],
+    )
+    for name, cells in sorted(splits.items()):
+        modes = sorted({mode for mode, _ in cells})
+        phases = sorted({phase for _, phase in cells})
+        headers = [name] + [f"{mode} [s]" for mode in modes] + ["share"]
+        rows = []
+        totals = {
+            mode: sum(cells.get((mode, p), 0.0) for p in phases)
+            for mode in modes
+        }
+        for phase in phases:
+            row = [phase]
+            for mode in modes:
+                row.append(f"{cells.get((mode, phase), 0.0):.3f}")
+            grand = sum(totals.values())
+            share = (
+                sum(cells.get((m, phase), 0.0) for m in modes) / grand
+                if grand else 0.0
+            )
+            row.append(f"{100.0 * share:.1f}%")
+            rows.append(row)
+        total_row = ["total"] + [
+            f"{totals[mode]:.3f}" for mode in modes
+        ] + ["100.0%"]
+        rows.append(total_row)
+        section.tables.append((headers, rows))
+    return section
+
+
+def _profile_section(run: RunRecord) -> Optional[Section]:
+    records = run.trace_records()
+    if not records:
+        return None
+    rows = profile_rows(records, prefix="block:")
+    section = Section("Per-block profile")
+    if rows:
+        section.tables.append((
+            ["block", "calls", "total [s]", "mean [ms]", "share", "samples"],
+            rows,
+        ))
+    timeline = render_timeline(records)
+    has_spans = timeline != "(no spans recorded)"
+    if has_spans:
+        section.code.append(("text", timeline))
+    if not rows and not has_spans:
+        return None
+    return section
+
+
+def _tables_section(run: RunRecord) -> Optional[Section]:
+    if not run.tables:
+        return None
+    section = Section("Result tables")
+    for name, text in sorted(run.tables.items()):
+        section.paragraphs.append(f"**{name}**")
+        section.code.append(("text", text))
+    return section
+
+
+def run_sections(run: RunRecord) -> List[Section]:
+    """Distill a stored run into report sections."""
+    sections: List[Section] = [_manifest_section(run)]
+    for maybe in (
+        [_kpi_section(run)]
+        + _metrics_sections(run)
+        + [_time_split_section(run), _profile_section(run),
+           _tables_section(run)]
+    ):
+        if maybe is not None:
+            sections.append(maybe)
+    return sections
+
+
+def diff_sections(verdict, baseline: RunRecord,
+                  candidate: RunRecord) -> List[Section]:
+    """Distill a :class:`~repro.obs.regress.RegressionVerdict` to sections."""
+    head = Section(
+        "Comparison",
+        paragraphs=[verdict.summary()],
+        tables=[(
+            ["role", "run id", "created", "command"],
+            [
+                ["baseline", baseline.run_id, baseline.created_iso,
+                 str(baseline.manifest.get("command", "-"))],
+                ["candidate", candidate.run_id, candidate.created_iso,
+                 str(candidate.manifest.get("command", "-"))],
+            ],
+        )],
+    )
+    headers, rows = verdict.rows(only_interesting=True)
+    deltas = Section("Deltas")
+    if rows:
+        deltas.tables.append((headers, rows))
+    else:
+        deltas.paragraphs.append(
+            "All compared quantities are identical (zero delta)."
+        )
+    return [head, deltas]
+
+
+# -- renderers ----------------------------------------------------------
+def _md_escape(cell: str) -> str:
+    return str(cell).replace("|", "\\|")
+
+
+def _md_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    lines = [
+        "| " + " | ".join(_md_escape(h) for h in headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(_md_escape(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def render_markdown(title: str, sections: Iterable[Section]) -> str:
+    """Serialise sections as a GitHub-flavoured markdown document."""
+    parts = [f"# {title}"]
+    for section in sections:
+        parts.append(f"## {section.title}")
+        parts.extend(section.paragraphs)
+        for headers, rows in section.tables:
+            parts.append(_md_table(headers, rows))
+        for lang, text in section.code:
+            parts.append(f"```{lang}\n{text}\n```")
+    return "\n\n".join(parts) + "\n"
+
+
+_HTML_STYLE = (
+    "body{font-family:sans-serif;margin:2em;max-width:72em}"
+    "table{border-collapse:collapse;margin:1em 0}"
+    "th,td{border:1px solid #999;padding:0.25em 0.6em;text-align:left}"
+    "th{background:#eee}"
+    "pre{background:#f6f6f6;padding:0.8em;overflow-x:auto}"
+)
+
+
+def render_html(title: str, sections: Iterable[Section]) -> str:
+    """Serialise sections as a standalone HTML document."""
+    esc = _html.escape
+    parts = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset=\"utf-8\">",
+        f"<title>{esc(title)}</title>",
+        f"<style>{_HTML_STYLE}</style>",
+        "</head><body>",
+        f"<h1>{esc(title)}</h1>",
+    ]
+    for section in sections:
+        parts.append(f"<h2>{esc(section.title)}</h2>")
+        for paragraph in section.paragraphs:
+            parts.append(f"<p>{esc(paragraph)}</p>")
+        for headers, rows in section.tables:
+            parts.append("<table><tr>" + "".join(
+                f"<th>{esc(str(h))}</th>" for h in headers
+            ) + "</tr>")
+            for row in rows:
+                parts.append("<tr>" + "".join(
+                    f"<td>{esc(str(c))}</td>" for c in row
+                ) + "</tr>")
+            parts.append("</table>")
+        for _, text in section.code:
+            parts.append(f"<pre>{esc(text)}</pre>")
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"
+
+
+def render_run_markdown(run: RunRecord) -> str:
+    """Convenience: a stored run straight to markdown."""
+    return render_markdown(f"Run {run.run_id}", run_sections(run))
+
+
+# -- chrome trace export ------------------------------------------------
+def _norm_record(record) -> Optional[Dict[str, Any]]:
+    """Normalise a SpanRecord/EventRecord object or trace dict."""
+    if isinstance(record, dict):
+        if record.get("type") not in ("span", "event"):
+            return None
+        return record
+    as_dict = getattr(record, "as_dict", None)
+    if as_dict is None:
+        return None
+    return as_dict()
+
+
+def chrome_trace_events(records: Iterable[Any]) -> List[Dict[str, Any]]:
+    """Convert trace records to Chrome trace-event dicts.
+
+    Spans become complete ("X") events with microsecond ``ts``/``dur``
+    rebased so the earliest span starts at zero; events become instant
+    ("i") events.  Works on live records and on ``read_jsonl`` dicts.
+    """
+    normed = [r for r in map(_norm_record, records) if r is not None]
+    starts = [
+        r["start_monotonic_s"] for r in normed if r["type"] == "span"
+    ] + [
+        r["monotonic_s"] for r in normed if r["type"] == "event"
+    ]
+    t0 = min(starts) if starts else 0.0
+    events = []
+    for r in normed:
+        if r["type"] == "span":
+            events.append({
+                "name": r["name"],
+                "cat": r["name"].split(":", 1)[0],
+                "ph": "X",
+                "ts": (r["start_monotonic_s"] - t0) * 1e6,
+                "dur": r["duration_s"] * 1e6,
+                "pid": 0,
+                "tid": 0,
+                "args": r.get("attributes") or {},
+            })
+        else:
+            events.append({
+                "name": r["name"],
+                "cat": "event",
+                "ph": "i",
+                "s": "t",
+                "ts": (r["monotonic_s"] - t0) * 1e6,
+                "pid": 0,
+                "tid": 0,
+                "args": r.get("attributes") or {},
+            })
+    events.sort(key=lambda e: e["ts"])
+    return events
+
+
+def chrome_trace(
+    records: Iterable[Any], metadata: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """The full Chrome/Perfetto JSON object for a set of records."""
+    return {
+        "traceEvents": chrome_trace_events(records),
+        "displayTimeUnit": "ms",
+        "otherData": metadata or {},
+    }
+
+
+def write_chrome_trace(
+    path, records: Iterable[Any],
+    metadata: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write records as a ``chrome://tracing``-loadable JSON file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(records, metadata), fh)
+        fh.write("\n")
+
+
+# -- ascii timeline -----------------------------------------------------
+def render_timeline(
+    records: Iterable[Any], width: int = 64, max_spans: int = 24
+) -> str:
+    """The ``max_spans`` longest spans as an ASCII gantt chart.
+
+    Bars are positioned on the run's monotonic axis; spans are listed in
+    start order so nesting reads top-down.
+    """
+    spans = [
+        r for r in map(_norm_record, records)
+        if r is not None and r["type"] == "span"
+    ]
+    if not spans:
+        return "(no spans recorded)"
+    spans = sorted(
+        spans, key=lambda r: r["duration_s"], reverse=True
+    )[:max_spans]
+    spans.sort(key=lambda r: r["start_monotonic_s"])
+    t0 = min(r["start_monotonic_s"] for r in spans)
+    t1 = max(r["start_monotonic_s"] + r["duration_s"] for r in spans)
+    total = max(t1 - t0, 1e-12)
+    name_w = min(max(len(r["name"]) for r in spans), 28)
+    lines = []
+    for r in spans:
+        offset = int((r["start_monotonic_s"] - t0) / total * width)
+        length = max(1, round(r["duration_s"] / total * width))
+        length = min(length, width - offset)
+        bar = " " * offset + "#" * length
+        name = r["name"][:name_w].ljust(name_w)
+        lines.append(f"{name} |{bar.ljust(width)}| {r['duration_s']:.3f}s")
+    lines.append(f"{''.ljust(name_w)}  0{'':{width - 10}}{total:>8.3f}s")
+    return "\n".join(lines)

@@ -17,7 +17,7 @@ class TestParser:
         commands = set(subparsers.choices)
         assert commands == {
             "quickstart", "fig5", "fig6", "table2", "sensitivity",
-            "flow", "netlist", "campaign", "profile",
+            "flow", "netlist", "campaign", "profile", "runs", "report",
         }
 
     def test_missing_command_errors(self):
@@ -154,3 +154,109 @@ class TestObservability:
         main(["--trace", str(tmp_path / "t.jsonl"), "netlist"])
         capsys.readouterr()
         assert isinstance(obs.get_tracer(), NullTracer)
+
+
+class TestRunStoreCli:
+    def _store_fig5(self, store, capsys):
+        code = main(["--store", str(store), "fig5", "--packets", "1"])
+        err = capsys.readouterr().err
+        assert code == 0
+        assert "run stored: fig5-" in err
+        return store
+
+    def test_store_creates_run_and_lists_it(self, tmp_path, capsys):
+        store = self._store_fig5(tmp_path / "runs", capsys)
+        code = main(["runs", "list", "--store", str(store)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fig5-" in out and "sweep" not in out.splitlines()[0]
+        code = main(["runs", "show", "latest", "--store", str(store)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "integrity" in out
+
+    def test_self_diff_is_zero_and_passes(self, tmp_path, capsys):
+        store = self._store_fig5(tmp_path / "runs", capsys)
+        code = main(["runs", "diff", "latest", "latest",
+                     "--store", str(store)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 nonzero deltas" in out
+        assert "0 over tolerance" in out
+
+    def test_tampered_kpis_fail_diff(self, tmp_path, capsys):
+        store = self._store_fig5(tmp_path / "runs", capsys)
+        run_dir = next(p for p in store.iterdir() if p.is_dir())
+        kpis_path = run_dir / "kpis.json"
+        kpis = json.loads(kpis_path.read_text())
+        key = sorted(kpis)[0]
+        kpis[key] = kpis[key] + 0.25  # inject a BER regression
+        kpis_path.write_text(json.dumps(kpis))
+        code = main(["runs", "diff", "latest", "latest",
+                     "--store", str(store)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in out
+        assert "integrity" in out
+
+    def test_unknown_run_exits_2(self, tmp_path, capsys):
+        store = self._store_fig5(tmp_path / "runs", capsys)
+        code = main(["runs", "diff", "latest", "nope-000",
+                     "--store", str(store)])
+        capsys.readouterr()
+        assert code == 2
+
+    def test_gc_keeps_newest(self, tmp_path, capsys):
+        store = tmp_path / "runs"
+        self._store_fig5(store, capsys)
+        code = main(["--store", str(store), "quickstart", "--rate", "24",
+                     "--bytes", "60", "--level", "-55"])
+        capsys.readouterr()
+        assert code == 0
+        code = main(["runs", "gc", "--keep", "1", "--store", str(store)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "removed fig5-" in out
+        code = main(["runs", "list", "--store", str(store)])
+        out = capsys.readouterr().out
+        assert "quickstart-" in out and "fig5-" not in out
+
+    def test_report_markdown_and_chrome_trace(self, tmp_path, capsys):
+        store = self._store_fig5(tmp_path / "runs", capsys)
+        md = tmp_path / "report.md"
+        ct = tmp_path / "trace.json"
+        code = main(["report", "latest", "--store", str(store),
+                     "--out", str(md), "--chrome-trace", str(ct)])
+        capsys.readouterr()
+        assert code == 0
+        text = md.read_text()
+        assert text.startswith("# Run fig5-")
+        assert "| field | value |" in text
+        doc = json.loads(ct.read_text())
+        assert doc["traceEvents"]
+        assert all(e["ph"] in ("X", "i") for e in doc["traceEvents"])
+
+    def test_report_html(self, tmp_path, capsys):
+        store = self._store_fig5(tmp_path / "runs", capsys)
+        code = main(["report", "latest", "--html", "--store", str(store)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "<table>" in out and "</html>" in out
+
+    def test_profile_chrome_trace_export(self, tmp_path, capsys):
+        ct = tmp_path / "profile-trace.json"
+        code = main(["profile", "fig5", "--packets", "1",
+                     "--chrome-trace", str(ct)])
+        capsys.readouterr()
+        assert code == 0
+        doc = json.loads(ct.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "block:receiver" in names
+        durations = [e["dur"] for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert durations and all(d >= 0 for d in durations)
+
+    def test_ambient_writer_restored_after_run(self, tmp_path, capsys):
+        from repro import obs
+
+        self._store_fig5(tmp_path / "runs", capsys)
+        assert obs.current_writer() is None

@@ -1,0 +1,154 @@
+"""Tests for run-to-run regression detection (repro.obs.regress)."""
+
+import json
+
+from repro.obs.regress import (
+    RegressionConfig,
+    compare_runs,
+    curve_drift_decades,
+    flatten_metrics,
+    shift_at_fixed_ber,
+)
+from repro.obs.store import RunStore
+
+
+def _run(store, ber=1e-3, wall=None, curve=None, name="demo"):
+    writer = store.create(kind="demo", name=name, seed=0)
+    writer.add_kpis({"ber": ber})
+    if wall is not None:
+        writer.add_kpis({"wall_seconds": wall})
+    if curve is not None:
+        writer.add_curve("ber", curve.get("x_label", "snr_db"),
+                         curve["x"], curve["ber"])
+    return writer.finalize(tracer=None, registry=None)
+
+
+class TestCompareRuns:
+    def test_self_diff_passes_with_zero_deltas(self, tmp_path):
+        store = RunStore(tmp_path)
+        record = _run(store, curve={"x": [0.0, 5.0], "ber": [0.1, 0.01]})
+        verdict = compare_runs(record, record)
+        assert verdict.passed
+        assert verdict.nonzero == []
+        assert verdict.failures == []
+        assert "PASS" in verdict.summary()
+
+    def test_kpi_regression_fails(self, tmp_path):
+        store = RunStore(tmp_path)
+        base = _run(store, ber=1e-3)
+        cand = _run(store, ber=2e-3)
+        verdict = compare_runs(base, cand)
+        assert not verdict.passed
+        names = [d.name for d in verdict.failures]
+        assert any("ber" in n for n in names)
+
+    def test_kpi_tolerance_allows_drift(self, tmp_path):
+        store = RunStore(tmp_path)
+        base = _run(store, ber=1e-3)
+        cand = _run(store, ber=1.05e-3)
+        config = RegressionConfig(kpi_rel_tol=0.1)
+        assert compare_runs(base, cand, config).passed
+
+    def test_timing_is_one_sided(self, tmp_path):
+        store = RunStore(tmp_path)
+        base = _run(store, wall=1.0)
+        faster = _run(store, wall=0.4)
+        slower = _run(store, wall=2.0)
+        assert compare_runs(base, faster).passed  # faster never fails
+        verdict = compare_runs(base, slower)
+        assert not verdict.passed
+        assert any("wall" in d.name for d in verdict.failures)
+
+    def test_tiny_timings_ignored(self, tmp_path):
+        store = RunStore(tmp_path)
+        base = _run(store, wall=0.001)
+        slow = _run(store, wall=0.04)  # below timing_min_s
+        assert compare_runs(base, slow).passed
+
+    def test_missing_kpi_fails(self, tmp_path):
+        store = RunStore(tmp_path)
+        base = _run(store)
+        writer = store.create(kind="demo", name="nokpi")
+        writer.add_kpis({"other": 1.0})
+        cand = writer.finalize(tracer=None, registry=None)
+        verdict = compare_runs(base, cand)
+        assert not verdict.passed
+        notes = " ".join(d.note for d in verdict.failures)
+        assert "missing" in notes
+
+    def test_tampered_candidate_fails_on_integrity(self, tmp_path):
+        store = RunStore(tmp_path)
+        base = _run(store, ber=1e-3)
+        cand = _run(store, ber=5e-4)
+        kpis = cand.path / "kpis.json"
+        kpis.write_text(json.dumps({"ber": 1e-3}))
+        verdict = compare_runs(base, store.load_run(cand.run_id))
+        assert not verdict.passed
+        assert any(d.kind == "integrity" for d in verdict.failures)
+
+    def test_ber_curve_drift_fails(self, tmp_path):
+        store = RunStore(tmp_path)
+        base = _run(store, curve={"x": [0.0, 5.0, 10.0],
+                                  "ber": [0.1, 0.01, 0.001]})
+        cand = _run(store, curve={"x": [0.0, 5.0, 10.0],
+                                  "ber": [0.1, 0.08, 0.05]})
+        verdict = compare_runs(base, cand)
+        assert not verdict.passed
+
+    def test_as_dict_is_json_serializable(self, tmp_path):
+        store = RunStore(tmp_path)
+        record = _run(store)
+        verdict = compare_runs(record, record)
+        json.dumps(verdict.as_dict())
+
+
+class TestCurveMath:
+    def test_drift_zero_for_identical(self):
+        curve = {"x": [0.0, 5.0], "ber": [0.1, 0.01]}
+        assert curve_drift_decades(curve, curve) == 0.0
+
+    def test_drift_one_decade(self):
+        base = {"x": [0.0], "ber": [0.01]}
+        cand = {"x": [0.0], "ber": [0.1]}
+        assert abs(curve_drift_decades(base, cand) - 1.0) < 1e-12
+
+    def test_drift_none_without_common_grid(self):
+        assert curve_drift_decades({"x": [0.0], "ber": [0.1]},
+                                   {"x": [1.0], "ber": [0.1]}) is None
+
+    def test_shift_matches_db_offset(self):
+        # Candidate curve is the baseline shifted right by exactly 2 dB.
+        x = [0.0, 2.0, 4.0, 6.0]
+        ber = [0.1, 0.03, 0.005, 0.0005]
+        base = {"x_label": "snr_db", "x": x, "ber": ber}
+        cand = {"x_label": "snr_db", "x": [v + 2.0 for v in x], "ber": ber}
+        shift, target = shift_at_fixed_ber(base, cand)
+        assert abs(shift - 2.0) < 1e-9
+        assert 0.0005 < target < 0.1
+
+    def test_shift_none_when_never_crossing(self):
+        base = {"x_label": "snr_db", "x": [0.0, 5.0], "ber": [0.5, 0.4]}
+        cand = {"x_label": "snr_db", "x": [0.0, 5.0], "ber": [1e-6, 1e-7]}
+        assert shift_at_fixed_ber(base, cand, target=1e-3) is None
+
+
+class TestFlattenMetrics:
+    def test_counter_and_histogram(self):
+        metrics = {
+            "packets": {
+                "kind": "counter",
+                "series": [{"labels": {}, "value": 12.0}],
+            },
+            "ber": {
+                "kind": "histogram",
+                "series": [{
+                    "labels": {"rate": 24},
+                    "count": 2, "sum": 0.3, "min": 0.1, "max": 0.2,
+                    "p50": 0.15, "p90": 0.19, "p99": 0.2,
+                }],
+            },
+        }
+        flat = flatten_metrics(metrics)
+        assert flat["packets"] == 12.0
+        assert flat["ber.p50{rate=24}"] == 0.15
+        assert flat["ber.count{rate=24}"] == 2

@@ -1,0 +1,135 @@
+"""Tests for report rendering and trace export (repro.obs.report)."""
+
+import json
+
+from repro.obs.regress import compare_runs
+from repro.obs.report import (
+    chrome_trace,
+    chrome_trace_events,
+    diff_sections,
+    render_html,
+    render_markdown,
+    render_run_markdown,
+    render_timeline,
+    run_sections,
+)
+from repro.obs.store import RunStore
+
+
+def _stored_run(tmp_path, ber=1e-3):
+    store = RunStore(tmp_path)
+    writer = store.create(kind="demo", name="demo", seed=3,
+                          config={"rate": 24}, command="pytest")
+    writer.add_kpis({"ber": ber, "per": 10 * ber})
+    writer.add_table("summary", "x | y\n1 | 2")
+    writer.add_curve("ber", "snr_db", [0.0, 5.0], [0.1, ber])
+    return store, writer.finalize(tracer=None, registry=None)
+
+
+SPANS = [
+    {"type": "span", "name": "sweep", "start_monotonic_s": 10.0,
+     "duration_s": 2.0, "attributes": {}},
+    {"type": "span", "name": "block:receiver", "start_monotonic_s": 10.5,
+     "duration_s": 0.5, "attributes": {"samples": 4000}},
+    {"type": "event", "name": "progress", "monotonic_s": 11.0,
+     "attributes": {"ber": 0.1}},
+]
+
+
+class TestMarkdown:
+    def test_render_is_deterministic(self, tmp_path):
+        _, run = _stored_run(tmp_path)
+        first = render_run_markdown(run)
+        second = render_run_markdown(run)
+        assert first == second
+
+    def test_contains_manifest_kpis_and_tables(self, tmp_path):
+        _, run = _stored_run(tmp_path)
+        text = render_run_markdown(run)
+        assert text.startswith(f"# Run {run.run_id}")
+        assert "| field | value |" in text
+        assert "ber" in text and "0.001" in text
+        assert "x | y" in text  # the attached plain-text table
+        assert "integrity" in text
+
+    def test_pipe_cells_escaped(self):
+        from repro.obs.report import Section
+
+        md = render_markdown("t", [Section(
+            title="s", tables=[(["a|b"], [["1|2"]])],
+        )])
+        assert "a\\|b" in md and "1\\|2" in md
+
+    def test_diff_sections_render(self, tmp_path):
+        _, base = _stored_run(tmp_path / "a")
+        _, cand = _stored_run(tmp_path / "b", ber=2e-3)
+        verdict = compare_runs(base, cand)
+        md = render_markdown(
+            "diff", diff_sections(verdict, base, cand))
+        assert "FAIL" in md
+        assert base.run_id in md and cand.run_id in md
+
+
+class TestHtml:
+    def test_standalone_document(self, tmp_path):
+        _, run = _stored_run(tmp_path)
+        html = render_html(f"Run {run.run_id}", run_sections(run))
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<table>" in html and "</html>" in html
+        assert run.run_id in html
+
+    def test_escapes_markup(self):
+        from repro.obs.report import Section
+
+        html = render_html("t", [Section(
+            title="s", paragraphs=["<script>alert(1)</script>"],
+        )])
+        assert "<script>" not in html
+        assert "&lt;script&gt;" in html
+
+
+class TestChromeTrace:
+    def test_span_and_event_shapes(self):
+        events = chrome_trace_events(SPANS)
+        complete = [e for e in events if e["ph"] == "X"]
+        instant = [e for e in events if e["ph"] == "i"]
+        assert len(complete) == 2 and len(instant) == 1
+        sweep = next(e for e in complete if e["name"] == "sweep")
+        assert sweep["ts"] == 0  # rebased to the earliest start
+        assert sweep["dur"] == 2_000_000  # microseconds
+        rx = next(e for e in complete if e["name"] == "block:receiver")
+        assert rx["ts"] == 500_000
+        assert instant[0]["s"] == "t"
+
+    def test_document_is_json_round_trippable(self):
+        doc = chrome_trace(SPANS, metadata={"run_id": "x"})
+        parsed = json.loads(json.dumps(doc))
+        assert parsed["displayTimeUnit"] == "ms"
+        assert parsed["otherData"]["run_id"] == "x"
+        assert len(parsed["traceEvents"]) == 3
+
+    def test_span_record_objects_accepted(self):
+        from repro.obs.tracer import SpanRecord
+
+        record = SpanRecord(
+            name="block:fft", span_id=1, parent_id=None,
+            start_unix_s=1.0, start_monotonic_s=1.0, duration_s=0.25,
+        )
+        events = chrome_trace_events([record])
+        assert events[0]["name"] == "block:fft"
+        assert events[0]["dur"] == 250_000
+
+    def test_malformed_records_skipped(self):
+        events = chrome_trace_events([{"type": "manifest"}, {"junk": 1}])
+        assert events == []
+
+
+class TestTimeline:
+    def test_ascii_gantt(self):
+        lines = render_timeline(SPANS, width=32).splitlines()
+        assert any("sweep" in line for line in lines)
+        assert any("block:receiver" in line for line in lines)
+        assert any("#" in line for line in lines)
+
+    def test_empty_trace(self):
+        assert render_timeline([]) == "(no spans recorded)"
