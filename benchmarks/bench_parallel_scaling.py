@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Measure parallel sweep scaling and write ``BENCH_perf.json``.
+
+Runs one fixed 8-point SNR sweep serially and at ``--jobs 2`` and
+``--jobs 4``, records wall-clock, speedup over serial, and scaling
+efficiency (``speedup / jobs``), and verifies the parallel BER curves
+are bit-identical to the serial one (the :mod:`repro.perf` contract).
+
+On machines with fewer cores than workers the speedup naturally
+saturates near the core count; the document therefore always records
+``cpu_count`` and per-entry efficiency so the numbers are interpretable
+on any runner.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py \
+        --out BENCH_perf.json --packets 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro import perf  # noqa: E402
+from repro.core.sweep import ParameterSweep  # noqa: E402
+from repro.core.testbench import TestbenchConfig  # noqa: E402
+
+#: The fixed scaling workload: 8 SNR points, embarrassingly parallel.
+SNR_POINTS = [2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0]
+
+
+def scaling_sweep(packets: int) -> ParameterSweep:
+    """The fixed 8-point sweep every jobs setting runs identically."""
+    return ParameterSweep(
+        TestbenchConfig(rate_mbps=24, psdu_bytes=60),
+        "snr_db",
+        SNR_POINTS,
+        n_packets=packets,
+        seed=0,
+    )
+
+
+def run_scaling(packets: int = 3, jobs_list=(1, 2, 4)) -> dict:
+    """Run the sweep at each jobs setting; return the BENCH_perf doc."""
+    entries = []
+    serial_wall = None
+    serial_bers = None
+    for jobs in jobs_list:
+        sweep = scaling_sweep(packets)
+        t0 = time.perf_counter()
+        result = sweep.run(jobs=jobs)
+        wall_s = time.perf_counter() - t0
+        bers = result.bers
+        if jobs == 1:
+            serial_wall = wall_s
+            serial_bers = bers
+        identical = bool(
+            serial_bers is not None and np.array_equal(bers, serial_bers)
+        )
+        speedup = (serial_wall / wall_s) if serial_wall else 1.0
+        entries.append({
+            "jobs": jobs,
+            "wall_s": round(wall_s, 4),
+            "speedup": round(speedup, 3),
+            "efficiency": round(speedup / jobs, 3),
+            "identical_to_serial": identical,
+        })
+        print(
+            f"[scaling] jobs={jobs}: {wall_s:.2f}s "
+            f"speedup={speedup:.2f}x "
+            f"efficiency={speedup / jobs:.2f} "
+            f"identical={identical}",
+            flush=True,
+        )
+    return {
+        "schema": "repro-bench-perf/1",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": perf.cpu_count(),
+        "workload": {
+            "sweep_points": len(SNR_POINTS),
+            "packets_per_point": packets,
+        },
+        "note": (
+            "speedup is bounded by cpu_count; on fewer cores than jobs, "
+            "judge by efficiency at jobs <= cpu_count"
+        ),
+        "scaling": entries,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_perf.json", metavar="PATH",
+                        help="output JSON path (default BENCH_perf.json)")
+    parser.add_argument("--packets", type=int, default=3,
+                        help="packets per sweep point (default 3)")
+    parser.add_argument("--jobs", default="1,2,4",
+                        help="comma-separated jobs settings (default 1,2,4)")
+    args = parser.parse_args(argv)
+
+    jobs_list = [int(j) for j in args.jobs.split(",")]
+    if jobs_list[0] != 1:
+        jobs_list.insert(0, 1)  # speedups need the serial baseline first
+    doc = run_scaling(packets=args.packets, jobs_list=jobs_list)
+    out = Path(args.out)
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out} ({len(doc['scaling'])} settings, "
+          f"{doc['cpu_count']} CPUs)")
+    if not all(e["identical_to_serial"] for e in doc["scaling"]):
+        print("ERROR: parallel results diverged from serial",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,10 +8,16 @@ per-benchmark wall-clock and key KPIs.  With ``--store`` each benchmark
 also persists a run in a :class:`repro.obs.RunStore`, so successive
 recordings can be gated with ``repro runs diff``.
 
+``--perf-out PATH`` additionally runs the parallel-scaling benchmark
+(:mod:`benchmarks.bench_parallel_scaling`: the fixed 8-point sweep,
+serial vs ``jobs=2`` and ``jobs=4``) and writes its wall-clock /
+speedup / efficiency document there.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/record.py --out BENCH_obs.json \
-        --store benchmarks/results/runs --packets 2
+        --store benchmarks/results/runs --packets 2 \
+        --perf-out BENCH_perf.json
 """
 
 from __future__ import annotations
@@ -113,6 +119,9 @@ def main(argv=None) -> int:
                         help="packets per measurement (default 2)")
     parser.add_argument("--only", default=None,
                         help="comma-separated benchmark names to run")
+    parser.add_argument("--perf-out", default=None, metavar="PATH",
+                        help="also run the parallel-scaling benchmark and "
+                             "write its document (e.g. BENCH_perf.json)")
     args = parser.parse_args(argv)
 
     selected = None if args.only is None else set(args.only.split(","))
@@ -154,6 +163,22 @@ def main(argv=None) -> int:
     out = Path(args.out)
     out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out} ({len(results)} benchmarks)")
+
+    if args.perf_out:
+        from bench_parallel_scaling import run_scaling
+
+        perf_doc = run_scaling(packets=args.packets)
+        perf_out = Path(args.perf_out)
+        perf_out.write_text(
+            json.dumps(perf_doc, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {perf_out} ({len(perf_doc['scaling'])} settings)")
+        if not all(
+            e["identical_to_serial"] for e in perf_doc["scaling"]
+        ):
+            print("ERROR: parallel results diverged from serial",
+                  file=sys.stderr)
+            return 1
     return 0
 
 

@@ -16,6 +16,12 @@ span/event trace with a run-manifest header line) and ``--metrics PATH``
 (write the run's metrics plus manifest as JSON).  ``repro profile``
 wraps any experiment in a tracer and prints a per-block time breakdown.
 
+Parallelism: ``--jobs N`` fans sweeps, packet batches and campaign
+checks out over N worker processes (``--jobs 0`` = one per CPU); seed
+derivation guarantees results bit-identical to a serial run.
+``--memoize`` (with ``--store``) reuses stored sweep-point results
+whose exact measurement setup was already run.
+
 Run store: ``--store DIR`` persists the whole run — manifest, metrics,
 trace, result tables, BER curves, KPIs — as a content-addressed run
 directory under DIR (default ``runs/``).  Stored runs are consumed by::
@@ -403,6 +409,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0, help="random seed")
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for sweeps/packets/checks "
+             "(0 = one per CPU; default 1, i.e. serial; results are "
+             "bit-identical either way)",
+    )
+    parser.add_argument(
+        "--memoize",
+        action="store_true",
+        help="with --store: skip sweep points whose exact measurement "
+             "setup already has a stored result, and store fresh points "
+             "for future runs",
+    )
+    parser.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
@@ -611,15 +633,29 @@ def _run_observed(args, argv) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro import perf
+
     parser = build_parser()
     args = parser.parse_args(argv)
     if getattr(args, "consumes_store", False):
         # Store consumers (runs/report) read run directories; they never
         # trace or persist themselves.
         return args.func(args)
-    if args.trace or args.metrics or args.store:
-        return _run_observed(args, argv)
-    return args.func(args)
+    previous_jobs = None
+    previous_memoize = None
+    if args.jobs is not None:
+        previous_jobs = perf.set_default_jobs(args.jobs)
+    if args.memoize:
+        previous_memoize = perf.set_default_memoize(True)
+    try:
+        if args.trace or args.metrics or args.store:
+            return _run_observed(args, argv)
+        return args.func(args)
+    finally:
+        if previous_jobs is not None:
+            perf.set_default_jobs(previous_jobs)
+        if previous_memoize is not None:
+            perf.set_default_memoize(previous_memoize)
 
 
 if __name__ == "__main__":

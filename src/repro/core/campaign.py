@@ -65,6 +65,18 @@ class CampaignReport:
         return render_table(["check", "verdict", "time", "detail"], rows)
 
 
+def _campaign_check_task(payload):
+    """Run one campaign check (a :func:`repro.perf.parallel_map` task).
+
+    The campaign is rebuilt from its plain-data fields inside the
+    worker; every check derives its own streams from the campaign seed,
+    so the verdict is identical wherever it runs.
+    """
+    frontend, depth, seed, method_name = payload
+    campaign = VerificationCampaign(frontend=frontend, depth=depth, seed=seed)
+    return getattr(campaign, method_name)()
+
+
 @dataclass
 class VerificationCampaign:
     """Runs the acceptance checks against a front-end design.
@@ -294,8 +306,14 @@ class VerificationCampaign:
         progress: Optional[Callable] = None,
         store=None,
         run_name: str = "campaign",
+        jobs: Optional[int] = None,
     ) -> CampaignReport:
         """Execute the campaign (or a named subset of checks).
+
+        Checks are independent (each builds its own random streams from
+        the campaign seed), so they parallelize without changing any
+        verdict; the report lists them in registry order regardless of
+        completion order.
 
         Args:
             only: short check names to run (e.g. ``["phy_loopback"]``).
@@ -307,32 +325,47 @@ class VerificationCampaign:
                 report, per-check verdicts and durations are persisted
                 there (or to the ambient CLI run when one is active).
             run_name: store name for the campaign run.
+            jobs: worker processes for whole checks; None defers to the
+                ambient ``--jobs`` default, 1 runs in-process.
         """
+        from repro import perf
+
         emit = obs.as_listener(progress)
         selected = [
             name for name in self.CHECKS
             if only is None or name.removeprefix("check_") in only
         ]
         report = CampaignReport()
+
+        def consume(i, result):
+            report.results.append(result)
+            emit(ProgressEvent(
+                stage="campaign",
+                current=i + 1,
+                total=len(selected),
+                message=(
+                    f"{result.name}: "
+                    f"{'PASS' if result.passed else 'FAIL'} "
+                    f"({result.duration_s:.1f}s) {result.detail}"
+                ),
+                data={
+                    "check": selected[i].removeprefix("check_"),
+                    "passed": result.passed,
+                    "duration_s": result.duration_s,
+                },
+            ))
+
         with obs.span("campaign", depth=self.depth, checks=len(selected)):
-            for i, method_name in enumerate(selected):
-                result = getattr(self, method_name)()
-                report.results.append(result)
-                emit(ProgressEvent(
-                    stage="campaign",
-                    current=i + 1,
-                    total=len(selected),
-                    message=(
-                        f"{result.name}: "
-                        f"{'PASS' if result.passed else 'FAIL'} "
-                        f"({result.duration_s:.1f}s) {result.detail}"
-                    ),
-                    data={
-                        "check": method_name.removeprefix("check_"),
-                        "passed": result.passed,
-                        "duration_s": result.duration_s,
-                    },
-                ))
+            perf.parallel_map(
+                _campaign_check_task,
+                [
+                    (self.frontend, self.depth, self.seed, method_name)
+                    for method_name in selected
+                ],
+                jobs=jobs,
+                stage="campaign",
+                on_result=consume,
+            )
         kpis = {"passed": 1.0 if report.passed else 0.0}
         for method_name, result in zip(selected, report.results):
             short = method_name.removeprefix("check_")

@@ -16,11 +16,91 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro import obs
+from repro import obs, perf
 from repro.core.metrics import BerMeasurement
 from repro.core.reporting import render_table
 from repro.core.testbench import TestbenchConfig, WlanTestbench
 from repro.obs.progress import ProgressEvent
+
+
+def _sweep_point_task(payload):
+    """Measure one sweep point (a :func:`repro.perf.parallel_map` task).
+
+    The point's packets draw their streams from the point's own
+    :class:`~numpy.random.SeedSequence` child, so the measurement
+    depends only on the point's coordinates — not on scheduling.
+    """
+    config, value, n_packets, child, max_bit_errors = payload
+    bench = WlanTestbench(config)
+    with obs.span("sweep:point", value=float(value)):
+        return bench.measure_ber(
+            n_packets=n_packets,
+            seed=child,
+            max_bit_errors=max_bit_errors,
+        )
+
+
+def _point_memo_key(config, n_packets, seed, index, max_bit_errors) -> str:
+    """Content hash identifying one sweep point's full measurement setup."""
+    return obs.config_key({
+        "config": config,
+        "n_packets": n_packets,
+        "seed": perf.seed_entropy(seed),
+        "index": index,
+        "max_bit_errors": max_bit_errors,
+        "seeding": obs.SEEDING_SCHEME,
+    })
+
+
+_MEMO_KPIS = (
+    "ber", "per", "bit_errors", "bits_total", "packets", "packets_lost",
+)
+
+
+def _load_memoized_point(store, key: str) -> Optional[BerMeasurement]:
+    """Reconstruct a stored point measurement, or None when absent."""
+    entry = store.find_by_name("point", f"pt-{key[:12]}")
+    if entry is None:
+        return None
+    try:
+        record = store.load_run(entry.run_id)
+    except (KeyError, OSError, ValueError):
+        return None
+    kpis = record.kpis
+    if any(name not in kpis for name in _MEMO_KPIS):
+        return None
+    ber = kpis["ber"]
+    bits_total = int(kpis["bits_total"])
+    sigma = np.sqrt(max(ber * (1.0 - ber), 0.0) / max(bits_total, 1))
+    return BerMeasurement(
+        ber=ber,
+        per=kpis["per"],
+        bit_errors=kpis["bit_errors"],
+        bits_total=bits_total,
+        packets=int(kpis["packets"]),
+        packets_lost=int(kpis["packets_lost"]),
+        ci95=(max(ber - 1.96 * sigma, 0.0), min(ber + 1.96 * sigma, 1.0)),
+    )
+
+
+def _store_memoized_point(store, key: str, config,
+                          measurement: BerMeasurement) -> None:
+    """Persist one point measurement under its memoization key."""
+    obs.contribute(
+        store,
+        kind="point",
+        name=f"pt-{key[:12]}",
+        config={"memo_key": key, "config": config},
+        kpis={
+            "ber": measurement.ber,
+            "per": measurement.per,
+            "bit_errors": measurement.bit_errors,
+            "bits_total": float(measurement.bits_total),
+            "packets": float(measurement.packets),
+            "packets_lost": float(measurement.packets_lost),
+        },
+        ambient=False,
+    )
 
 
 @dataclass
@@ -134,13 +214,31 @@ class ParameterSweep:
             )
         return replace(cfg, **{self.parameter: value})
 
+    def _memo_store(self, store, memoize: Optional[bool]):
+        """The store backing point memoization, or None when disabled."""
+        if memoize is None:
+            memoize = perf.get_default_memoize()
+        if not memoize:
+            return None
+        if store is not None:
+            return store
+        writer = obs.current_writer()
+        return writer.store if writer is not None else None
+
     def run(
         self,
         progress: Optional[Callable] = None,
         store=None,
         run_name: Optional[str] = None,
+        jobs: Optional[int] = None,
+        memoize: Optional[bool] = None,
     ) -> SweepResult:
         """Execute the sweep and return per-point measurements.
+
+        Point ``i`` draws its packet streams from child ``i`` of the
+        sweep seed's spawn tree, so each point's measurement depends
+        only on its coordinates; running with ``jobs>1`` is
+        bit-identical to serial.
 
         Args:
             progress: ``None``, a legacy string callback (e.g.
@@ -153,55 +251,130 @@ class ParameterSweep:
                 to the ambient run writer if the CLI installed one.
             run_name: store name for the sweep (defaults to the
                 parameter name).
+            jobs: worker processes for sweep points; None defers to the
+                ambient ``--jobs`` default, 1 runs in-process.
+            memoize: reuse stored point results whose full measurement
+                setup (config, packets, seed, seeding scheme) hashes to
+                a run already in the store, and persist fresh points for
+                the next run; None defers to the ambient ``--memoize``
+                default.  Needs a store (explicit or ambient).
         """
         emit = obs.as_listener(progress)
-        points = []
+        memo_store = self._memo_store(store, memoize)
+        children = perf.spawn(self.seed, len(self.values))
+        measurements: List[Optional[BerMeasurement]] = (
+            [None] * len(self.values)
+        )
+        pending = []  # (point index, value, config, memo key)
+        done = 0
+
+        def announce(i, value, measurement, cached=False):
+            nonlocal done
+            done += 1
+            suffix = " (memoized)" if cached else ""
+            emit(ProgressEvent(
+                stage="sweep",
+                current=done,
+                total=len(self.values),
+                message=(
+                    f"{self.parameter}={value:.6g}: "
+                    f"BER={measurement.ber:.4g}{suffix}"
+                ),
+                data={
+                    "parameter": self.parameter,
+                    "value": float(value),
+                    "ber": measurement.ber,
+                    "per": measurement.per,
+                    "packets": measurement.packets,
+                    "memoized": cached,
+                },
+            ))
+
         with obs.span(
             "sweep", parameter=self.parameter, n_points=len(self.values)
         ):
             for i, value in enumerate(self.values):
-                bench = WlanTestbench(self._configured(value))
-                with obs.span("sweep:point", value=float(value)):
-                    measurement = bench.measure_ber(
-                        n_packets=self.n_packets,
-                        seed=self.seed + 1000 * i,
-                        max_bit_errors=self.max_bit_errors,
+                config = self._configured(value)
+                key = None
+                if memo_store is not None:
+                    key = _point_memo_key(
+                        config, self.n_packets, children[i], i,
+                        self.max_bit_errors,
                     )
-                points.append(SweepPoint(float(value), measurement))
-                emit(ProgressEvent(
-                    stage="sweep",
-                    current=i + 1,
-                    total=len(self.values),
-                    message=(
-                        f"{self.parameter}={value:.6g}: "
-                        f"BER={measurement.ber:.4g}"
-                    ),
-                    data={
-                        "parameter": self.parameter,
-                        "value": float(value),
-                        "ber": measurement.ber,
-                        "per": measurement.per,
-                        "packets": measurement.packets,
-                    },
-                ))
-        result = SweepResult(self.parameter, points)
+                    cached = _load_memoized_point(memo_store, key)
+                    if cached is not None:
+                        measurements[i] = cached
+                        announce(i, value, cached, cached=True)
+                        continue
+                pending.append((i, value, config, key))
+
+            def consume(task_index, measurement):
+                i, value, config, key = pending[task_index]
+                measurements[i] = measurement
+                if (
+                    memo_store is not None
+                    and key is not None
+                    and not perf.in_worker()
+                ):
+                    _store_memoized_point(memo_store, key, config, measurement)
+                announce(i, value, measurement)
+
+            perf.parallel_map(
+                _sweep_point_task,
+                [
+                    (config, value, self.n_packets, children[i],
+                     self.max_bit_errors)
+                    for i, value, config, _ in pending
+                ],
+                jobs=jobs,
+                stage="sweep",
+                on_result=consume,
+            )
+        result = SweepResult(
+            self.parameter,
+            [
+                SweepPoint(float(value), measurements[i])
+                for i, value in enumerate(self.values)
+            ],
+        )
+        if not perf.in_worker():
+            self._persist(result, store, run_name)
+        return result
+
+    def _persist(self, result: SweepResult, store, run_name: Optional[str]):
+        """Contribute the sweep's artefacts to the store in scope.
+
+        Split out from :meth:`run` so a parent process can persist a
+        result computed in a pool worker (whose ambient writer is a
+        fork-time copy the parent never sees).
+        """
         name = run_name or self.parameter
-        obs.contribute(
+        return obs.contribute(
             store,
             kind="sweep",
             name=name,
-            seed=self.seed,
+            seed=perf.seed_entropy(self.seed),
             config={
                 "parameter": self.parameter,
                 "values": [float(v) for v in self.values],
                 "n_packets": self.n_packets,
                 "base_config": self.base_config,
+                "seeding": obs.SEEDING_SCHEME,
             },
             tables={name: result.as_table()},
             curves={name: result.as_curve()},
             kpis=result.as_kpis(),
         )
-        return result
+
+
+def _manager_sweep_task(payload):
+    """Run one registered sweep (a :func:`repro.perf.parallel_map` task).
+
+    Pool workers skip the sweep's own persistence (their ambient writer
+    is a fork-time copy); the parent re-contributes the result.
+    """
+    sweep = payload
+    return sweep.run()
 
 
 class SimulationManager:
@@ -230,10 +403,46 @@ class SimulationManager:
         self.results[name] = result
         return result
 
-    def run_all(self, progress=None) -> Dict[str, SweepResult]:
-        """Run every registered sweep."""
-        for name in self._sweeps:
-            self.run(name, progress=progress)
+    def run_all(self, progress=None, jobs=None) -> Dict[str, SweepResult]:
+        """Run every registered sweep.
+
+        Args:
+            progress: progress callback/listener (parallel runs report
+                one event per completed sweep instead of per point).
+            jobs: worker processes for whole sweeps; None defers to the
+                ambient ``--jobs`` default, 1 runs each sweep in-process
+                exactly as before.
+        """
+        from repro import perf
+
+        jobs = perf.resolve_jobs(jobs)
+        names = list(self._sweeps)
+        if jobs == 1 or len(names) <= 1:
+            for name in names:
+                self.run(name, progress=progress)
+            return dict(self.results)
+
+        emit = obs.as_listener(progress)
+
+        def consume(i, result):
+            name = names[i]
+            self.results[name] = result
+            self._sweeps[name]._persist(result, None, None)
+            emit(ProgressEvent(
+                stage="sweeps",
+                current=i + 1,
+                total=len(names),
+                message=f"{name}: {len(result.points)} points",
+                data={"sweep": name},
+            ))
+
+        perf.parallel_map(
+            _manager_sweep_task,
+            [self._sweeps[name] for name in names],
+            jobs=jobs,
+            stage="sweeps",
+            on_result=consume,
+        )
         return dict(self.results)
 
     def report(self) -> str:

@@ -46,6 +46,26 @@ def _build_frontend(config):
     return DoubleConversionReceiver(config)
 
 
+def _packet_chunk_task(payload):
+    """Run one chunk of packets (a :func:`repro.perf.parallel_map` task).
+
+    Each packet draws its random stream from its own
+    :class:`~numpy.random.SeedSequence` child, so the outcome depends
+    only on the packet's coordinates — not on which process runs it or
+    how many packets preceded it.
+
+    Returns:
+        ``[(bit_errors, n_bits, lost), ...]`` per packet, in order.
+    """
+    config, seed_children = payload
+    bench = WlanTestbench(config)
+    outcomes = []
+    for child in seed_children:
+        outcome = bench.run_packet(np.random.default_rng(child))
+        outcomes.append((outcome.bit_errors, outcome.n_bits, outcome.lost))
+    return outcomes
+
+
 @dataclass
 class TestbenchConfig:
     """Test-bench setup.
@@ -222,45 +242,82 @@ class WlanTestbench:
     def measure_ber(
         self,
         n_packets: int = 20,
-        seed: int = 0,
+        seed=0,
         max_bit_errors: Optional[float] = None,
         store=None,
         run_name: str = "ber",
+        jobs: Optional[int] = None,
+        chunk_size: int = 1,
     ) -> BerMeasurement:
         """Run ``n_packets`` packets and accumulate the BER.
 
+        Packet ``j`` draws its random stream from child ``j`` of the
+        seed's :class:`~numpy.random.SeedSequence` spawn tree, so the
+        measurement is bit-identical at every ``jobs``/``chunk_size``
+        setting as long as ``max_bit_errors`` is unset; with an
+        early-stop threshold the stop decision is evaluated at chunk
+        boundaries, strictly in chunk order, in serial and parallel
+        alike — equal chunk sizes therefore still give bit-identical
+        results, and the default ``chunk_size=1`` reproduces the
+        classic per-packet stop exactly.
+
         Args:
             n_packets: packets to simulate.
-            seed: base random seed.
+            seed: base random seed (int or ``SeedSequence``).
             max_bit_errors: early-stop threshold — once this many bit
                 errors are counted the estimate is statistically settled
-                (classic BER-measurement shortcut).
+                (classic BER-measurement shortcut).  Evaluated after
+                each completed chunk; workers drain in-flight chunks
+                but no new chunks are dispatched, and only completed,
+                consumed chunks enter the estimate.
             store: optional :class:`repro.obs.RunStore`; when given, the
                 measurement persists its own run (BER/PER/packet KPIs).
                 Unlike the sweep, a bare measurement never attaches to
                 the ambient CLI run — sweeps already aggregate it.
             run_name: store name for the measurement run.
+            jobs: worker processes for packet chunks; None defers to
+                the ambient ``--jobs`` default, 1 runs in-process.
+            chunk_size: packets per dispatched chunk (early-stop
+                granularity).
         """
+        from repro import perf
+
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
         counter = BerCounter()
-        rng = np.random.default_rng(seed)
-        for _ in range(n_packets):
-            outcome = self.run_packet(rng)
-            ref = np.zeros(outcome.n_bits, dtype=np.uint8)
-            if outcome.lost:
-                counter.add_packet(ref, None)
-            else:
-                # Reconstruct an error pattern of the right weight; the
-                # counter only needs the error count and sizes.
-                counter.packets += 1
-                counter.bits_total += outcome.n_bits
-                counter.bit_errors += outcome.bit_errors
-                if outcome.bit_errors:
-                    counter.packets_errored += 1
-            if (
+        children = perf.spawn(seed, n_packets)
+        chunks = [
+            (self.config, children[i:i + chunk_size])
+            for i in range(0, n_packets, chunk_size)
+        ]
+
+        def accumulate(index, chunk_outcomes):
+            for bit_errors, n_bits, lost in chunk_outcomes:
+                if lost:
+                    counter.add_packet(np.zeros(n_bits, dtype=np.uint8), None)
+                else:
+                    # Only the error count and sizes matter to the
+                    # counter; no need to rebuild the error pattern.
+                    counter.packets += 1
+                    counter.bits_total += n_bits
+                    counter.bit_errors += bit_errors
+                    if bit_errors:
+                        counter.packets_errored += 1
+
+        def crossed(index, chunk_outcomes):
+            return (
                 max_bit_errors is not None
                 and counter.bit_errors >= max_bit_errors
-            ):
-                break
+            )
+
+        perf.parallel_map(
+            _packet_chunk_task,
+            chunks,
+            jobs=jobs,
+            stage="ber",
+            on_result=accumulate,
+            stop=crossed,
+        )
         measurement = counter.result()
         registry = obs.get_registry()
         registry.counter(
@@ -274,7 +331,7 @@ class WlanTestbench:
                 store,
                 kind="ber",
                 name=run_name,
-                seed=seed,
+                seed=perf.seed_entropy(seed),
                 config=self.config,
                 kpis={
                     "ber": measurement.ber,

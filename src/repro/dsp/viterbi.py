@@ -105,12 +105,20 @@ class ViterbiDecoder:
         sign_b = 1.0 - 2.0 * _PREV_OUT_B
         prev = _PREV_STATE
 
+        # All branch metrics at once: (n_steps, _N_STATES, 2).  Each
+        # element is the same multiply/add as the per-step form, so the
+        # result is bit-exact; hoisting it out of the ACS loop trades
+        # 2*n_steps tiny array ops for two large ones.
+        branches = (
+            sign_a * la[:, None, None] + sign_b * lb[:, None, None]
+        )
+        states = np.arange(_N_STATES)
+
         for t in range(n_steps):
-            branch = sign_a * la[t] + sign_b * lb[t]
-            cand = metrics[prev] + branch
+            cand = metrics[prev] + branches[t]
             best = np.argmax(cand, axis=1)
             decisions[t] = best
-            metrics = cand[np.arange(_N_STATES), best]
+            metrics = cand[states, best]
 
         state = 0 if self.terminated else int(np.argmax(metrics))
         bits = np.empty(n_steps, dtype=np.uint8)

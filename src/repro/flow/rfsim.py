@@ -12,7 +12,10 @@ any behavioral block exposing ``process(Signal, rng) -> Signal``:
   test, IIP3/OIP3 extraction;
 * :func:`measure_noise_figure` — gain + output-noise measurement against
   the thermal floor;
-* :func:`ac_response` — small-signal transfer function.
+* :func:`ac_response` — small-signal transfer function;
+* :func:`characterize` — the full analysis suite over one block, with
+  the analyses (and the compression sweep's points) fanned out across
+  worker processes via :mod:`repro.perf`.
 """
 
 from __future__ import annotations
@@ -81,6 +84,17 @@ class CompressionResult:
     input_p1db_dbm: float
 
 
+def _compression_point_task(payload):
+    """Probe one swept power point (a :func:`repro.perf.parallel_map` task)."""
+    block, p, freq, sample_rate, n_samples, settle, child = payload
+    tone = _tone(p, freq, sample_rate, n_samples)
+    y = block.process(tone, np.random.default_rng(child))
+    # Blocks may decimate (e.g. a full front end); probe at the
+    # output rate with a proportionally scaled settle time.
+    skip = int(settle * y.sample_rate / sample_rate)
+    return _bin_power_dbm(y.samples, freq, y.sample_rate, skip=skip)
+
+
 def swept_power_compression(
     block,
     sample_rate: float = 80e6,
@@ -89,22 +103,44 @@ def swept_power_compression(
     n_samples: int = 4096,
     settle: int = 512,
     rng: Optional[np.random.Generator] = None,
+    seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> CompressionResult:
-    """Measure gain compression of a block with a swept single tone."""
+    """Measure gain compression of a block with a swept single tone.
+
+    Without an explicit ``rng`` each swept point draws its noise from
+    its own :class:`~numpy.random.SeedSequence` child of ``seed``, so
+    the sweep parallelizes across ``jobs`` processes bit-identically to
+    serial.  Passing ``rng`` keeps the legacy behavior — one generator
+    threaded through the points in order — which is inherently serial.
+    """
     if input_dbm is None:
         input_dbm = np.arange(-60.0, 10.1, 1.0)
     input_dbm = np.asarray(input_dbm, dtype=float)
-    if rng is None:
-        rng = np.random.default_rng(0)
     freq = _aligned_frequency(tone_offset_hz, sample_rate, n_samples - settle)
-    out = np.empty_like(input_dbm)
-    for i, p in enumerate(input_dbm):
-        tone = _tone(p, freq, sample_rate, n_samples)
-        y = block.process(tone, rng)
-        # Blocks may decimate (e.g. a full front end); probe at the
-        # output rate with a proportionally scaled settle time.
-        skip = int(settle * y.sample_rate / sample_rate)
-        out[i] = _bin_power_dbm(y.samples, freq, y.sample_rate, skip=skip)
+    if rng is not None:
+        out = np.empty_like(input_dbm)
+        for i, p in enumerate(input_dbm):
+            tone = _tone(p, freq, sample_rate, n_samples)
+            y = block.process(tone, rng)
+            skip = int(settle * y.sample_rate / sample_rate)
+            out[i] = _bin_power_dbm(y.samples, freq, y.sample_rate, skip=skip)
+    else:
+        from repro import perf
+
+        children = perf.spawn(seed, len(input_dbm))
+        out = np.asarray(
+            perf.parallel_map(
+                _compression_point_task,
+                [
+                    (block, p, freq, sample_rate, n_samples, settle, child)
+                    for p, child in zip(input_dbm, children)
+                ],
+                jobs=jobs,
+                stage="compression",
+            ),
+            dtype=float,
+        )
     gains = out - input_dbm
     g0 = gains[0]
     drop = g0 - gains
@@ -269,3 +305,67 @@ def ac_response(
         probe = np.exp(-2j * np.pi * f_snap * t)
         gains[i] = np.dot(x, probe) / x.size / amp
     return gains
+
+
+@dataclass
+class CharacterizationResult:
+    """The full analysis suite over one block (what a SpectreRF bench
+    run delivers): compression, intermodulation, and noise figure.
+    """
+
+    compression: CompressionResult
+    intermod: IntermodResult
+    noise: NoiseFigureResult
+
+
+#: Analysis fan-out order (also the spawn-tree child assignment).
+_ANALYSES = ("compression", "intermod", "noise")
+
+
+def _characterize_task(payload):
+    """Run one characterization analysis (a parallel_map task)."""
+    name, block, sample_rate, child = payload
+    if callable(block):
+        block = block()
+    rng = np.random.default_rng(child)
+    if name == "compression":
+        return swept_power_compression(block, sample_rate=sample_rate, rng=rng)
+    if name == "intermod":
+        return two_tone_intermod(block, sample_rate=sample_rate, rng=rng)
+    return measure_noise_figure(block, sample_rate=sample_rate, rng=rng)
+
+
+def characterize(
+    block,
+    sample_rate: float = 80e6,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+) -> CharacterizationResult:
+    """Characterize a block with every analysis, optionally in parallel.
+
+    Each analysis draws its random streams from its own child of
+    ``seed``'s spawn tree, so the three measurements are independent
+    and the fan-out is bit-identical to running them back to back.
+
+    Args:
+        block: a behavioral block (``process(Signal, rng) -> Signal``)
+            or a zero-argument factory returning one (a factory avoids
+            pickling large block state into the workers).
+        sample_rate: analysis sample rate.
+        seed: base random seed.
+        jobs: worker processes; None defers to the ambient ``--jobs``
+            default, 1 runs in-process.
+    """
+    from repro import perf
+
+    children = perf.spawn(seed, len(_ANALYSES))
+    results = perf.parallel_map(
+        _characterize_task,
+        [
+            (name, block, sample_rate, child)
+            for name, child in zip(_ANALYSES, children)
+        ],
+        jobs=jobs,
+        stage="characterize",
+    )
+    return CharacterizationResult(*results)

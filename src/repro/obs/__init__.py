@@ -33,12 +33,18 @@ from __future__ import annotations
 import time
 from typing import Optional
 
-from repro.obs.manifest import RunManifest, build_manifest, source_revision
+from repro.obs.manifest import (
+    SEEDING_SCHEME,
+    RunManifest,
+    build_manifest,
+    source_revision,
+)
 from repro.obs.store import (
     RunEntry,
     RunRecord,
     RunStore,
     RunWriter,
+    config_key,
     contribute,
     current_writer,
     set_current_writer,
@@ -98,6 +104,7 @@ __all__ = [
     "RunRecord",
     "RunStore",
     "RunWriter",
+    "SEEDING_SCHEME",
     "SpanRecord",
     "SpanSummary",
     "Timed",
@@ -107,6 +114,7 @@ __all__ = [
     "build_manifest",
     "chrome_trace",
     "compare_runs",
+    "config_key",
     "contribute",
     "current_writer",
     "event",

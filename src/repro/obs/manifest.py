@@ -18,7 +18,18 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
-__all__ = ["RunManifest", "build_manifest", "source_revision"]
+__all__ = [
+    "RunManifest",
+    "SEEDING_SCHEME",
+    "build_manifest",
+    "source_revision",
+]
+
+#: Identifier of the seed-derivation scheme in effect (see
+#: :mod:`repro.perf.seeding`).  Recorded in every manifest so a stored
+#: run documents which derivation produced its random streams; bump it
+#: whenever the derivation changes in a result-affecting way.
+SEEDING_SCHEME = "seedseq-spawn-v2"
 
 
 def source_revision() -> Optional[str]:
@@ -84,6 +95,8 @@ class RunManifest:
         config: JSON-friendly snapshot of the run configuration.
         versions: python/numpy/scipy versions.
         platform: interpreter platform string.
+        seeding: seed-derivation scheme in effect (see
+            :mod:`repro.perf.seeding`).
     """
 
     run_id: str
@@ -94,6 +107,7 @@ class RunManifest:
     config: Any = None
     versions: Dict[str, str] = field(default_factory=dict)
     platform: str = ""
+    seeding: str = SEEDING_SCHEME
 
     def as_dict(self) -> Dict[str, Any]:
         d = dataclasses.asdict(self)
@@ -134,4 +148,5 @@ def build_manifest(
         config=_config_snapshot(config),
         versions=_package_versions(),
         platform=platform.platform(),
+        seeding=SEEDING_SCHEME,
     )

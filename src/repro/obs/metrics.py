@@ -184,6 +184,48 @@ class MetricsRegistry:
         with self._lock:
             return dict(self._metrics)
 
+    # -- cross-process transfer ----------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Loss-free picklable dump (histograms keep raw samples).
+
+        Unlike :meth:`as_dict` — which summarises histograms for export
+        — this form round-trips through :meth:`merge`, so a worker
+        process can ship its registry back to the parent.
+        """
+        out: Dict[str, Any] = {}
+        for name, metric in self.metrics().items():
+            out[name] = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "series": [
+                    (dict(key), list(value) if isinstance(value, list)
+                     else value)
+                    for key, value in sorted(metric.series().items())
+                ],
+            }
+        return out
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        Counters add, histograms extend with the snapshot's samples,
+        gauges take the snapshot's value (last write wins).  Merging
+        worker snapshots in task order keeps the combined registry
+        deterministic.
+        """
+        for name, entry in snapshot.items():
+            kind = entry.get("kind")
+            help_text = entry.get("help", "")
+            for labels, value in entry.get("series", []):
+                if kind == "counter":
+                    self.counter(name, help_text).inc(value, **labels)
+                elif kind == "gauge":
+                    self.gauge(name, help_text).set(value, **labels)
+                elif kind == "histogram":
+                    histogram = self.histogram(name, help_text)
+                    for sample in value:
+                        histogram.observe(sample, **labels)
+
     # -- export --------------------------------------------------------
     def as_dict(self) -> Dict[str, Any]:
         """JSON-serialisable snapshot of every metric and label set."""

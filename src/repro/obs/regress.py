@@ -117,6 +117,12 @@ class RegressionConfig:
         ber_target: BER level for the shift measurement; None picks the
             geometric midpoint of the baseline curve's dynamic range.
         require_integrity: fail runs whose stored digest mismatches.
+        metric_ignore: ``fnmatch`` patterns of metric names excluded
+            from comparison entirely.  Defaults to the execution
+            telemetry of the parallel executor (``parallel_*``), which
+            describes *how* a run was scheduled, not *what* it
+            computed — a serial baseline and a ``--jobs 4`` candidate
+            must still diff clean.
     """
 
     kpi_abs_tol: float = 0.0
@@ -133,6 +139,13 @@ class RegressionConfig:
     ber_shift_tol_db: float = 1.0
     ber_target: Optional[float] = None
     require_integrity: bool = True
+    metric_ignore: Tuple[str, ...] = ("parallel_*",)
+
+    def is_ignored_metric(self, name: str) -> bool:
+        """Whether a metric name is excluded from comparison."""
+        return any(
+            fnmatch.fnmatch(name, pattern) for pattern in self.metric_ignore
+        )
 
     def tolerance_for(self, name: str) -> Tuple[float, float]:
         """(abs_tol, rel_tol) for a KPI/metric name, honouring overrides."""
@@ -393,6 +406,8 @@ def compare_runs(
         flat_a = flatten_metrics(baseline.metrics)
         flat_b = flatten_metrics(candidate.metrics)
         for name in sorted(set(flat_a) | set(flat_b)):
+            if config.is_ignored_metric(name):
+                continue
             delta = _compare_scalar(
                 name, "metric", flat_a.get(name), flat_b.get(name), config
             )

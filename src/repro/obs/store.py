@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
-from repro.obs.manifest import RunManifest, build_manifest
+from repro.obs.manifest import RunManifest, _config_snapshot, build_manifest
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import get_tracer, read_jsonl
 
@@ -41,6 +41,7 @@ __all__ = [
     "RunRecord",
     "RunStore",
     "RunWriter",
+    "config_key",
     "contribute",
     "current_writer",
     "set_current_writer",
@@ -87,6 +88,16 @@ def _content_digest(
         "curves": curves,
         "tables": tables,
     })
+
+
+def config_key(config: Any) -> str:
+    """Content hash of a configuration object (memoization key).
+
+    The config goes through the same JSON-friendly snapshot as the run
+    manifest, so dataclasses, dicts, and nested structures all hash
+    stably; two configs with equal snapshots share a key.
+    """
+    return _digest(_config_snapshot(config))
 
 
 def _write_json(path: Path, payload: Any) -> None:
@@ -222,6 +233,11 @@ class RunWriter:
         self.curves: Dict[str, Dict[str, Any]] = {}
         self.kpis: Dict[str, float] = {}
         self.finalized: Optional[RunRecord] = None
+
+    @property
+    def store(self) -> "RunStore":
+        """The store this writer will persist into."""
+        return self._store
 
     # -- accumulation --------------------------------------------------
     def add_table(self, name: str, text: str) -> str:
@@ -480,6 +496,19 @@ class RunStore:
             stored_digest=stored,
             digest=digest,
         )
+
+    def find_by_name(
+        self, kind: str, name: str
+    ) -> Optional[RunEntry]:
+        """Newest index entry of ``kind`` stored under ``name``, or None.
+
+        The memoization layer stores sweep points under their config
+        hash as the run name; this is its lookup.
+        """
+        for entry in self.list_runs(kind=kind):
+            if entry.name == name:
+                return entry
+        return None
 
     def latest(self, kind: Optional[str] = None) -> Optional[RunRecord]:
         """The most recent run (of ``kind``, when given), or None."""

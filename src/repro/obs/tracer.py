@@ -224,6 +224,54 @@ class Tracer:
         self._record(record)
         return record
 
+    def absorb(
+        self,
+        records: List[Dict[str, Any]],
+        parent_id: Optional[int] = None,
+    ) -> None:
+        """Graft record dicts from another tracer into this one.
+
+        Used by the parallel executor to fold a worker process's trace
+        back into the parent's: span ids are remapped into this
+        tracer's id space (preserving the worker's internal nesting)
+        and the worker's top-level spans are re-parented under
+        ``parent_id`` (or the caller's active span).
+
+        Args:
+            records: ``as_dict()`` forms of the foreign records.
+            parent_id: span id to hang the foreign roots under; None
+                uses this thread's active span.
+        """
+        if parent_id is None:
+            stack = self._stack()
+            parent_id = stack[-1] if stack else None
+        id_map: Dict[int, int] = {}
+        for record in records:
+            if record.get("type") == "span":
+                id_map[record["span_id"]] = self._next_id()
+        for record in records:
+            kind = record.get("type")
+            attributes = dict(record.get("attributes", {}))
+            if kind == "span":
+                old_parent = record.get("parent_id")
+                self._record(SpanRecord(
+                    name=record["name"],
+                    span_id=id_map[record["span_id"]],
+                    parent_id=id_map.get(old_parent, parent_id),
+                    start_unix_s=record.get("start_unix_s", 0.0),
+                    start_monotonic_s=record.get("start_monotonic_s", 0.0),
+                    duration_s=record.get("duration_s", 0.0),
+                    attributes=attributes,
+                ))
+            elif kind == "event":
+                self._record(EventRecord(
+                    name=record["name"],
+                    span_id=id_map.get(record.get("span_id"), parent_id),
+                    unix_s=record.get("unix_s", 0.0),
+                    monotonic_s=record.get("monotonic_s", 0.0),
+                    attributes=attributes,
+                ))
+
     @property
     def records(self) -> List[Any]:
         """Snapshot of the finished records, in completion order."""
@@ -283,6 +331,9 @@ class NullTracer:
         return None
 
     def record_span(self, name: str, duration_s: float, **attributes):
+        return None
+
+    def absorb(self, records, parent_id=None) -> None:
         return None
 
     @property

@@ -1,0 +1,68 @@
+"""``repro.perf`` — deterministic parallel execution.
+
+The paper's headline cost is simulation wall-clock (Table 2 exists
+because one filter-bandwidth BER sweep took hours); this package makes
+the embarrassingly parallel axes of the verification flow actually
+parallel without giving up reproducibility:
+
+* **sweep points** — ``ParameterSweep.run(jobs=...)``;
+* **packet batches** — ``WlanTestbench.measure_ber(jobs=...)``;
+* **sweeps in a batch** — ``SimulationManager.run_all(jobs=...)``;
+* **campaign checks** — ``VerificationCampaign.run(jobs=...)``;
+* **characterization analyses** — ``repro.flow.rfsim.characterize``.
+
+Two primitives carry all of it:
+
+:mod:`repro.perf.seeding`
+    ``SeedSequence.spawn``-tree derivation: each unit of work draws its
+    stream from its *coordinates* (sweep point, packet index), so the
+    result is bit-identical however the work is scheduled.
+
+:mod:`repro.perf.pool`
+    :func:`parallel_map` — an order-preserving process-pool map with
+    serial-equivalent early stop, worker telemetry re-absorption, and a
+    ``parallel_efficiency`` gauge.
+
+The CLI's global ``--jobs N`` flag installs an ambient default
+(:func:`set_default_jobs`); library calls with ``jobs=None`` pick it
+up, and nested parallel regions automatically degrade to serial inside
+workers, so the outermost fan-out wins.
+"""
+
+from repro.perf.pool import (
+    ParallelResult,
+    cpu_count,
+    get_default_jobs,
+    get_default_memoize,
+    in_worker,
+    parallel_map,
+    resolve_jobs,
+    set_default_jobs,
+    set_default_memoize,
+)
+from repro.perf.seeding import (
+    SEEDING_SCHEME,
+    SeedLike,
+    as_seed_sequence,
+    seed_entropy,
+    spawn,
+    stream,
+)
+
+__all__ = [
+    "SEEDING_SCHEME",
+    "SeedLike",
+    "ParallelResult",
+    "as_seed_sequence",
+    "cpu_count",
+    "get_default_jobs",
+    "get_default_memoize",
+    "in_worker",
+    "parallel_map",
+    "resolve_jobs",
+    "seed_entropy",
+    "set_default_jobs",
+    "set_default_memoize",
+    "spawn",
+    "stream",
+]

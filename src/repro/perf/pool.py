@@ -1,0 +1,300 @@
+"""Deterministic process-pool execution for the verification flow.
+
+:func:`parallel_map` is the one fan-out primitive every parallel layer
+uses — sweep points, packet chunks, campaign checks, characterization
+analyses.  Its contract:
+
+* **Order-preserving.**  Results are consumed strictly in task order,
+  whatever order workers finish in, so accumulation is reproducible.
+* **Bit-identical to serial.**  With per-task seed derivation
+  (:mod:`repro.perf.seeding`) a task's output does not depend on which
+  worker ran it; ``jobs=1`` runs the very same task function in-process.
+* **Early-stop aware.**  An optional ``stop`` predicate is evaluated in
+  task order; once it fires, no new tasks are dispatched, in-flight
+  tasks drain, and their results are discarded — the consumed prefix is
+  exactly what a serial run would have consumed.
+* **Observable.**  Each task becomes a span on the active tracer, the
+  workers' own spans and metrics are re-absorbed into the parent
+  tracer/registry (in task order, so merged metrics are deterministic),
+  and every parallel region reports a ``parallel_efficiency`` gauge —
+  ``busy_time / (jobs * wall_time)`` — so ``repro profile`` shows the
+  scaling picture.
+
+Nested parallelism is suppressed: a worker process resolves any
+``jobs`` request to 1, so the outermost parallel layer wins and inner
+layers run serially inside the workers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro import obs
+
+__all__ = [
+    "ParallelResult",
+    "cpu_count",
+    "get_default_jobs",
+    "get_default_memoize",
+    "in_worker",
+    "parallel_map",
+    "resolve_jobs",
+    "set_default_jobs",
+    "set_default_memoize",
+]
+
+#: Ambient job count installed by the CLI's ``--jobs`` flag (1 = serial).
+_default_jobs = 1
+
+#: Ambient memoization default installed by the CLI's ``--memoize`` flag.
+_default_memoize = False
+
+#: Set in pool workers so nested fan-out degrades to serial.
+_in_worker = False
+
+
+def cpu_count() -> int:
+    """Usable CPU count (affinity-aware where the OS exposes it)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def set_default_jobs(jobs: Optional[int]) -> int:
+    """Install the ambient job count (the CLI's ``--jobs``).
+
+    Args:
+        jobs: worker count; 0 or None means "auto" (one per CPU).
+
+    Returns:
+        The previous default.
+    """
+    global _default_jobs
+    previous = _default_jobs
+    _default_jobs = resolve_jobs(jobs if jobs is not None else 0)
+    return previous
+
+
+def get_default_jobs() -> int:
+    """The ambient job count (1 unless ``--jobs``/``set_default_jobs``)."""
+    return _default_jobs
+
+
+def set_default_memoize(memoize: bool) -> bool:
+    """Install the ambient memoization default (the CLI's ``--memoize``).
+
+    Returns:
+        The previous default.
+    """
+    global _default_memoize
+    previous = _default_memoize
+    _default_memoize = bool(memoize)
+    return previous
+
+
+def get_default_memoize() -> bool:
+    """The ambient memoization default (False unless ``--memoize``)."""
+    return _default_memoize
+
+
+def in_worker() -> bool:
+    """Whether this process is a pool worker (nested fan-out disabled)."""
+    return _in_worker
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Turn a ``jobs=`` argument into a concrete worker count.
+
+    ``None`` defers to the ambient default, ``0`` means one worker per
+    CPU, and anything is clamped to 1 inside a pool worker so parallel
+    layers never nest.
+    """
+    if _in_worker:
+        return 1
+    if jobs is None:
+        return _default_jobs
+    jobs = int(jobs)
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        jobs = cpu_count()
+    return max(1, jobs)
+
+
+class ParallelResult(List[Any]):
+    """The consumed results (a list), plus execution telemetry.
+
+    Attributes:
+        jobs: worker count the region ran with (1 = in-process).
+        wall_s: wall-clock of the whole region.
+        busy_s: summed task execution time across workers.
+        efficiency: ``busy_s / (jobs * wall_s)`` — 1.0 is perfect
+            scaling, ``1/jobs`` means the pool bought nothing.
+        stopped: whether the ``stop`` predicate ended the region early.
+    """
+
+    jobs: int = 1
+    wall_s: float = 0.0
+    busy_s: float = 0.0
+    efficiency: float = 1.0
+    stopped: bool = False
+
+
+def _init_worker() -> None:
+    """Pool initializer: mark the process so nested fan-out is serial."""
+    global _in_worker
+    _in_worker = True
+
+
+def _worker_call(payload):
+    """Run one task in a worker under fresh, capturable instrumentation.
+
+    Returns ``(result, duration_s, pid, metrics_snapshot, span_dicts)``;
+    the parent merges the snapshots back in task order so the combined
+    telemetry is deterministic and complete.
+    """
+    fn, task, want_spans = payload
+    registry = obs.MetricsRegistry()
+    tracer = obs.Tracer() if want_spans else None
+    previous_registry = obs.set_registry(registry)
+    previous_tracer = obs.set_tracer(tracer) if want_spans else None
+    start = time.perf_counter()
+    try:
+        result = fn(task)
+    finally:
+        obs.set_registry(previous_registry)
+        if want_spans:
+            obs.set_tracer(previous_tracer)
+    duration = time.perf_counter() - start
+    spans = (
+        [r.as_dict() for r in tracer.records] if tracer is not None else None
+    )
+    return result, duration, os.getpid(), registry.snapshot(), spans
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits the loaded stack) where available."""
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    jobs: Optional[int] = None,
+    stage: str = "parallel",
+    stop: Optional[Callable[[int, Any], bool]] = None,
+    on_result: Optional[Callable[[int, Any], None]] = None,
+    window: Optional[int] = None,
+) -> ParallelResult:
+    """Apply ``fn`` to every task, in order, optionally across processes.
+
+    Args:
+        fn: a picklable callable (module-level function) of one task.
+        tasks: the work items, each picklable.
+        jobs: worker processes; None defers to the ambient ``--jobs``
+            default, 0 means one per CPU, 1 runs in-process.
+        stage: label for spans/metrics (``"sweep"``, ``"ber"``, ...).
+        stop: ``stop(index, result)`` evaluated strictly in task order
+            after each result is consumed; True ends the region — no
+            further task is dispatched and later in-flight results are
+            discarded, mirroring a serial early-stop.
+        on_result: ``on_result(index, result)`` called in task order for
+            each consumed result (progress reporting).
+        window: max in-flight tasks beyond the consumed front (default
+            ``2 * jobs``); bounds wasted work after an early stop.
+
+    Returns:
+        A :class:`ParallelResult` with the consumed results (a prefix
+        of ``tasks``'s results) and scaling telemetry.
+    """
+    jobs = resolve_jobs(jobs)
+    out = ParallelResult()
+    out.jobs = jobs
+    tasks = list(tasks)
+    tracer = obs.get_tracer()
+    start = time.perf_counter()
+
+    if jobs == 1 or len(tasks) <= 1:
+        out.jobs = 1
+        for i, task in enumerate(tasks):
+            t0 = time.perf_counter()
+            result = fn(task)
+            out.busy_s += time.perf_counter() - t0
+            out.append(result)
+            if on_result is not None:
+                on_result(i, result)
+            if stop is not None and stop(i, result):
+                out.stopped = True
+                break
+        out.wall_s = time.perf_counter() - start
+        out.efficiency = 1.0
+        return out
+
+    want_spans = bool(tracer.enabled)
+    window = max(jobs, window if window is not None else 2 * jobs)
+    with obs.span(f"parallel:{stage}", jobs=jobs, tasks=len(tasks)):
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            mp_context=_pool_context(),
+            initializer=_init_worker,
+        ) as executor:
+            futures = {}
+            next_submit = 0
+
+            def submit_up_to(limit):
+                nonlocal next_submit
+                while next_submit < min(limit, len(tasks)):
+                    futures[next_submit] = executor.submit(
+                        _worker_call, (fn, tasks[next_submit], want_spans)
+                    )
+                    next_submit += 1
+
+            submit_up_to(window)
+            for i in range(len(tasks)):
+                if i not in futures:
+                    break
+                result, duration, pid, metrics, spans = futures.pop(
+                    i
+                ).result()
+                out.busy_s += duration
+                obs.get_registry().merge(metrics)
+                record = tracer.record_span(
+                    f"{stage}:task", duration,
+                    index=i, worker_pid=pid, jobs=jobs,
+                )
+                if spans:
+                    tracer.absorb(
+                        spans,
+                        parent_id=record.span_id if record else None,
+                    )
+                out.append(result)
+                if on_result is not None:
+                    on_result(i, result)
+                if stop is not None and stop(i, result):
+                    out.stopped = True
+                    for future in futures.values():
+                        future.cancel()
+                    break
+                submit_up_to(i + 1 + window)
+
+    out.wall_s = time.perf_counter() - start
+    out.efficiency = (
+        out.busy_s / (jobs * out.wall_s) if out.wall_s > 0 else 1.0
+    )
+    obs.get_registry().gauge(
+        "parallel_efficiency",
+        "busy / (jobs * wall) of a parallel region",
+    ).set(out.efficiency, stage=stage, jobs=jobs)
+    obs.get_registry().counter(
+        "parallel_tasks", "tasks executed by worker pools"
+    ).inc(len(out), stage=stage)
+    return out

@@ -1,0 +1,87 @@
+"""Deterministic seed derivation for serial and parallel execution.
+
+The seed scheme is the contract that makes parallelism *provably*
+deterministic: every independent unit of work (a sweep point, a packet,
+a characterization analysis) draws its random stream from a
+:class:`numpy.random.SeedSequence` child whose spawn key encodes the
+unit's coordinates — never from "how far along" a shared generator
+happens to be, and never from ad-hoc arithmetic like ``seed + 1000 * i``
+(which collides between sweeps whose base seeds differ by a multiple of
+1000).
+
+With this scheme, packet ``j`` of sweep point ``i`` sees exactly the
+same random stream whether the sweep runs serially, across 2 workers,
+or across 32 — so parallel output is bit-identical to serial, and the
+``repro runs diff`` CI gate can enforce it.
+
+The scheme identifier (:data:`SEEDING_SCHEME`) is recorded in every run
+manifest so a stored run documents which derivation produced it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.obs.manifest import SEEDING_SCHEME
+
+__all__ = [
+    "SEEDING_SCHEME",
+    "SeedLike",
+    "as_seed_sequence",
+    "seed_entropy",
+    "spawn",
+    "stream",
+]
+
+#: Anything accepted where a seed is expected.
+SeedLike = Union[int, np.random.SeedSequence]
+
+
+def as_seed_sequence(seed: SeedLike) -> np.random.SeedSequence:
+    """Normalize an int (or an existing sequence) to a SeedSequence."""
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    return np.random.SeedSequence(int(seed))
+
+
+def spawn(seed: SeedLike, n: int) -> List[np.random.SeedSequence]:
+    """``n`` independent child sequences of ``seed``.
+
+    Children are identified by their spawn key, so the stream of child
+    ``i`` depends only on the root entropy and the path of spawn indices
+    leading to it — not on execution order or worker placement.
+
+    Unlike :meth:`numpy.random.SeedSequence.spawn` this derivation is
+    *stateless*: spawning the same root twice yields the same children
+    (numpy's method advances a counter on the parent), which is what
+    lets a re-run — or a memoized retry — reproduce the exact streams.
+    """
+    root = as_seed_sequence(seed)
+    return [
+        np.random.SeedSequence(
+            entropy=root.entropy, spawn_key=root.spawn_key + (i,)
+        )
+        for i in range(n)
+    ]
+
+
+def stream(seed: SeedLike) -> np.random.Generator:
+    """A fresh generator for one unit of work."""
+    return np.random.default_rng(as_seed_sequence(seed))
+
+
+def seed_entropy(seed: SeedLike) -> Optional[int]:
+    """Best-effort plain-int rendering of a seed for manifests.
+
+    Returns the root entropy when it is a plain int (the common CLI
+    case) and None for pooled/derived entropy, where a single int would
+    misrepresent the stream.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        entropy = seed.entropy
+        if isinstance(entropy, int) and not seed.spawn_key:
+            return entropy
+        return None
+    return int(seed)
