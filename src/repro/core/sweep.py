@@ -41,11 +41,17 @@ def _sweep_point_task(payload):
 
 
 def _point_memo_key(config, n_packets, seed, index, max_bit_errors) -> str:
-    """Content hash identifying one sweep point's full measurement setup."""
+    """Content hash identifying one sweep point's full measurement setup.
+
+    The seed enters through :func:`repro.perf.seed_fingerprint` (root
+    entropy + spawn path), which identifies the point's exact packet
+    streams; ``seed_entropy`` would collapse every spawned child to
+    None and let sweeps with different base seeds share keys.
+    """
     return obs.config_key({
         "config": config,
         "n_packets": n_packets,
-        "seed": perf.seed_entropy(seed),
+        "seed": perf.seed_fingerprint(seed),
         "index": index,
         "max_bit_errors": max_bit_errors,
         "seeding": obs.SEEDING_SCHEME,
@@ -118,10 +124,17 @@ class SweepResult:
     Attributes:
         parameter: swept parameter name.
         points: per-value measurements in sweep order.
+        memo_entries: fresh ``(key, config, measurement)`` point results
+            a pool worker could not persist itself (its ambient writer
+            is a fork-time copy); the parent replays them into the memo
+            store, exactly as :meth:`ParameterSweep._persist` is
+            replayed for the sweep-level artefacts.  Empty when the
+            sweep ran in the parent process or memoization is off.
     """
 
     parameter: str
     points: List[SweepPoint]
+    memo_entries: List[tuple] = field(default_factory=list)
 
     @property
     def values(self) -> np.ndarray:
@@ -266,6 +279,7 @@ class ParameterSweep:
             [None] * len(self.values)
         )
         pending = []  # (point index, value, config, memo key)
+        deferred = []  # fresh (key, config, measurement) to store later
         done = 0
 
         def announce(i, value, measurement, cached=False):
@@ -311,12 +325,15 @@ class ParameterSweep:
             def consume(task_index, measurement):
                 i, value, config, key = pending[task_index]
                 measurements[i] = measurement
-                if (
-                    memo_store is not None
-                    and key is not None
-                    and not perf.in_worker()
-                ):
-                    _store_memoized_point(memo_store, key, config, measurement)
+                if memo_store is not None and key is not None:
+                    if perf.in_worker():
+                        # A worker must not write to the store; hand the
+                        # entry to the parent on the result instead.
+                        deferred.append((key, config, measurement))
+                    else:
+                        _store_memoized_point(
+                            memo_store, key, config, measurement
+                        )
                 announce(i, value, measurement)
 
             perf.parallel_map(
@@ -336,6 +353,7 @@ class ParameterSweep:
                 SweepPoint(float(value), measurements[i])
                 for i, value in enumerate(self.values)
             ],
+            memo_entries=deferred,
         )
         if not perf.in_worker():
             self._persist(result, store, run_name)
@@ -426,8 +444,16 @@ class SimulationManager:
 
         def consume(i, result):
             name = names[i]
+            sweep = self._sweeps[name]
             self.results[name] = result
-            self._sweeps[name]._persist(result, None, None)
+            sweep._persist(result, None, None)
+            if result.memo_entries:
+                memo_store = sweep._memo_store(None, None)
+                if memo_store is not None:
+                    for key, config, measurement in result.memo_entries:
+                        _store_memoized_point(
+                            memo_store, key, config, measurement
+                        )
             emit(ProgressEvent(
                 stage="sweeps",
                 current=i + 1,

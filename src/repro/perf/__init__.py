@@ -45,6 +45,7 @@ from repro.perf.seeding import (
     SeedLike,
     as_seed_sequence,
     seed_entropy,
+    seed_fingerprint,
     spawn,
     stream,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "parallel_map",
     "resolve_jobs",
     "seed_entropy",
+    "seed_fingerprint",
     "set_default_jobs",
     "set_default_memoize",
     "spawn",

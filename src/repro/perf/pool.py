@@ -16,9 +16,13 @@ analyses.  Its contract:
 * **Observable.**  Each task becomes a span on the active tracer, the
   workers' own spans and metrics are re-absorbed into the parent
   tracer/registry (in task order, so merged metrics are deterministic),
-  and every parallel region reports a ``parallel_efficiency`` gauge —
-  ``busy_time / (jobs * wall_time)`` — so ``repro profile`` shows the
-  scaling picture.
+  and every region — pooled or the ``jobs=1`` in-process fast path —
+  reports a ``parallel_efficiency`` gauge (``busy_time / (jobs *
+  wall_time)``, 1.0 in-process) and a ``parallel_tasks`` counter, so a
+  ``repro profile`` comparison across job counts lines up metric for
+  metric.  Only true pool regions wrap themselves in a
+  ``parallel:{stage}`` span with per-task child spans; the in-process
+  path records the task function's own spans inline instead.
 
 Nested parallelism is suppressed: a worker process resolves any
 ``jobs`` request to 1, so the outermost parallel layer wins and inner
@@ -176,6 +180,17 @@ def _worker_call(payload):
     return result, duration, os.getpid(), registry.snapshot(), spans
 
 
+def _emit_region_metrics(out: "ParallelResult", stage: str) -> None:
+    """Report a region's scaling telemetry (pooled and serial alike)."""
+    obs.get_registry().gauge(
+        "parallel_efficiency",
+        "busy / (jobs * wall) of a parallel region",
+    ).set(out.efficiency, stage=stage, jobs=out.jobs)
+    obs.get_registry().counter(
+        "parallel_tasks", "tasks executed by parallel regions"
+    ).inc(len(out), stage=stage)
+
+
 def _pool_context():
     """Prefer fork (cheap, inherits the loaded stack) where available."""
     import multiprocessing
@@ -237,6 +252,7 @@ def parallel_map(
                 break
         out.wall_s = time.perf_counter() - start
         out.efficiency = 1.0
+        _emit_region_metrics(out, stage)
         return out
 
     want_spans = bool(tracer.enabled)
@@ -290,11 +306,5 @@ def parallel_map(
     out.efficiency = (
         out.busy_s / (jobs * out.wall_s) if out.wall_s > 0 else 1.0
     )
-    obs.get_registry().gauge(
-        "parallel_efficiency",
-        "busy / (jobs * wall) of a parallel region",
-    ).set(out.efficiency, stage=stage, jobs=jobs)
-    obs.get_registry().counter(
-        "parallel_tasks", "tasks executed by worker pools"
-    ).inc(len(out), stage=stage)
+    _emit_region_metrics(out, stage)
     return out

@@ -20,7 +20,7 @@ manifest so a stored run documents which derivation produced it.
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -31,6 +31,7 @@ __all__ = [
     "SeedLike",
     "as_seed_sequence",
     "seed_entropy",
+    "seed_fingerprint",
     "spawn",
     "stream",
 ]
@@ -70,6 +71,27 @@ def spawn(seed: SeedLike, n: int) -> List[np.random.SeedSequence]:
 def stream(seed: SeedLike) -> np.random.Generator:
     """A fresh generator for one unit of work."""
     return np.random.default_rng(as_seed_sequence(seed))
+
+
+def seed_fingerprint(seed: SeedLike) -> Dict[str, Any]:
+    """Lossless, JSON-friendly identity of the stream ``seed`` yields.
+
+    Root entropy plus the spawn path pin down a SeedSequence's output
+    exactly, so two seeds fingerprint alike iff they generate the same
+    stream.  Use this wherever a seed enters a content hash (e.g. the
+    sweep-point memoization key); :func:`seed_entropy` is the lossy
+    display variant and returns None for spawned children.
+    """
+    root = as_seed_sequence(seed)
+    entropy = root.entropy
+    if isinstance(entropy, (list, tuple)):
+        entropy = [int(e) for e in entropy]
+    elif entropy is not None:
+        entropy = int(entropy)
+    return {
+        "entropy": entropy,
+        "spawn_key": [int(k) for k in root.spawn_key],
+    }
 
 
 def seed_entropy(seed: SeedLike) -> Optional[int]:

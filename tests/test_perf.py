@@ -72,6 +72,21 @@ class TestSeeding:
         assert perf.seed_entropy(np.random.SeedSequence(11)) == 11
         assert perf.seed_entropy(perf.spawn(11, 1)[0]) is None
 
+    def test_seed_fingerprint_is_lossless(self):
+        # seed_entropy collapses spawned children to None; the
+        # fingerprint must keep distinct streams distinct.
+        assert perf.seed_fingerprint(11) == {
+            "entropy": 11, "spawn_key": []
+        }
+        child = perf.spawn(42, 2)[1]
+        assert perf.seed_fingerprint(child) == {
+            "entropy": 42, "spawn_key": [1]
+        }
+        assert (
+            perf.seed_fingerprint(perf.spawn(42, 1)[0])
+            != perf.seed_fingerprint(perf.spawn(99, 1)[0])
+        )
+
     def test_scheme_recorded_in_manifest(self):
         manifest = obs.build_manifest(seed=0)
         assert manifest.seeding == obs.SEEDING_SCHEME
@@ -162,14 +177,21 @@ class TestParallelMap:
         task_ids = {s.span_id for s in tasks}
         assert all(s.parent_id in task_ids for s in inner)
 
-    def test_serial_path_emits_no_parallel_metrics(self):
+    def test_serial_path_emits_same_region_metrics(self):
+        # A jobs=1 run must produce the same metric set as jobs=2 of
+        # the same workload, so profiles line up across job counts.
         registry = obs.MetricsRegistry()
         previous = obs.set_registry(registry)
         try:
             perf.parallel_map(_square, range(3), jobs=1, stage="quiet")
         finally:
             obs.set_registry(previous)
-        assert "parallel_efficiency" not in registry.metrics()
+        assert registry.gauge("parallel_efficiency").value(
+            stage="quiet", jobs=1
+        ) == 1.0
+        assert registry.counter("parallel_tasks").value(
+            stage="quiet"
+        ) == 3.0
 
 
 # -- metrics / tracer transfer plumbing --------------------------------
@@ -371,6 +393,57 @@ class TestMemoization:
         )
         other.run(store=store, memoize=True)
         assert len(store.list_runs(kind="point")) == 4
+
+    def test_memo_key_depends_on_sweep_seed(self):
+        # Regression: the key once hashed seed_entropy(child), which is
+        # None for every spawned child, so sweeps with different base
+        # seeds shared keys and --memoize served one seed's points to
+        # another.
+        from repro.core.sweep import _point_memo_key
+
+        config = _fast_config()
+        keys = {
+            _point_memo_key(config, 3, perf.spawn(seed, 2)[0], 0, None)
+            for seed in (42, 99)
+        }
+        assert len(keys) == 2
+
+    def test_different_seed_misses_cache(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        self._sweep().run(store=store, memoize=True)
+        reseeded = ParameterSweep(
+            _fast_config(), "snr_db", [6.0, 10.0], n_packets=3, seed=5,
+        )
+        reseeded.run(store=store, memoize=True)
+        assert len(store.list_runs(kind="point")) == 4
+
+    def test_manager_parallel_populates_cache(self, tmp_path):
+        # Workers cannot write to the store; their fresh points must
+        # ride back on the SweepResult and be persisted by the parent,
+        # so --jobs N --memoize warms the cache like a serial run.
+        def build():
+            manager = SimulationManager()
+            manager.add("a", self._sweep())
+            manager.add("b", ParameterSweep(
+                _fast_config(), "snr_db", [6.0, 10.0], n_packets=3, seed=7,
+            ))
+            return manager
+
+        store = RunStore(tmp_path / "runs")
+        writer = store.create("sweep", name="ambient", seed=4)
+        previous_writer = obs.set_current_writer(writer)
+        previous_memoize = perf.set_default_memoize(True)
+        try:
+            first = build().run_all(jobs=2)
+            assert len(store.list_runs(kind="point")) == 4
+
+            second = build().run_all(jobs=2)
+        finally:
+            perf.set_default_memoize(previous_memoize)
+            obs.set_current_writer(previous_writer)
+        assert len(store.list_runs(kind="point")) == 4
+        assert np.array_equal(first["a"].bers, second["a"].bers)
+        assert np.array_equal(first["b"].bers, second["b"].bers)
 
     def test_memoize_off_stores_no_points(self, tmp_path):
         store = RunStore(tmp_path / "runs")
