@@ -1,0 +1,53 @@
+"""QA harness benchmark: conformance + oracles + fuzz in one pass.
+
+The paper's verification flow is only as trustworthy as its own
+reference checks, so the ``repro qa`` harness itself is benchmarked and
+its verdict table recorded alongside the experiment benches.  Records
+the quick-profile wall time (the CI smoke budget) plus the analytic
+oracle deltas: simulated minus theoretical BER per constellation and
+characterize() minus Friis cascade figures.
+"""
+
+import pytest
+
+from repro.core.reporting import render_table
+from repro.qa.harness import run_qa
+
+
+def test_qa_harness_quick(benchmark, save_result):
+    report = benchmark.pedantic(
+        lambda: run_qa(seed=0, quick=True), rounds=1, iterations=1
+    )
+    rows = []
+    for check in report.checks:
+        if check.measured is None or check.expected is None:
+            continue
+        rows.append(
+            [
+                check.name,
+                f"{check.measured:.6g}",
+                f"{check.expected:.6g}",
+                f"{check.measured - check.expected:+.3g}",
+            ]
+        )
+    table = render_table(["oracle", "simulated", "analytic", "delta"], rows)
+    save_result(
+        "qa_harness",
+        f"QA harness (quick profile): {len(report.checks)} checks, "
+        f"{report.n_failed} failed\n" + table,
+    )
+    assert report.passed
+    assert len(report.checks) >= 30
+
+
+def test_qa_conformance_only(benchmark, save_result):
+    from repro.qa.harness import run_vector_checks
+
+    checks = benchmark(run_vector_checks)
+    save_result(
+        "qa_conformance",
+        f"Annex-G-style conformance vectors: {len(checks)} checks, "
+        f"{sum(not c.passed for c in checks)} failed",
+    )
+    assert all(c.passed for c in checks)
+    assert len(checks) == 18

@@ -9,7 +9,14 @@ Usage::
     repro sensitivity [--rates 6,24,54]
     repro flow
     repro netlist
+    repro qa [--quick] [--store DIR]
     repro profile fig5 [--packets N] [--chrome-trace out.json]
+
+Conformance: ``repro qa`` runs the :mod:`repro.qa` harness — frozen
+Annex-G-style TX vectors, analytic BER / Friis-cascade oracles, and the
+netlist + PHY fuzz passes — and exits nonzero on any failed check.
+With ``--store`` the outcome persists as a run of kind ``qa`` that
+``repro runs diff`` gates like any experiment.
 
 Observability: every command accepts ``--trace PATH`` (write a JSONL
 span/event trace with a run-manifest header line) and ``--metrics PATH``
@@ -398,6 +405,24 @@ def _cmd_netlist(args) -> int:
     return 0
 
 
+def _cmd_qa(args) -> int:
+    from repro.qa import run_qa
+
+    report = run_qa(
+        seed=args.seed, jobs=args.jobs, quick=args.quick
+    )
+    print(report.as_table())
+    n = len(report.checks)
+    if report.passed:
+        print(f"\nQA: all {n} checks passed")
+        return 0
+    failed = [c for c in report.checks if not c.passed]
+    print(f"\nQA: {len(failed)}/{n} checks FAILED:", file=sys.stderr)
+    for c in failed:
+        print(f"  {c.section}.{c.name}: {c.detail}", file=sys.stderr)
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the repro CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -508,6 +533,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--store", metavar="DIR", default=None,
         help="run store directory (default runs/)",
     )
+
+    p = sub.add_parser(
+        "qa",
+        parents=[store_opt],
+        help="conformance vectors + analytic oracles + fuzz harness; "
+             "exits nonzero on any failed check",
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced sample sizes (CI smoke; statistical bounds widen "
+             "accordingly)",
+    )
+    p.set_defaults(func=_cmd_qa)
 
     p = sub.add_parser("runs", help="inspect the persistent run store")
     runs_sub = p.add_subparsers(dest="runs_command", required=True)

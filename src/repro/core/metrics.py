@@ -91,6 +91,39 @@ class BerCounter:
         )
 
 
+def binomial_confidence(
+    errors: float, trials: int, z: float = 4.5
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Used by the QA oracles to bound a Monte-Carlo BER estimate: the true
+    error probability lies inside the returned interval with confidence
+    set by ``z`` standard normal deviates (the default ~4.5 sigma keeps
+    the false-alarm rate of a CI gate negligible).  The Wilson interval
+    stays valid near 0 errors, where the normal approximation collapses.
+
+    Args:
+        errors: observed error count.
+        trials: number of Bernoulli trials (must be positive).
+        z: normal quantile of the desired confidence.
+
+    Returns:
+        ``(low, high)`` bounds on the underlying probability.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    p = errors / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    center = (p + z2 / (2.0 * trials)) / denom
+    half = (
+        z
+        * np.sqrt(p * (1.0 - p) / trials + z2 / (4.0 * trials * trials))
+        / denom
+    )
+    return (max(center - half, 0.0), min(center + half, 1.0))
+
+
 def error_vector_magnitude(
     received: np.ndarray, reference: np.ndarray, normalize: bool = True
 ) -> float:

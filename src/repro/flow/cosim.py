@@ -42,6 +42,28 @@ from repro.rf.noise import thermal_noise_power, white_noise
 from repro.rf.signal import Signal, dbm_to_watts
 
 
+class CoSimAbort(RuntimeError):
+    """Raised when the lock-step analog engine aborts mid-packet.
+
+    A real co-simulation dies this way when the analog solver exhausts
+    its step budget or fails to converge; the exception carries how far
+    the engine got so the system side can report a clean diagnostic
+    instead of hanging or faulting on a partial output vector.
+
+    Attributes:
+        steps_completed: analog sub-timesteps evaluated before the abort.
+        samples_completed: whole input samples fully processed.
+    """
+
+    def __init__(self, steps_completed: int, samples_completed: int):
+        self.steps_completed = steps_completed
+        self.samples_completed = samples_completed
+        super().__init__(
+            f"analog engine aborted after {steps_completed} sub-steps "
+            f"({samples_completed} input samples fully processed)"
+        )
+
+
 def cascade_noise_figure_db(config: FrontendConfig) -> float:
     """Friis cascade noise figure of the front end's active stages."""
     f1 = 10.0 ** (config.lna_nf_db / 10.0)
@@ -74,6 +96,10 @@ class InterpretedFrontend:
             docstring).
         agc_time_constant_s: AGC power-detector time constant.
         substeps: analog integration sub-timesteps per input sample.
+        max_steps: optional analog sub-timestep budget; when the engine
+            would exceed it mid-packet it raises :class:`CoSimAbort`
+            (modeling a transient-solver convergence failure) instead of
+            running on.
     """
 
     def __init__(
@@ -82,12 +108,16 @@ class InterpretedFrontend:
         noise_enabled: bool = False,
         agc_time_constant_s: float = 1.0e-6,
         substeps: int = 4,
+        max_steps: Optional[int] = None,
     ):
         if substeps < 1:
             raise ValueError("substeps must be >= 1")
+        if max_steps is not None and max_steps < 1:
+            raise ValueError("max_steps must be >= 1 when given")
         self.config = config
         self.noise_enabled = noise_enabled
         self.substeps = substeps
+        self.max_steps = max_steps
         fs = config.sample_rate_in * substeps
         nyq = fs / 2.0
         self._hpf_sos = butter(
@@ -101,16 +131,46 @@ class InterpretedFrontend:
         self._agc_alpha = 1.0 - np.exp(-1.0 / (agc_time_constant_s * fs))
         self.samples_processed = 0
 
+    def run_signal(
+        self, signal: Signal, rng: np.random.Generator
+    ) -> Signal:
+        """Run a :class:`Signal` through the engine with rate checking.
+
+        The lock-step interface hands samples across at the netlisted
+        design's input rate; any other rate would silently time-warp the
+        analog solve, so a mismatch is a hard error.
+        """
+        expected = self.config.sample_rate_in
+        if abs(signal.sample_rate - expected) > 1e-6 * expected:
+            raise ValueError(
+                f"co-simulation stimulus is at {signal.sample_rate:g} Hz "
+                f"but the netlisted front end expects {expected:g} Hz"
+            )
+        from repro.dsp.params import SAMPLE_RATE
+
+        return Signal(self.run(signal.samples, rng), SAMPLE_RATE)
+
     def run(self, samples: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """Process a stimulus vector one sample at a time.
 
-        Returns the decimated 20 MHz baseband output.
+        Returns the decimated 20 MHz baseband output.  A zero-length
+        stimulus yields a zero-length output (the engine simply has
+        nothing to integrate); a stimulus that blows the ``max_steps``
+        budget raises :class:`CoSimAbort`.
         """
+        samples = np.asarray(samples, dtype=complex)
+        if samples.ndim != 1:
+            raise ValueError(
+                f"stimulus must be one-dimensional, got shape "
+                f"{samples.shape}"
+            )
         cfg = self.config
         substeps = self.substeps
         fs = cfg.sample_rate_in * substeps
         n = samples.size
         n_steps = n * substeps
+        if n == 0:
+            return np.zeros(0, dtype=complex)
 
         # --- per-stage constants -------------------------------------
         g_lna = 10.0 ** (cfg.lna_gain_db / 20.0)
@@ -179,10 +239,14 @@ class InterpretedFrontend:
         rot2 = 1.0 + 0.0j
         out = []
         last = substeps - 1
+        budget = self.max_steps
         for i in range(n):
             hold = samples[i]  # zero-order hold over the sub-timesteps
             for s in range(substeps):
                 k = i * substeps + s
+                if budget is not None and k >= budget:
+                    self.samples_processed += i
+                    raise CoSimAbort(k, i)
                 x = hold
                 # LNA
                 if noise_on:
@@ -457,7 +521,7 @@ class CoSimulation:
             "cosim",
             n_packets,
             seed,
-            lambda sig, rng: engine.run(sig.samples, rng),
+            lambda sig, rng: engine.run_signal(sig, rng).samples,
             rf_noise,
             warnings,
         )

@@ -217,7 +217,14 @@ def parse_netlist(text: str):
             continue
         m = _MODULE_PARAM_RE.match(line)
         if m:
-            params[m.group(1)] = float(_parse_value(m.group(2)))
+            value = _parse_value(m.group(2))
+            try:
+                params[m.group(1)] = float(value)
+            except (TypeError, ValueError) as exc:
+                raise NetlistError(
+                    f"line {lineno}: module parameter {m.group(1)!r} is "
+                    f"not a real number: {value!r}"
+                ) from exc
             continue
         m = _INSTANCE_RE.match(line)
         if m:
@@ -281,6 +288,14 @@ def netlist_to_config(text: str) -> FrontendConfig:
         raise NetlistError(
             f"netlist is missing required parameter {exc.args[0]!r}"
         ) from exc
+    except NetlistError:
+        raise
+    except (TypeError, ValueError) as exc:
+        # Parameter values of the wrong type/range (a fuzz-found class:
+        # e.g. a sample rate that is not a multiple of 20 MHz, or a
+        # quoted string where a number belongs) are netlist errors, not
+        # internal faults.
+        raise NetlistError(f"invalid netlist parameters: {exc}") from exc
 
 
 def _build_config(params, lna, lo, mix1, mix2, hpf, lpf, agc, adc, opt_float):
@@ -377,7 +392,12 @@ class NetlistCompiler:
                 f"noise source on the system side or rewrite the models "
                 f"with random functions (section 4.3)"
             )
-        frontend = DoubleConversionReceiver(config)
+        try:
+            frontend = DoubleConversionReceiver(config)
+        except (TypeError, ValueError) as exc:
+            # Elaboration failures (e.g. an unknown LNA model string,
+            # another fuzz-found class) are design errors too.
+            raise NetlistError(f"cannot elaborate design: {exc}") from exc
         return CompiledDesign(
             config=config,
             frontend=frontend,

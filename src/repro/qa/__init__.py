@@ -1,0 +1,64 @@
+"""Independent-reference QA: conformance vectors, oracles, fuzz.
+
+The paper's subject is *verification* — this package verifies the
+verifier.  Instead of checking the implementation against frozen
+snapshots of itself, everything here derives from references that
+exist outside :mod:`repro.dsp` / :mod:`repro.rf`:
+
+* :mod:`repro.qa.reference` — a scalar, table-driven 802.11a encoder
+  written independently of the production chain;
+* :mod:`repro.qa.vectors` — the frozen Annex-G-style corpus generated
+  from that reference (worked 36 Mbit/s example + all-rate digests);
+* :mod:`repro.qa.oracles` — closed-form AWGN BER and Friis cascade
+  budgets with statistical acceptance bounds;
+* :mod:`repro.qa.fuzz` — deterministic netlist and PHY-loopback fuzz
+  harnesses plus the committed regression corpus;
+* :mod:`repro.qa.harness` — the ``repro qa`` orchestrator persisting
+  everything to the run store as kind ``qa``.
+"""
+
+from repro.qa.harness import (
+    QaCheck,
+    QaReport,
+    run_fuzz_checks,
+    run_oracle_checks,
+    run_qa,
+    run_vector_checks,
+)
+from repro.qa.oracles import (
+    OracleCheck,
+    check_all_uncoded_ber,
+    check_cascade_characterization,
+    check_coded_ber_bound,
+    check_uncoded_ber,
+    simulate_uncoded_ber,
+    theoretical_ber,
+)
+from repro.qa.fuzz import (
+    FuzzReport,
+    fuzz_loopback,
+    fuzz_parser,
+    fuzz_round_trip,
+    replay_corpus,
+)
+
+__all__ = [
+    "QaCheck",
+    "QaReport",
+    "run_qa",
+    "run_vector_checks",
+    "run_oracle_checks",
+    "run_fuzz_checks",
+    "OracleCheck",
+    "theoretical_ber",
+    "simulate_uncoded_ber",
+    "check_uncoded_ber",
+    "check_all_uncoded_ber",
+    "check_coded_ber_bound",
+    "check_cascade_characterization",
+    "FuzzReport",
+    "fuzz_round_trip",
+    "fuzz_parser",
+    "fuzz_loopback",
+    "replay_corpus",
+]

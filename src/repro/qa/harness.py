@@ -1,0 +1,358 @@
+"""The `repro qa` harness: conformance vectors + oracles + fuzz.
+
+Orchestrates the three QA pillars into one pass/fail report:
+
+1. **Conformance** (:mod:`repro.qa.vectors`): every TX stage of the
+   production :mod:`repro.dsp` chain is checked bit-/sample-exactly
+   against the frozen Annex-G-style corpus, the full-frame digests are
+   checked for all eight rates, and the reference frame must decode
+   back to the reference PSDU through the production receiver.
+2. **Oracles** (:mod:`repro.qa.oracles`): Monte-Carlo AWGN BER of the
+   four constellations against exact theory, the coded chain against
+   the uncoded bound, and ``characterize()`` against the Friis cascade
+   budget.
+3. **Fuzz** (:mod:`repro.qa.fuzz`): netlist round-trip and mutation
+   fuzzing, the committed regression corpus, and random-payload
+   TX -> RX loopback over all eight rates.
+
+Results persist to the PR-2 run store as kind ``qa`` (each check
+becomes a pass/fail KPI plus its measured value), so ``repro runs
+diff`` gates conformance exactly like any other experiment.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class QaCheck:
+    """One QA harness check outcome."""
+
+    section: str
+    name: str
+    passed: bool
+    detail: str = ""
+    measured: Optional[float] = None
+    expected: Optional[float] = None
+
+
+@dataclass
+class QaReport:
+    """Aggregated harness outcome."""
+
+    checks: List[QaCheck] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(not c.passed for c in self.checks)
+
+    def section(self, name: str) -> List[QaCheck]:
+        return [c for c in self.checks if c.section == name]
+
+    def as_table(self) -> str:
+        from repro.core.reporting import render_table
+
+        rows = [
+            [
+                c.section,
+                c.name,
+                "PASS" if c.passed else "FAIL",
+                "" if c.measured is None else f"{c.measured:.6g}",
+                "" if c.expected is None else f"{c.expected:.6g}",
+                c.detail,
+            ]
+            for c in self.checks
+        ]
+        return render_table(
+            ["section", "check", "verdict", "measured", "expected",
+             "detail"],
+            rows,
+        )
+
+    def kpis(self) -> Dict[str, float]:
+        """Flattened KPI mapping for the run store."""
+        out: Dict[str, float] = {
+            "qa.checks_total": float(len(self.checks)),
+            "qa.checks_failed": float(self.n_failed),
+            "qa.passed": 1.0 if self.passed else 0.0,
+        }
+        for c in self.checks:
+            key = f"qa.{c.section}.{c.name}"
+            out[f"{key}.pass"] = 1.0 if c.passed else 0.0
+            if c.measured is not None and np.isfinite(c.measured):
+                out[f"{key}.measured"] = float(c.measured)
+        return out
+
+
+def _corpus_dir() -> Optional[str]:
+    """Locate the committed netlist corpus in a dev checkout."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    candidate = os.path.normpath(
+        os.path.join(here, "..", "..", "..", "tests", "data", "netlist")
+    )
+    return candidate if os.path.isdir(candidate) else None
+
+
+def run_vector_checks() -> List[QaCheck]:
+    """Stage-by-stage conformance of the production TX chain.
+
+    Every comparison is against the frozen corpus of
+    :mod:`repro.qa.vectors` — the production code contributes only the
+    *measured* side.
+    """
+    from repro.dsp.convcode import ConvolutionalEncoder, puncture
+    from repro.dsp.interleaver import interleave
+    from repro.dsp.params import RATES
+    from repro.dsp.receiver import Receiver, RxConfig
+    from repro.dsp.scrambler import Scrambler
+    from repro.dsp.transmitter import Transmitter, TxConfig
+    from repro.qa import vectors as vec
+
+    checks: List[QaCheck] = []
+
+    def add(name: str, ok: bool, detail: str = ""):
+        checks.append(QaCheck("conformance", name, bool(ok), detail))
+
+    psdu = vec.reference_psdu()
+    rate_mbps = vec.REFERENCE_RATE_MBPS
+    rate = RATES[rate_mbps]
+    tx = Transmitter(
+        TxConfig(rate_mbps=rate_mbps, scrambler_seed=vec.SCRAMBLER_SEED)
+    )
+
+    # Stage 1: scrambler sequence (one full 127-bit period).
+    seq = Scrambler(vec.SCRAMBLER_SEED).sequence(127)
+    add(
+        "scrambler_sequence",
+        np.array_equal(seq, vec.scrambler_sequence_bits()),
+        f"seed {vec.SCRAMBLER_SEED:#09b}",
+    )
+
+    # Stage 2: scrambled DATA-field bits.
+    data_bits = tx.data_field_bits(psdu)
+    add(
+        "data_field_bits",
+        np.array_equal(data_bits, vec.data_bits()),
+        f"{data_bits.size} bits at {rate_mbps} Mbit/s",
+    )
+
+    # Stage 3: convolutional mother code (rate 1/2).
+    coded = ConvolutionalEncoder().encode(vec.data_bits())
+    add(
+        "convolutional_code",
+        np.array_equal(coded, vec.coded_bits()),
+        "K=7, g0=133, g1=171 (octal)",
+    )
+
+    # Stage 4: puncturing to the rate's coding rate.
+    punctured = puncture(vec.coded_bits(), rate.coding_rate)
+    add(
+        "puncturing",
+        np.array_equal(punctured, vec.punctured_bits()),
+        f"rate {rate.coding_rate[0]}/{rate.coding_rate[1]}",
+    )
+
+    # Stage 5: interleaving.
+    interleaved = interleave(
+        vec.punctured_bits(), rate.n_cbps, rate.n_bpsc
+    )
+    add(
+        "interleaving",
+        np.array_equal(interleaved, vec.interleaved_bits()),
+        f"N_CBPS={rate.n_cbps}, N_BPSC={rate.n_bpsc}",
+    )
+
+    # Stage 6: constellation mapping of the first OFDM symbol.
+    points = tx.data_symbols(psdu)[0]
+    add(
+        "constellation_mapping",
+        np.allclose(points, vec.first_symbol_points(), atol=1e-12),
+        "48 16-QAM points, K_MOD normalized",
+    )
+
+    # Stage 7: OFDM modulation + full frame.
+    frame = tx.transmit(psdu)
+    first_symbol = frame[400:480]  # after 320 preamble + 80 SIGNAL
+    add(
+        "ofdm_first_symbol",
+        np.allclose(
+            first_symbol, vec.first_data_symbol_samples(), atol=1e-9
+        ),
+        "80 time samples incl. cyclic prefix",
+    )
+    add(
+        "frame_length",
+        frame.size == vec.FRAME_LENGTH,
+        f"{frame.size} samples",
+    )
+    add(
+        "frame_digest",
+        vec.digest_samples(frame) == vec.FRAME_DIGEST,
+        vec.FRAME_DIGEST,
+    )
+
+    # Per-rate golden digests over the shared fixed payload.
+    fixed = vec.fixed_psdu()
+    for mbps in sorted(vec.GOLDEN_RATE_DIGESTS):
+        golden = vec.GOLDEN_RATE_DIGESTS[mbps]
+        rate_tx = Transmitter(TxConfig(rate_mbps=mbps))
+        bits = rate_tx.data_field_bits(fixed)
+        wave = rate_tx.transmit(fixed)
+        ok = (
+            vec.digest_bits(bits) == golden["data_bits"]
+            and wave.size == golden["n_samples"]
+            and vec.digest_samples(wave) == golden["ppdu"]
+        )
+        add(f"golden_rate_{mbps}mbps", ok, golden["ppdu"])
+
+    # RX loopback: the reference frame must decode to the reference PSDU.
+    padded = np.concatenate(
+        [np.zeros(120, complex), frame, np.zeros(120, complex)]
+    )
+    result = Receiver(RxConfig()).receive(padded)
+    add(
+        "rx_loopback_reference_frame",
+        result.success and np.array_equal(result.psdu, psdu),
+        result.failure if not result.success else
+        f"{result.length_bytes} bytes decoded",
+    )
+    return checks
+
+
+def run_oracle_checks(
+    seed: int = 0,
+    jobs: Optional[int] = None,
+    quick: bool = False,
+) -> List[QaCheck]:
+    """Analytic-oracle comparisons (BER theory + cascade budget)."""
+    from repro.qa import oracles
+
+    n_bits = 60_000 if quick else 200_000
+    checks: List[QaCheck] = []
+    results = oracles.check_all_uncoded_ber(n_bits=n_bits, seed=seed)
+    results.append(
+        oracles.check_coded_ber_bound(
+            n_packets=10 if quick else 30, seed=seed, jobs=jobs
+        )
+    )
+    results.extend(oracles.check_cascade_characterization(seed=seed, jobs=jobs))
+    for r in results:
+        checks.append(
+            QaCheck(
+                "oracle",
+                r.name,
+                r.passed,
+                r.detail,
+                measured=r.measured,
+                expected=r.expected,
+            )
+        )
+    return checks
+
+
+def run_fuzz_checks(seed: int = 0, quick: bool = False) -> List[QaCheck]:
+    """Deterministic fuzz passes + regression-corpus replay."""
+    from repro.qa import fuzz
+
+    checks: List[QaCheck] = []
+    rt = fuzz.fuzz_round_trip(10 if quick else 50, seed=seed)
+    checks.append(
+        QaCheck(
+            "fuzz",
+            "netlist_round_trip",
+            rt.ok,
+            f"{rt.cases} random configs"
+            + ("" if rt.ok else f"; first: {rt.failures[0].message}"),
+        )
+    )
+    mu = fuzz.fuzz_parser(50 if quick else 200, seed=seed)
+    checks.append(
+        QaCheck(
+            "fuzz",
+            "netlist_mutations",
+            mu.ok,
+            f"{mu.cases} mutated netlists ({mu.parsed} accepted, "
+            f"{mu.rejected} rejected cleanly)"
+            + ("" if mu.ok else f"; first: {mu.failures[0].message}"),
+        )
+    )
+    corpus = _corpus_dir()
+    if corpus is not None:
+        cr = fuzz.replay_corpus(corpus)
+        checks.append(
+            QaCheck(
+                "fuzz",
+                "corpus_replay",
+                cr.ok and cr.cases > 0,
+                f"{cr.cases} corpus files"
+                + ("" if cr.ok else f"; first: {cr.failures[0].message}"),
+            )
+        )
+    loop = fuzz.fuzz_loopback(
+        trials_per_rate=1 if quick else 2, seed=seed
+    )
+    bad = [r for r in loop if not r.ok]
+    checks.append(
+        QaCheck(
+            "fuzz",
+            "phy_loopback_all_rates",
+            not bad,
+            f"{len(loop)} random payloads over 8 rates"
+            + (
+                ""
+                if not bad
+                else f"; first: {bad[0].rate_mbps} Mbit/s {bad[0].failure}"
+            ),
+        )
+    )
+    return checks
+
+
+def run_qa(
+    seed: int = 0,
+    jobs: Optional[int] = None,
+    quick: bool = False,
+    store=None,
+) -> QaReport:
+    """Run the complete QA harness.
+
+    Args:
+        seed: base random seed for every stochastic check.
+        jobs: worker processes for the parallelizable analyses.
+        quick: reduce sample sizes (CI smoke / tier-1 friendly).
+        store: optional :class:`repro.obs.RunStore`; results also attach
+            to the ambient run writer when the CLI installed one.
+
+    Returns:
+        The aggregated :class:`QaReport`.
+    """
+    from repro import obs
+
+    report = QaReport()
+    with obs.span("qa:conformance"):
+        report.checks.extend(run_vector_checks())
+    with obs.span("qa:oracles"):
+        report.checks.extend(
+            run_oracle_checks(seed=seed, jobs=jobs, quick=quick)
+        )
+    with obs.span("qa:fuzz"):
+        report.checks.extend(run_fuzz_checks(seed=seed, quick=quick))
+    obs.contribute(
+        store,
+        kind="qa",
+        name="qa",
+        seed=seed,
+        config={"quick": quick},
+        tables={"qa_checks": report.as_table()},
+        kpis=report.kpis(),
+    )
+    return report

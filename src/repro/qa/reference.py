@@ -1,0 +1,393 @@
+"""Independent reference implementations of the 802.11a TX stages.
+
+Every function here re-implements one clause-17 processing step directly
+from the standard's prose and tables — scalar loops, explicit shift
+registers, literal lookup tables — sharing *no* code with the vectorized
+production pipeline in :mod:`repro.dsp`.  The conformance harness
+(:mod:`repro.qa.vectors`) compares the two implementations stage by
+stage; because the code paths are disjoint, a bug would have to be made
+twice, independently, to go unnoticed (classic differential testing, in
+the spirit of Annex G of IEEE Std 802.11a-1999).
+
+Conventions match the standard exactly:
+
+* bits are transmitted LSB-first within each PSDU byte (17.3.5.3);
+* the scrambler/descrambler is the x^7 + x^4 + 1 LFSR (17.3.5.4);
+* the convolutional code is K=7 with g0=133, g1=171 octal (17.3.5.5);
+* puncturing steals the clause-17 figure-140/141 bit positions;
+* the interleaver applies the two block permutations of 17.3.5.6;
+* constellation mappings follow the Gray-coded tables of 17.3.5.7;
+* OFDM symbols are built by a direct DFT sum over subcarriers -26..26
+  with the pilot polarity sequence of 17.3.5.9.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+# --------------------------------------------------------------------------
+# Rate-dependent parameters (table 78), written out literally.
+# --------------------------------------------------------------------------
+
+#: rate [Mbit/s] -> (modulation, (k, n) coding rate, N_BPSC, N_CBPS, N_DBPS)
+RATE_TABLE: Dict[int, Tuple[str, Tuple[int, int], int, int, int]] = {
+    6: ("BPSK", (1, 2), 1, 48, 24),
+    9: ("BPSK", (3, 4), 1, 48, 36),
+    12: ("QPSK", (1, 2), 2, 96, 48),
+    18: ("QPSK", (3, 4), 2, 96, 72),
+    24: ("QAM16", (1, 2), 4, 192, 96),
+    36: ("QAM16", (3, 4), 4, 192, 144),
+    48: ("QAM64", (2, 3), 6, 288, 192),
+    54: ("QAM64", (3, 4), 6, 288, 216),
+}
+
+#: RATE field bit patterns of table 80 (transmitted first bit first).
+RATE_FIELD_BITS: Dict[int, Tuple[int, int, int, int]] = {
+    6: (1, 1, 0, 1), 9: (1, 1, 1, 1), 12: (0, 1, 0, 1), 18: (0, 1, 1, 1),
+    24: (1, 0, 0, 1), 36: (1, 0, 1, 1), 48: (0, 0, 0, 1), 54: (0, 0, 1, 1),
+}
+
+#: Pilot subcarriers (17.3.5.9) and their un-rotated values.
+PILOT_CARRIERS: Tuple[int, ...] = (-21, -7, 7, 21)
+PILOT_VALUES: Dict[int, float] = {-21: 1.0, -7: 1.0, 7: 1.0, 21: -1.0}
+
+#: Data subcarriers: -26..26 skipping DC and the pilots, ascending.
+DATA_CARRIERS: Tuple[int, ...] = tuple(
+    k for k in range(-26, 27) if k != 0 and k not in PILOT_CARRIERS
+)
+
+
+# --------------------------------------------------------------------------
+# Scrambler (17.3.5.4)
+# --------------------------------------------------------------------------
+def scrambler_sequence(seed: int, n: int) -> List[int]:
+    """First ``n`` output bits of the x^7 + x^4 + 1 LFSR.
+
+    The register is kept as an explicit list ``b[0..6]`` with ``b[0]``
+    the newest bit (x^1) and ``b[6]`` the oldest (x^7); the feedback —
+    which is also the output — is ``x^7 XOR x^4``.  ``seed`` packs the
+    register LSB-to-``b[0]``, matching :class:`repro.dsp.scrambler.Scrambler`.
+    """
+    if not 1 <= seed <= 127:
+        raise ValueError("seed must be a non-zero 7-bit value")
+    reg = [(seed >> i) & 1 for i in range(7)]
+    out = []
+    for _ in range(n):
+        feedback = reg[6] ^ reg[3]
+        out.append(feedback)
+        reg = [feedback] + reg[:6]
+    return out
+
+
+def scramble(bits: Sequence[int], seed: int) -> List[int]:
+    """XOR ``bits`` with the scrambling sequence from ``seed``."""
+    seq = scrambler_sequence(seed, len(bits))
+    return [int(b) ^ s for b, s in zip(bits, seq)]
+
+
+def pilot_polarity_sequence() -> List[int]:
+    """The 127-element polarity sequence p_n as +1/-1 (17.3.5.9)."""
+    return [1 - 2 * b for b in scrambler_sequence(0b1111111, 127)]
+
+
+# --------------------------------------------------------------------------
+# Convolutional encoder + puncturing (17.3.5.5)
+# --------------------------------------------------------------------------
+# Generator taps as delay indices, read off the octal polynomials:
+#   g0 = 133 octal = 1 011 011 binary -> d[n], d[n-2], d[n-3], d[n-5], d[n-6]
+#   g1 = 171 octal = 1 111 001 binary -> d[n], d[n-1], d[n-2], d[n-3], d[n-6]
+_G0_DELAYS = (0, 2, 3, 5, 6)
+_G1_DELAYS = (0, 1, 2, 3, 6)
+
+
+def convolutional_encode(bits: Sequence[int]) -> List[int]:
+    """Rate-1/2 encoding into the interleaved stream A0 B0 A1 B1 ...
+
+    A six-element shift register (zero-initialized, as guaranteed by the
+    six tail bits of the previous frame) is advanced one input bit at a
+    time; output A comes from g0, output B from g1.
+    """
+    register = [0, 0, 0, 0, 0, 0]
+    out = []
+    for bit in bits:
+        history = [int(bit)] + register  # history[d] = d[n-d]
+        a = 0
+        for d in _G0_DELAYS:
+            a ^= history[d]
+        b = 0
+        for d in _G1_DELAYS:
+            b ^= history[d]
+        out.append(a)
+        out.append(b)
+        register = history[:6]
+    return out
+
+
+#: Per-period keep flags for the (A_j, B_j) pairs of figures 140/141:
+#: rate 2/3 steals B1 of every two pairs; rate 3/4 steals B1 and A2 of
+#: every three pairs.
+_KEEP_PATTERNS: Dict[Tuple[int, int], Tuple[Tuple[int, int], ...]] = {
+    (1, 2): ((1, 1),),
+    (2, 3): ((1, 1), (1, 0)),
+    (3, 4): ((1, 1), (1, 0), (0, 1)),
+}
+
+
+def puncture(coded: Sequence[int], rate: Tuple[int, int]) -> List[int]:
+    """Puncture an A/B-interleaved rate-1/2 stream to ``rate``."""
+    pattern = _KEEP_PATTERNS[tuple(rate)]
+    if len(coded) % 2:
+        raise ValueError("coded stream must hold whole (A, B) pairs")
+    out = []
+    for pair_index in range(len(coded) // 2):
+        keep_a, keep_b = pattern[pair_index % len(pattern)]
+        if keep_a:
+            out.append(int(coded[2 * pair_index]))
+        if keep_b:
+            out.append(int(coded[2 * pair_index + 1]))
+    return out
+
+
+# --------------------------------------------------------------------------
+# Interleaver (17.3.5.6)
+# --------------------------------------------------------------------------
+def interleave(bits: Sequence[int], n_cbps: int, n_bpsc: int) -> List[int]:
+    """Two-permutation block interleaver, one N_CBPS block at a time.
+
+    First permutation (equation 16):
+        ``i = (N_CBPS/16) (k mod 16) + floor(k/16)``
+    Second permutation (equation 17), with ``s = max(N_BPSC/2, 1)``:
+        ``j = s floor(i/s) + (i + N_CBPS - floor(16 i / N_CBPS)) mod s``
+    """
+    if len(bits) % n_cbps:
+        raise ValueError("bit count must be a multiple of N_CBPS")
+    s = max(n_bpsc // 2, 1)
+    out: List[int] = [0] * len(bits)
+    for block in range(len(bits) // n_cbps):
+        base = block * n_cbps
+        first: List[int] = [0] * n_cbps
+        for k in range(n_cbps):
+            i = (n_cbps // 16) * (k % 16) + k // 16
+            first[i] = int(bits[base + k])
+        for i in range(n_cbps):
+            j = s * (i // s) + (i + n_cbps - (16 * i) // n_cbps) % s
+            out[base + j] = first[i]
+    return out
+
+
+# --------------------------------------------------------------------------
+# Constellation mapping (17.3.5.7)
+# --------------------------------------------------------------------------
+#: Gray-coded PAM tables written out from tables 81-83: input bits
+#: (first-transmitted first) -> I or Q level before K_MOD scaling.
+_BPSK_TABLE: Dict[Tuple[int, ...], float] = {(0,): -1.0, (1,): 1.0}
+_QPSK_TABLE: Dict[Tuple[int, ...], float] = {(0,): -1.0, (1,): 1.0}
+_QAM16_TABLE: Dict[Tuple[int, ...], float] = {
+    (0, 0): -3.0, (0, 1): -1.0, (1, 1): 1.0, (1, 0): 3.0,
+}
+_QAM64_TABLE: Dict[Tuple[int, ...], float] = {
+    (0, 0, 0): -7.0, (0, 0, 1): -5.0, (0, 1, 1): -3.0, (0, 1, 0): -1.0,
+    (1, 1, 0): 1.0, (1, 1, 1): 3.0, (1, 0, 1): 5.0, (1, 0, 0): 7.0,
+}
+
+#: Normalization K_MOD of table 84.
+_K_MOD: Dict[str, float] = {
+    "BPSK": 1.0,
+    "QPSK": 1.0 / math.sqrt(2.0),
+    "QAM16": 1.0 / math.sqrt(10.0),
+    "QAM64": 1.0 / math.sqrt(42.0),
+}
+
+_DIM_TABLES: Dict[str, Dict[Tuple[int, ...], float]] = {
+    "QPSK": _QPSK_TABLE, "QAM16": _QAM16_TABLE, "QAM64": _QAM64_TABLE,
+}
+
+
+def map_symbol_levels(
+    bits: Sequence[int], modulation: str
+) -> List[Tuple[int, int]]:
+    """Map bits to un-normalized integer (I, Q) constellation levels.
+
+    BPSK places its single level on I with Q = 0.  Returning integer
+    levels keeps the reference corpus exactly representable.
+    """
+    if modulation == "BPSK":
+        return [(int(_BPSK_TABLE[(int(b),)]), 0) for b in bits]
+    table = _DIM_TABLES[modulation]
+    half = {"QPSK": 1, "QAM16": 2, "QAM64": 3}[modulation]
+    if len(bits) % (2 * half):
+        raise ValueError("bit count not a multiple of N_BPSC")
+    out = []
+    for g in range(len(bits) // (2 * half)):
+        group = [int(b) for b in bits[g * 2 * half:(g + 1) * 2 * half]]
+        i_level = table[tuple(group[:half])]
+        q_level = table[tuple(group[half:])]
+        out.append((int(i_level), int(q_level)))
+    return out
+
+
+def map_symbols(bits: Sequence[int], modulation: str) -> np.ndarray:
+    """Map bits to K_MOD-normalized complex constellation points."""
+    k_mod = _K_MOD[modulation]
+    levels = map_symbol_levels(bits, modulation)
+    return np.array([k_mod * (i + 1j * q) for i, q in levels])
+
+
+# --------------------------------------------------------------------------
+# OFDM symbol assembly (17.3.5.9) — direct DFT sum
+# --------------------------------------------------------------------------
+#: Occupied subcarriers and the matching time-domain normalization.
+_N_USED = len(DATA_CARRIERS) + len(PILOT_CARRIERS)
+
+_PILOT_POLARITY = None  # built lazily; reference code avoids import-time work
+
+
+def _polarity(index: int) -> int:
+    global _PILOT_POLARITY
+    if _PILOT_POLARITY is None:
+        _PILOT_POLARITY = pilot_polarity_sequence()
+    return _PILOT_POLARITY[index % 127]
+
+
+def ofdm_symbol(
+    data_points: Sequence[complex], polarity: int
+) -> np.ndarray:
+    """One 80-sample OFDM symbol (16-sample CP + 64) by direct DFT.
+
+    ``x[n] = (1/sqrt(52)) * sum_k c_k exp(j 2 pi k n / 64)`` over the 52
+    occupied subcarriers, with pilots scaled by ``polarity``.
+    """
+    if len(data_points) != len(DATA_CARRIERS):
+        raise ValueError("expected 48 data points")
+    carriers: Dict[int, complex] = dict(zip(DATA_CARRIERS, data_points))
+    for k in PILOT_CARRIERS:
+        carriers[k] = PILOT_VALUES[k] * polarity
+    body = np.zeros(64, dtype=complex)
+    scale = 1.0 / math.sqrt(_N_USED)
+    for n in range(64):
+        acc = 0.0 + 0.0j
+        for k, value in carriers.items():
+            acc += value * np.exp(2j * np.pi * k * n / 64.0)
+        body[n] = scale * acc
+    return np.concatenate([body[-16:], body])
+
+
+def data_field_ofdm(symbol_points: np.ndarray) -> np.ndarray:
+    """Modulate DATA-field constellation rows; symbol ``n`` uses p_{n+1}."""
+    rows = np.asarray(symbol_points, dtype=complex).reshape(-1, 48)
+    return np.concatenate(
+        [ofdm_symbol(row, _polarity(n + 1)) for n, row in enumerate(rows)]
+    )
+
+
+# --------------------------------------------------------------------------
+# Preamble (17.3.3) — direct DFT from the literal S_k / L_k sequences
+# --------------------------------------------------------------------------
+#: Non-zero short-training subcarriers (equation 7), before the
+#: sqrt(13/6) power normalization.
+_STF_CARRIERS: Dict[int, complex] = {
+    -24: 1 + 1j, -20: -1 - 1j, -16: 1 + 1j, -12: -1 - 1j,
+    -8: -1 - 1j, -4: 1 + 1j, 4: -1 - 1j, 8: -1 - 1j,
+    12: 1 + 1j, 16: 1 + 1j, 20: 1 + 1j, 24: 1 + 1j,
+}
+
+#: Long-training sequence L_-26..26 (equation 8).
+_LTF_SEQUENCE = (
+    1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1,
+    1, -1, 1, 1, 1, 1,
+    0,
+    1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1,
+    -1, 1, -1, 1, 1, 1, 1,
+)
+
+
+def _dft64(carriers: Dict[int, complex]) -> np.ndarray:
+    scale = 1.0 / math.sqrt(_N_USED)
+    out = np.zeros(64, dtype=complex)
+    for n in range(64):
+        acc = 0.0 + 0.0j
+        for k, value in carriers.items():
+            acc += value * np.exp(2j * np.pi * k * n / 64.0)
+        out[n] = scale * acc
+    return out
+
+
+def short_training_field() -> np.ndarray:
+    """Ten periods of the 16-sample short training symbol."""
+    amplitude = math.sqrt(13.0 / 6.0)
+    carriers = {k: amplitude * v for k, v in _STF_CARRIERS.items()}
+    period = _dft64(carriers)[:16]
+    return np.concatenate([period] * 10)
+
+
+def long_training_field() -> np.ndarray:
+    """32-sample guard followed by two 64-sample long training symbols."""
+    carriers = {
+        k: complex(v)
+        for k, v in zip(range(-26, 27), _LTF_SEQUENCE)
+        if v
+    }
+    symbol = _dft64(carriers)
+    return np.concatenate([symbol[-32:], symbol, symbol])
+
+
+# --------------------------------------------------------------------------
+# SIGNAL field (17.3.4) and DATA field (17.3.5.3)
+# --------------------------------------------------------------------------
+def signal_field_bits(rate_mbps: int, length_bytes: int) -> List[int]:
+    """RATE(4) + reserved + LENGTH(12, LSB first) + parity + 6 tail bits."""
+    bits = [0] * 24
+    bits[0:4] = list(RATE_FIELD_BITS[rate_mbps])
+    for i in range(12):
+        bits[5 + i] = (length_bytes >> i) & 1
+    bits[17] = sum(bits[0:17]) % 2
+    return bits
+
+
+def signal_symbol(rate_mbps: int, length_bytes: int) -> np.ndarray:
+    """The SIGNAL OFDM symbol: BPSK, rate 1/2, unscrambled, polarity +1."""
+    coded = convolutional_encode(signal_field_bits(rate_mbps, length_bytes))
+    interleaved = interleave(coded, n_cbps=48, n_bpsc=1)
+    return ofdm_symbol(map_symbols(interleaved, "BPSK"), polarity=1)
+
+
+def data_field_bits(
+    psdu: Sequence[int], rate_mbps: int, seed: int
+) -> List[int]:
+    """Scrambled SERVICE + PSDU + tail + pad bits, tail re-zeroed."""
+    _, _, _, _, n_dbps = RATE_TABLE[rate_mbps]
+    psdu_bits: List[int] = []
+    for byte in psdu:
+        for i in range(8):  # LSB of each octet is transmitted first
+            psdu_bits.append((int(byte) >> i) & 1)
+    n_payload = 16 + len(psdu_bits) + 6
+    n_symbols = (n_payload + n_dbps - 1) // n_dbps
+    bits = [0] * 16 + psdu_bits
+    bits += [0] * (n_symbols * n_dbps - len(bits))
+    scrambled = scramble(bits, seed)
+    tail_start = 16 + len(psdu_bits)
+    for i in range(tail_start, tail_start + 6):
+        scrambled[i] = 0
+    return scrambled
+
+
+def transmit(
+    psdu: Sequence[int], rate_mbps: int, seed: int
+) -> np.ndarray:
+    """Full PPDU: preamble + SIGNAL + encoded DATA field."""
+    modulation, coding_rate, n_bpsc, n_cbps, _ = RATE_TABLE[rate_mbps]
+    bits = data_field_bits(psdu, rate_mbps, seed)
+    coded = puncture(convolutional_encode(bits), coding_rate)
+    interleaved = interleave(coded, n_cbps, n_bpsc)
+    points = map_symbols(interleaved, modulation)
+    return np.concatenate(
+        [
+            short_training_field(),
+            long_training_field(),
+            signal_symbol(rate_mbps, len(psdu)),
+            data_field_ofdm(points),
+        ]
+    )

@@ -36,6 +36,15 @@ from repro.rf.oscillator import LocalOscillator
 from repro.rf.adc import Adc
 from repro.rf.pa import PowerAmplifier
 from repro.rf.zeroif import ZeroIfConfig, ZeroIfReceiver
+from repro.rf.cascade import (
+    BlockCascade,
+    StageSpec,
+    active_stage_cascade,
+    cascade_gain_db,
+    cascade_iip3_dbm,
+    cascade_input_p1db_dbm,
+    friis_noise_figure_db,
+)
 from repro.rf.frontend import (
     DoubleConversionReceiver,
     FrontendConfig,
@@ -71,6 +80,13 @@ __all__ = [
     "PowerAmplifier",
     "ZeroIfConfig",
     "ZeroIfReceiver",
+    "BlockCascade",
+    "StageSpec",
+    "active_stage_cascade",
+    "cascade_gain_db",
+    "cascade_iip3_dbm",
+    "cascade_input_p1db_dbm",
+    "friis_noise_figure_db",
     "DoubleConversionReceiver",
     "FrontendConfig",
     "ideal_frontend_config",

@@ -1,0 +1,175 @@
+"""Closed-form cascade budgets: Friis noise figure, IIP3 and P1dB.
+
+The paper verifies the behavioral RF models against the numbers an RF
+designer would compute on paper — a cascade (spreadsheet) budget of the
+receiver line-up.  This module provides those textbook formulas over a
+declarative stage list, plus :class:`BlockCascade`, a behavioral chain
+that runs the *same* stages through their executable models so
+:func:`repro.flow.rfsim.characterize` can be checked against theory.
+
+Formulas (all standard):
+
+* Friis:   ``F = F1 + (F2-1)/G1 + (F3-1)/(G1*G2) + ...``
+* IIP3:    ``1/P_casc = sum_k  G_before_k / P_k``  (linear watts)
+* P1dB:    cascade IIP3 minus the cubic-model offset of ~9.64 dB
+  (exact for a memoryless cubic chain dominated by one compressor,
+  a good approximation otherwise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.rf.nonlinearity import P1DB_IIP3_OFFSET_DB, iip3_from_p1db
+from repro.rf.signal import Signal
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """Paper parameters of one cascade stage.
+
+    Attributes:
+        name: stage label (for reports).
+        gain_db: small-signal power gain.
+        nf_db: noise figure; 0 for a noiseless stage.
+        iip3_dbm: input-referred third-order intercept; ``inf`` for a
+            linear stage.
+    """
+
+    name: str
+    gain_db: float
+    nf_db: float = 0.0
+    iip3_dbm: float = np.inf
+
+
+def cascade_gain_db(stages: Sequence[StageSpec]) -> float:
+    """Total small-signal gain of the cascade."""
+    return float(sum(s.gain_db for s in stages))
+
+
+def friis_noise_figure_db(stages: Sequence[StageSpec]) -> float:
+    """Cascade noise figure by the Friis formula."""
+    total_f = 1.0
+    gain_before = 1.0
+    for s in stages:
+        f = 10.0 ** (s.nf_db / 10.0)
+        total_f += (f - 1.0) / gain_before
+        gain_before *= 10.0 ** (s.gain_db / 10.0)
+    return float(10.0 * np.log10(total_f))
+
+
+def cascade_iip3_dbm(stages: Sequence[StageSpec]) -> float:
+    """Input-referred cascade IIP3.
+
+    Each stage's intercept is referred back to the cascade input by the
+    gain accumulated in front of it; the reciprocal linear powers add.
+    """
+    inv_sum = 0.0
+    gain_before = 1.0
+    for s in stages:
+        if np.isfinite(s.iip3_dbm):
+            p_k = 10.0 ** (s.iip3_dbm / 10.0)  # mW
+            inv_sum += gain_before / p_k
+        gain_before *= 10.0 ** (s.gain_db / 10.0)
+    if inv_sum <= 0.0:
+        return float(np.inf)
+    return float(10.0 * np.log10(1.0 / inv_sum))
+
+
+def cascade_input_p1db_dbm(stages: Sequence[StageSpec]) -> float:
+    """Input-referred cascade 1-dB compression point.
+
+    Uses the cubic-nonlinearity relation ``P1dB = IIP3 - 9.64 dB``
+    applied to the cascade intercept — exact when every nonlinear stage
+    is the memoryless cubic model used by the SPW-style library.
+    """
+    return cascade_iip3_dbm(stages) - P1DB_IIP3_OFFSET_DB
+
+
+class _ApplyAdapter:
+    """Wrap an object exposing ``apply(samples)`` as a behavioral block."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def process(self, signal: Signal, rng=None) -> Signal:
+        return signal.with_samples(self._inner.apply(signal.samples))
+
+
+class BlockCascade:
+    """A behavioral block chaining other blocks' ``process`` methods.
+
+    Accepts blocks with ``process(Signal, rng) -> Signal`` (amplifiers,
+    mixers), ``process(Signal) -> Signal`` (filters), or bare
+    ``apply(samples)`` nonlinearities, so a receiver's individual stages
+    can be re-assembled into one measurable device under test.
+    """
+
+    def __init__(self, blocks: Sequence[object]):
+        self.blocks = [
+            b if hasattr(b, "process") else _ApplyAdapter(b) for b in blocks
+        ]
+
+    @staticmethod
+    def _takes_rng(block) -> bool:
+        import inspect
+
+        try:
+            params = inspect.signature(block.process).parameters
+        except (TypeError, ValueError):
+            return True
+        return "rng" in params
+
+    def process(
+        self, signal: Signal, rng: Optional[np.random.Generator] = None
+    ) -> Signal:
+        s = signal
+        for block in self.blocks:
+            if self._takes_rng(block):
+                s = block.process(s, rng)
+            else:
+                s = block.process(s)
+        return s
+
+
+def active_stage_cascade(
+    receiver,
+) -> Tuple[BlockCascade, List[StageSpec]]:
+    """The active gain stages of a double-conversion receiver.
+
+    Returns both the executable cascade (LNA, mixer 1 + its
+    nonlinearity, quadrature mixer 2 + its nonlinearity) and the
+    matching paper :class:`StageSpec` budget derived from the
+    receiver's configuration — the pair the conformance oracles
+    compare.  Filters, AGC and ADC are excluded: they do not belong in
+    a line-up budget (unity in-band gain, negligible noise) and the AGC
+    would mask compression.
+    """
+    cfg = receiver.config
+    cascade = BlockCascade(
+        [
+            receiver.lna,
+            receiver.mixer1,
+            receiver._mixer1_nl,
+            receiver.mixer2,
+            receiver._mixer2_nl,
+        ]
+    )
+    specs = [
+        StageSpec(
+            "lna",
+            cfg.lna_gain_db,
+            cfg.lna_nf_db,
+            iip3_from_p1db(cfg.lna_p1db_dbm),
+        ),
+        StageSpec("mixer1", cfg.mixer1_gain_db, cfg.mixer1_nf_db),
+        # The mixer nonlinearities sit *after* the conversion gain
+        # (zero-gain cubic blocks), so they appear as their own stages.
+        StageSpec("mixer1_nl", 0.0, iip3_dbm=cfg.mixer1_iip3_dbm),
+        StageSpec("mixer2", cfg.mixer2_gain_db, cfg.mixer2_nf_db),
+        StageSpec("mixer2_nl", 0.0, iip3_dbm=cfg.mixer2_iip3_dbm),
+    ]
+    return cascade, specs

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.flow.cosim import (
+    CoSimAbort,
     CoSimConfig,
     CoSimulation,
     InterpretedFrontend,
@@ -146,3 +147,58 @@ class TestCoSimulation:
     def test_unknown_workaround_rejected(self):
         with pytest.raises(ValueError):
             CoSimConfig(noise_workaround="prayer")
+
+
+class TestEdgeCases:
+    """Degenerate stimuli must fail cleanly, not hang or index-fault."""
+
+    def test_zero_length_stimulus(self):
+        interp = InterpretedFrontend(FrontendConfig(), substeps=1)
+        out = interp.run(np.zeros(0, complex), np.random.default_rng(0))
+        assert out.size == 0
+        assert out.dtype == complex
+
+    def test_multidimensional_stimulus_rejected(self):
+        interp = InterpretedFrontend(FrontendConfig(), substeps=1)
+        with pytest.raises(ValueError, match="one-dimensional"):
+            interp.run(np.zeros((4, 4), complex), np.random.default_rng(0))
+
+    def test_mismatched_sample_rate_rejected(self):
+        cfg = FrontendConfig()
+        interp = InterpretedFrontend(cfg, substeps=1)
+        wrong = Signal(np.zeros(16, complex), cfg.sample_rate_in / 2)
+        with pytest.raises(ValueError, match="expects"):
+            interp.run_signal(wrong, np.random.default_rng(0))
+
+    def test_matched_sample_rate_accepted(self):
+        cfg = FrontendConfig()
+        interp = InterpretedFrontend(cfg, substeps=1)
+        sig = Signal(np.zeros(cfg.decimation * 8, complex), cfg.sample_rate_in)
+        out = interp.run_signal(sig, np.random.default_rng(0))
+        assert out.sample_rate == pytest.approx(20e6)
+        assert len(out) == 8
+
+    def test_max_steps_validation(self):
+        with pytest.raises(ValueError):
+            InterpretedFrontend(FrontendConfig(), max_steps=0)
+
+    def test_lockstep_abort_mid_packet(self):
+        # A sub-step budget models the analog solver giving up mid-packet:
+        # the engine must raise a diagnosable abort, not hang or return a
+        # truncated waveform that decodes to garbage downstream.
+        interp = InterpretedFrontend(
+            FrontendConfig(), noise_enabled=False, substeps=4, max_steps=10
+        )
+        with pytest.raises(CoSimAbort) as excinfo:
+            interp.run(np.full(16, 1e-3 + 0j), np.random.default_rng(0))
+        abort = excinfo.value
+        assert abort.steps_completed == 10
+        assert abort.samples_completed == 10 // 4
+        assert "aborted" in str(abort)
+
+    def test_sufficient_budget_does_not_abort(self):
+        interp = InterpretedFrontend(
+            FrontendConfig(), noise_enabled=False, substeps=2, max_steps=32
+        )
+        out = interp.run(np.zeros(16, complex), np.random.default_rng(0))
+        assert out.size == 16 // FrontendConfig().decimation

@@ -4,16 +4,17 @@ Fixed inputs with pinned expected outputs: any accidental change to the
 scrambler, encoder, interleaver, mapper or OFDM framing flips these
 checksums even when the loopback tests still pass (encoder and decoder
 changing together would otherwise mask a standard-compliance break).
-"""
 
-import hashlib
+The per-rate PPDU corpus is sourced from :mod:`repro.qa.vectors` so the
+pytest suite and the ``repro qa`` conformance harness share one frozen
+set of digests.
+"""
 
 import numpy as np
 import pytest
 
 from repro.dsp.convcode import ConvolutionalEncoder, puncture
 from repro.dsp.interleaver import interleave
-from repro.dsp.modulation import Mapper
 from repro.dsp.params import RATES
 from repro.dsp.preamble import (
     encode_signal_field,
@@ -22,60 +23,65 @@ from repro.dsp.preamble import (
 )
 from repro.dsp.scrambler import Scrambler
 from repro.dsp.transmitter import Transmitter, TxConfig
+from repro.qa import vectors as vec
 
+pytestmark = pytest.mark.conformance
 
-def _digest_bits(bits) -> str:
-    return hashlib.sha256(np.asarray(bits, dtype=np.uint8).tobytes()).hexdigest()[:16]
-
-
-def _digest_complex(samples, decimals=9) -> str:
-    rounded = np.round(np.asarray(samples, dtype=complex), decimals)
-    return hashlib.sha256(rounded.tobytes()).hexdigest()[:16]
-
-
-FIXED_PSDU = np.arange(64, dtype=np.uint8)
+ALL_RATES = sorted(vec.GOLDEN_RATE_DIGESTS)
 
 
 class TestGoldenBitstreams:
     def test_scrambler_sequence(self):
         seq = Scrambler(0b1011101).sequence(127)
-        assert _digest_bits(seq) == "7a7ff2eb17c4972e"
+        assert vec.digest_bits(seq) == "7a7ff2eb17c4972e"
 
     def test_encoder_output(self):
         bits = (np.arange(96) * 7 % 2).astype(np.uint8)
         coded = ConvolutionalEncoder().encode(bits)
-        assert _digest_bits(coded) == "e033149b5f320f53"
+        assert vec.digest_bits(coded) == "e033149b5f320f53"
 
     def test_punctured_34(self):
         bits = (np.arange(96) * 7 % 2).astype(np.uint8)
         kept = puncture(ConvolutionalEncoder().encode(bits), (3, 4))
-        assert _digest_bits(kept) == "a3bb3e2a4114cdc9"
+        assert vec.digest_bits(kept) == "a3bb3e2a4114cdc9"
 
     def test_interleaved_54mbps(self):
         r = RATES[54]
         bits = (np.arange(r.n_cbps) % 2).astype(np.uint8)
         out = interleave(bits, r.n_cbps, r.n_bpsc)
-        assert _digest_bits(out) == "b9d49a828deb3807"
+        assert vec.digest_bits(out) == "b9d49a828deb3807"
 
 
 class TestGoldenWaveforms:
     def test_short_training_field(self):
-        assert _digest_complex(short_training_field()) == "d829b5467358ef36"
+        assert vec.digest_samples(short_training_field()) == "d829b5467358ef36"
 
     def test_long_training_field(self):
-        assert _digest_complex(long_training_field()) == "5573250b3ed6dcd7"
+        assert vec.digest_samples(long_training_field()) == "5573250b3ed6dcd7"
 
     def test_signal_field_24mbps_100bytes(self):
         wave = encode_signal_field(RATES[24], 100)
-        assert _digest_complex(wave) == "ca8a60de98eb3e34"
+        assert vec.digest_samples(wave) == "ca8a60de98eb3e34"
 
-    def test_full_ppdu_6mbps(self):
-        tx = Transmitter(TxConfig(rate_mbps=6, scrambler_seed=0b1011101))
-        wave = tx.transmit(FIXED_PSDU)
-        assert wave.size == 320 + 80 + 23 * 80
-        assert _digest_complex(wave) == "69d40ec827af7938"
 
-    def test_full_ppdu_54mbps(self):
-        tx = Transmitter(TxConfig(rate_mbps=54, scrambler_seed=0b1011101))
-        wave = tx.transmit(FIXED_PSDU)
-        assert _digest_complex(wave) == "8fecb82dc0c7ebb7"
+class TestGoldenPpduAllRates:
+    """Full 64-byte-PSDU PPDU pinned for every 802.11a rate."""
+
+    @pytest.mark.parametrize("rate_mbps", ALL_RATES)
+    def test_data_bits_digest(self, rate_mbps):
+        tx = Transmitter(TxConfig(rate_mbps=rate_mbps))
+        bits = tx.data_field_bits(vec.fixed_psdu())
+        golden = vec.GOLDEN_RATE_DIGESTS[rate_mbps]
+        assert vec.digest_bits(bits) == golden["data_bits"]
+
+    @pytest.mark.parametrize("rate_mbps", ALL_RATES)
+    def test_ppdu_digest(self, rate_mbps):
+        tx = Transmitter(TxConfig(rate_mbps=rate_mbps))
+        wave = tx.transmit(vec.fixed_psdu())
+        golden = vec.GOLDEN_RATE_DIGESTS[rate_mbps]
+        assert wave.size == golden["n_samples"]
+        assert vec.digest_samples(wave) == golden["ppdu"]
+
+    def test_all_eight_rates_covered(self):
+        assert ALL_RATES == sorted(RATES)
+        assert len(ALL_RATES) == 8

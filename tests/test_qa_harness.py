@@ -1,0 +1,108 @@
+"""End-to-end tests of the `repro qa` harness and its CLI/store wiring."""
+
+import pytest
+
+from repro.cli import main
+from repro.obs.store import RunStore
+from repro.qa.harness import QaCheck, QaReport, run_qa
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return run_qa(seed=0, quick=True)
+
+
+class TestQaReport:
+    def test_pass_fail_aggregation(self):
+        report = QaReport(
+            checks=[
+                QaCheck("a", "x", True),
+                QaCheck("a", "y", False, "boom"),
+                QaCheck("b", "z", True),
+            ]
+        )
+        assert not report.passed
+        assert report.n_failed == 1
+        assert [c.name for c in report.section("a")] == ["x", "y"]
+
+    def test_kpis_flatten_checks(self):
+        report = QaReport(
+            checks=[QaCheck("oracle", "ber", True, measured=1.5e-3)]
+        )
+        kpis = report.kpis()
+        assert kpis["qa.passed"] == 1.0
+        assert kpis["qa.checks_total"] == 1.0
+        assert kpis["qa.oracle.ber.pass"] == 1.0
+        assert kpis["qa.oracle.ber.measured"] == pytest.approx(1.5e-3)
+
+    def test_table_renders(self):
+        report = QaReport(checks=[QaCheck("a", "x", True, "fine")])
+        table = report.as_table()
+        assert "PASS" in table and "fine" in table
+
+
+class TestRunQaQuick:
+    def test_everything_passes(self, quick_report):
+        failed = [
+            f"{c.section}.{c.name}: {c.detail}"
+            for c in quick_report.checks
+            if not c.passed
+        ]
+        assert not failed, failed
+
+    def test_all_three_sections_present(self, quick_report):
+        sections = {c.section for c in quick_report.checks}
+        assert sections == {"conformance", "oracle", "fuzz"}
+
+    def test_check_census(self, quick_report):
+        # 18 conformance + 9 oracle + 4 fuzz; a silently dropped check
+        # would weaken the gate without failing anything.
+        assert len(quick_report.section("conformance")) == 18
+        assert len(quick_report.section("oracle")) == 9
+        assert len(quick_report.section("fuzz")) == 4
+
+    def test_persists_as_qa_run(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        report = run_qa(seed=0, quick=True, store=store)
+        assert report.passed
+        runs = store.list_runs()
+        assert len(runs) == 1
+        assert runs[0].kind == "qa"
+        assert runs[0].run_id.startswith("qa-")
+        loaded = store.load_run(runs[0].run_id)
+        assert loaded.kpis["qa.passed"] == 1.0
+        assert loaded.kpis["qa.checks_failed"] == 0.0
+        assert "qa_checks" in loaded.tables
+        assert loaded.integrity_ok
+
+    def test_deterministic_payload(self, tmp_path):
+        # The run id also hashes ambient-session metrics, so compare the
+        # QA payload itself: same seed, same checks, same KPI values.
+        a = RunStore(tmp_path / "a")
+        b = RunStore(tmp_path / "b")
+        run_qa(seed=0, quick=True, store=a)
+        run_qa(seed=0, quick=True, store=b)
+        ra = a.load_run(a.list_runs()[0].run_id)
+        rb = b.load_run(b.list_runs()[0].run_id)
+        assert ra.kpis == rb.kpis
+        assert ra.tables == rb.tables
+
+
+class TestQaCli:
+    def test_qa_quick_exit_zero(self, capsys):
+        code = main(["qa", "--quick"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PASS" in out
+        assert "conformance" in out
+
+    def test_qa_store_persists_and_self_diffs(self, tmp_path, capsys):
+        store = tmp_path / "runs"
+        code = main(["qa", "--quick", "--store", str(store)])
+        err = capsys.readouterr().err
+        assert code == 0
+        assert "run stored: qa-" in err
+        code = main(["runs", "diff", "latest", "latest", "--store", str(store)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 over tolerance" in out
