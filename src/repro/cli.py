@@ -29,6 +29,17 @@ derivation guarantees results bit-identical to a serial run.
 ``--memoize`` (with ``--store``) reuses stored sweep-point results
 whose exact measurement setup was already run.
 
+Resilience: ``--retries N`` re-runs a failed sweep point / packet chunk
+/ campaign check up to N times (same payload each attempt, so a retried
+run matches a clean one exactly), ``--task-timeout S`` bounds each task,
+and ``--resume`` (with ``--store``) checkpoints completed sweep points
+and campaign checks incrementally so an interrupted run picks up where
+it died — bit-identical to an uninterrupted run, which ``repro runs
+diff`` can verify.  ``--inject-faults SPEC`` deterministically injects
+failures (``[stage/]action:task[@attempt][=delay_s]``, e.g.
+``sweep/fail:1@0`` or ``sweep/abort:3``) to exercise those paths; an
+injected abort exits with code 70, an unrecovered task failure with 71.
+
 Run store: ``--store DIR`` persists the whole run — manifest, metrics,
 trace, result tables, BER curves, KPIs — as a content-addressed run
 directory under DIR (default ``runs/``).  Stored runs are consumed by::
@@ -339,6 +350,7 @@ def _cmd_runs_diff(args) -> int:
         timing_rel_tol=args.timing_tol,
         ber_shift_tol_db=args.ber_tol_db,
         compare_timing=not args.no_timing,
+        compare_metrics=not args.no_metrics,
     )
     verdict = compare_runs(baseline, candidate, config)
     headers, rows = verdict.rows(only_interesting=True)
@@ -409,7 +421,8 @@ def _cmd_qa(args) -> int:
     from repro.qa import run_qa
 
     report = run_qa(
-        seed=args.seed, jobs=args.jobs, quick=args.quick
+        seed=args.seed, jobs=args.jobs, quick=args.quick,
+        faults=args.faults,
     )
     print(report.as_table())
     n = len(report.checks)
@@ -448,6 +461,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --store: skip sweep points whose exact measurement "
              "setup already has a stored result, and store fresh points "
              "for future runs",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-run a failed sweep point / packet chunk / campaign "
+             "check up to N times before giving up (default 0); retries "
+             "replay the same seeds, so a retried run is bit-identical "
+             "to a clean one",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-task wall-clock budget in seconds; a task that "
+             "exceeds it fails (and is retried under --retries)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --store: checkpoint completed sweep points and "
+             "campaign checks incrementally, and resume an interrupted "
+             "run from its checkpoints — bit-identical to an "
+             "uninterrupted run",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        metavar="SPEC",
+        default=None,
+        help="deterministically inject failures for testing the error "
+             "paths: comma-separated [stage/]action:task[@attempt]"
+             "[=delay_s] with action fail|kill|delay|abort, e.g. "
+             "'sweep/fail:1@0,sweep/abort:3'",
     )
     parser.add_argument(
         "--trace",
@@ -546,6 +594,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="reduced sample sizes (CI smoke; statistical bounds widen "
              "accordingly)",
     )
+    p.add_argument(
+        "--faults",
+        action="store_true",
+        help="additionally exercise the resilience paths: injected task "
+             "failures with retries, a killed worker with pool "
+             "fallback, timeouts, and interrupt/resume determinism",
+    )
     p.set_defaults(func=_cmd_qa)
 
     p = sub.add_parser("runs", help="inspect the persistent run store")
@@ -581,6 +636,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="allowed one-sided wall-clock growth (0.5 = +50%%)")
     q.add_argument("--no-timing", action="store_true",
                    help="skip wall-clock comparisons entirely")
+    q.add_argument("--no-metrics", action="store_true",
+                   help="skip operational-metric comparisons (KPIs and "
+                        "curves still gate); use when comparing a "
+                        "resumed run, whose cached points skip "
+                        "simulation-side counters")
     q.set_defaults(func=_cmd_runs_diff, consumes_store=True)
 
     q = runs_sub.add_parser(
@@ -682,19 +742,50 @@ def main(argv: Optional[List[str]] = None) -> int:
         return args.func(args)
     previous_jobs = None
     previous_memoize = None
+    previous_retries = None
+    previous_timeout = None
+    previous_resume = None
+    previous_plan = None
+    installed_plan = False
     if args.jobs is not None:
         previous_jobs = perf.set_default_jobs(args.jobs)
     if args.memoize:
         previous_memoize = perf.set_default_memoize(True)
+    if args.retries is not None:
+        previous_retries = perf.set_default_retries(args.retries)
+    if args.task_timeout is not None:
+        previous_timeout = perf.set_default_task_timeout(args.task_timeout)
+    if args.resume:
+        previous_resume = perf.set_default_resume(True)
+    if args.inject_faults:
+        previous_plan = perf.set_fault_plan(
+            perf.parse_fault_spec(args.inject_faults)
+        )
+        installed_plan = True
     try:
         if args.trace or args.metrics or args.store:
             return _run_observed(args, argv)
         return args.func(args)
+    except perf.InjectedFault as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return 70
+    except perf.TaskFailedError as exc:
+        print(exc.error.traceback, file=sys.stderr, end="")
+        print(f"task failed after retries: {exc}", file=sys.stderr)
+        return 71
     finally:
         if previous_jobs is not None:
             perf.set_default_jobs(previous_jobs)
         if previous_memoize is not None:
             perf.set_default_memoize(previous_memoize)
+        if previous_retries is not None:
+            perf.set_default_retries(previous_retries)
+        if previous_timeout is not None:
+            perf.set_default_task_timeout(previous_timeout)
+        if previous_resume is not None:
+            perf.set_default_resume(previous_resume)
+        if installed_plan:
+            perf.set_fault_plan(previous_plan)
 
 
 if __name__ == "__main__":

@@ -19,7 +19,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro import obs
+from repro import obs, perf
 from repro.core.reporting import render_table
 from repro.obs.progress import ProgressEvent
 from repro.rf.frontend import FrontendConfig
@@ -63,6 +63,67 @@ class CampaignReport:
             for r in self.results
         ]
         return render_table(["check", "verdict", "time", "detail"], rows)
+
+
+def _check_memo_key(frontend, depth, seed, method_name) -> str:
+    """Content hash identifying one check's full verification setup.
+
+    Everything that determines the verdict enters the hash — design
+    under test, depth (packet counts), seed streams, check identity and
+    the seeding scheme — so a checkpoint is only ever replayed into a
+    bit-identical rerun.
+    """
+    return obs.config_key({
+        "frontend": frontend,
+        "depth": depth,
+        "seed": perf.seed_fingerprint(seed),
+        "check": method_name,
+        "seeding": obs.SEEDING_SCHEME,
+    })
+
+
+def _load_memoized_check(store, key: str) -> Optional[CheckResult]:
+    """Reconstruct a checkpointed check result, or None when absent."""
+    entry = store.find_by_name("check", f"ck-{key[:12]}")
+    if entry is None:
+        return None
+    try:
+        record = store.load_run(entry.run_id)
+    except (KeyError, OSError, ValueError):
+        return None
+    # The store name truncates the key; verify the stored full key so a
+    # prefix collision misses instead of replaying the wrong verdict.
+    stored = record.manifest.get("config")
+    if not isinstance(stored, dict) or stored.get("memo_key") != key:
+        return None
+    kpis = record.kpis
+    if "passed" not in kpis or "duration_s" not in kpis:
+        return None
+    return CheckResult(
+        name=str(stored.get("check_name", "")),
+        passed=bool(kpis["passed"]),
+        detail=str(stored.get("detail", "")),
+        duration_s=float(kpis["duration_s"]),
+    )
+
+
+def _store_memoized_check(store, key: str, result: CheckResult) -> None:
+    """Checkpoint one completed check under its content key."""
+    obs.contribute(
+        store,
+        kind="check",
+        name=f"ck-{key[:12]}",
+        config={
+            "memo_key": key,
+            "check_name": result.name,
+            "detail": result.detail,
+        },
+        kpis={
+            "passed": 1.0 if result.passed else 0.0,
+            "duration_s": result.duration_s,
+        },
+        ambient=False,
+    )
 
 
 def _campaign_check_task(payload):
@@ -300,6 +361,13 @@ class VerificationCampaign:
         "check_cosim_consistency",
     )
 
+    def _checkpoint_store(self, store):
+        """The store backing check checkpoints, or None when unavailable."""
+        if store is not None:
+            return store
+        writer = obs.current_writer()
+        return writer.store if writer is not None else None
+
     def run(
         self,
         only: Optional[List[str]] = None,
@@ -307,6 +375,9 @@ class VerificationCampaign:
         store=None,
         run_name: str = "campaign",
         jobs: Optional[int] = None,
+        resume: Optional[bool] = None,
+        retries: Optional[int] = None,
+        task_timeout: Optional[float] = None,
     ) -> CampaignReport:
         """Execute the campaign (or a named subset of checks).
 
@@ -327,45 +398,92 @@ class VerificationCampaign:
             run_name: store name for the campaign run.
             jobs: worker processes for whole checks; None defers to the
                 ambient ``--jobs`` default, 1 runs in-process.
+            resume: checkpoint each completed check into the store
+                under its content key (design, depth, seed, check,
+                seeding scheme) and replay any check already
+                checkpointed — so a campaign that crashed mid-run picks
+                up where it died and signs off bit-identically to an
+                uninterrupted run.  Pass it from the *start* of a long
+                campaign; on a fresh store it simply checkpoints.  None
+                defers to the ambient ``--resume`` default.
+            retries: per-check retry budget on task failure; None
+                defers to the ambient ``--retries`` default.
+            task_timeout: per-check wall-clock budget in seconds; None
+                defers to the ambient ``--task-timeout`` default.
         """
-        from repro import perf
-
         emit = obs.as_listener(progress)
+        if resume is None:
+            resume = perf.get_default_resume()
+        ckpt_store = self._checkpoint_store(store) if resume else None
         selected = [
             name for name in self.CHECKS
             if only is None or name.removeprefix("check_") in only
         ]
-        report = CampaignReport()
+        results: List[Optional[CheckResult]] = [None] * len(selected)
+        pending = []  # (check index, method name, checkpoint key)
+        done = 0
 
-        def consume(i, result):
-            report.results.append(result)
+        def announce(i, result, cached=False):
+            nonlocal done
+            done += 1
+            suffix = " (resumed)" if cached else ""
             emit(ProgressEvent(
                 stage="campaign",
-                current=i + 1,
+                current=done,
                 total=len(selected),
                 message=(
                     f"{result.name}: "
                     f"{'PASS' if result.passed else 'FAIL'} "
-                    f"({result.duration_s:.1f}s) {result.detail}"
+                    f"({result.duration_s:.1f}s) {result.detail}{suffix}"
                 ),
                 data={
                     "check": selected[i].removeprefix("check_"),
                     "passed": result.passed,
                     "duration_s": result.duration_s,
+                    "resumed": cached,
                 },
             ))
 
         with obs.span("campaign", depth=self.depth, checks=len(selected)):
+            for i, method_name in enumerate(selected):
+                key = None
+                if ckpt_store is not None:
+                    key = _check_memo_key(
+                        self.frontend, self.depth, self.seed, method_name
+                    )
+                    cached = _load_memoized_check(ckpt_store, key)
+                    if cached is not None:
+                        results[i] = cached
+                        announce(i, cached, cached=True)
+                        continue
+                pending.append((i, method_name, key))
+
+            def consume(task_index, result):
+                i, method_name, key = pending[task_index]
+                results[i] = result
+                if (
+                    ckpt_store is not None
+                    and key is not None
+                    and not perf.in_worker()
+                ):
+                    _store_memoized_check(ckpt_store, key, result)
+                announce(i, result)
+
             perf.parallel_map(
                 _campaign_check_task,
                 [
                     (self.frontend, self.depth, self.seed, method_name)
-                    for method_name in selected
+                    for _, method_name, _ in pending
                 ],
                 jobs=jobs,
                 stage="campaign",
                 on_result=consume,
+                retries=retries,
+                task_timeout=task_timeout,
             )
+        report = CampaignReport(
+            results=[r for r in results if r is not None]
+        )
         kpis = {"passed": 1.0 if report.passed else 0.0}
         for method_name, result in zip(selected, report.results):
             short = method_name.removeprefix("check_")

@@ -72,6 +72,12 @@ def _load_memoized_point(store, key: str) -> Optional[BerMeasurement]:
         record = store.load_run(entry.run_id)
     except (KeyError, OSError, ValueError):
         return None
+    # The store name truncates the key to 12 hex chars; a prefix
+    # collision must miss, not silently serve another point's
+    # measurement, so verify the stored full key.
+    stored = record.manifest.get("config")
+    if not isinstance(stored, dict) or stored.get("memo_key") != key:
+        return None
     kpis = record.kpis
     if any(name not in kpis for name in _MEMO_KPIS):
         return None
@@ -227,10 +233,19 @@ class ParameterSweep:
             )
         return replace(cfg, **{self.parameter: value})
 
-    def _memo_store(self, store, memoize: Optional[bool]):
-        """The store backing point memoization, or None when disabled."""
+    def _memo_store(self, store, memoize: Optional[bool],
+                    resume: bool = False):
+        """The store backing point memoization, or None when disabled.
+
+        Resume *is* memoization with the dial forced on: completed
+        points already persist incrementally under their content keys,
+        so resuming an interrupted sweep just means consulting that
+        cache again — the surviving prefix loads, the tail runs live.
+        """
         if memoize is None:
             memoize = perf.get_default_memoize()
+        if resume:
+            memoize = True
         if not memoize:
             return None
         if store is not None:
@@ -245,6 +260,9 @@ class ParameterSweep:
         run_name: Optional[str] = None,
         jobs: Optional[int] = None,
         memoize: Optional[bool] = None,
+        resume: Optional[bool] = None,
+        retries: Optional[int] = None,
+        task_timeout: Optional[float] = None,
     ) -> SweepResult:
         """Execute the sweep and return per-point measurements.
 
@@ -271,9 +289,23 @@ class ParameterSweep:
                 a run already in the store, and persist fresh points for
                 the next run; None defers to the ambient ``--memoize``
                 default.  Needs a store (explicit or ambient).
+            resume: pick up an interrupted sweep — completed points are
+                checkpointed incrementally under their content keys, so
+                a resumed run loads the surviving prefix from the store
+                and simulates only the missing tail, bit-identical to
+                an uninterrupted run (``repro runs diff`` is the CI
+                oracle for this).  Forces memoization on; None defers
+                to the ambient ``--resume`` default.
+            retries: per-point retry budget on task failure (same
+                payload each attempt, so a retried sweep matches a
+                clean one exactly); None defers to ``--retries``.
+            task_timeout: per-point wall-clock budget in seconds; None
+                defers to ``--task-timeout``.
         """
         emit = obs.as_listener(progress)
-        memo_store = self._memo_store(store, memoize)
+        if resume is None:
+            resume = perf.get_default_resume()
+        memo_store = self._memo_store(store, memoize, resume=resume)
         children = perf.spawn(self.seed, len(self.values))
         measurements: List[Optional[BerMeasurement]] = (
             [None] * len(self.values)
@@ -346,6 +378,8 @@ class ParameterSweep:
                 jobs=jobs,
                 stage="sweep",
                 on_result=consume,
+                retries=retries,
+                task_timeout=task_timeout,
             )
         result = SweepResult(
             self.parameter,

@@ -248,6 +248,8 @@ class WlanTestbench:
         run_name: str = "ber",
         jobs: Optional[int] = None,
         chunk_size: int = 1,
+        retries: Optional[int] = None,
+        task_timeout: Optional[float] = None,
     ) -> BerMeasurement:
         """Run ``n_packets`` packets and accumulate the BER.
 
@@ -279,6 +281,12 @@ class WlanTestbench:
                 the ambient ``--jobs`` default, 1 runs in-process.
             chunk_size: packets per dispatched chunk (early-stop
                 granularity).
+            retries: per-chunk retry budget on task failure (each
+                attempt replays the chunk's own seed children, so a
+                retried measurement is bit-identical to a clean one);
+                None defers to the ambient ``--retries`` default.
+            task_timeout: per-chunk wall-clock budget in seconds; None
+                defers to the ambient ``--task-timeout`` default.
         """
         from repro import perf
 
@@ -317,6 +325,8 @@ class WlanTestbench:
             stage="ber",
             on_result=accumulate,
             stop=crossed,
+            retries=retries,
+            task_timeout=task_timeout,
         )
         measurement = counter.result()
         registry = obs.get_registry()

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 __all__ = [
+    "RETRY_SCHEME",
     "RunManifest",
     "SEEDING_SCHEME",
     "build_manifest",
@@ -30,6 +31,13 @@ __all__ = [
 #: run documents which derivation produced its random streams; bump it
 #: whenever the derivation changes in a result-affecting way.
 SEEDING_SCHEME = "seedseq-spawn-v2"
+
+#: Identifier of the retry-attempt seed derivation (see
+#: :func:`repro.perf.seeding.attempt_seed`).  Separate from
+#: :data:`SEEDING_SCHEME` because attempt streams only exist on retried
+#: tasks and must not perturb the base derivation (or the memoization
+#: keys hashed from it).
+RETRY_SCHEME = "retry-spawn-v1"
 
 
 def source_revision() -> Optional[str]:
@@ -97,6 +105,8 @@ class RunManifest:
         platform: interpreter platform string.
         seeding: seed-derivation scheme in effect (see
             :mod:`repro.perf.seeding`).
+        retry_seeding: retry-attempt seed derivation in effect (see
+            :func:`repro.perf.seeding.attempt_seed`).
     """
 
     run_id: str
@@ -108,6 +118,7 @@ class RunManifest:
     versions: Dict[str, str] = field(default_factory=dict)
     platform: str = ""
     seeding: str = SEEDING_SCHEME
+    retry_seeding: str = RETRY_SCHEME
 
     def as_dict(self) -> Dict[str, Any]:
         d = dataclasses.asdict(self)
@@ -149,4 +160,5 @@ def build_manifest(
         versions=_package_versions(),
         platform=platform.platform(),
         seeding=SEEDING_SCHEME,
+        retry_seeding=RETRY_SCHEME,
     )

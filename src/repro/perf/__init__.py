@@ -23,12 +23,35 @@ Two primitives carry all of it:
     serial-equivalent early stop, worker telemetry re-absorption, and a
     ``parallel_efficiency`` gauge.
 
+Two more make the flow survive its own failures:
+
+:mod:`repro.perf.resilience`
+    Structured :class:`TaskError` capture, deterministic retries with
+    per-attempt seeds (:func:`attempt_seed`), per-task timeouts, and
+    graceful degradation to in-process execution on a broken pool.
+
+:mod:`repro.perf.faults`
+    Deterministic fault injection (fail/kill/delay/abort at a
+    stage/task/attempt coordinate) so the error paths above are
+    themselves tested and CI-gated (``repro qa --faults``).
+
 The CLI's global ``--jobs N`` flag installs an ambient default
 (:func:`set_default_jobs`); library calls with ``jobs=None`` pick it
 up, and nested parallel regions automatically degrade to serial inside
-workers, so the outermost fan-out wins.
+workers, so the outermost fan-out wins.  ``--retries``,
+``--task-timeout`` and ``--resume`` install ambient resilience defaults
+the same way.
 """
 
+from repro.perf.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    fault_plan,
+    get_fault_plan,
+    parse_fault_spec,
+    set_fault_plan,
+)
 from repro.perf.pool import (
     ParallelResult,
     cpu_count,
@@ -40,10 +63,26 @@ from repro.perf.pool import (
     set_default_jobs,
     set_default_memoize,
 )
+from repro.perf.resilience import (
+    TaskError,
+    TaskFailedError,
+    TaskTimeoutError,
+    get_default_resume,
+    get_default_retries,
+    get_default_task_timeout,
+    resolve_retries,
+    resolve_task_timeout,
+    set_default_resume,
+    set_default_retries,
+    set_default_task_timeout,
+    task_timeout_guard,
+)
 from repro.perf.seeding import (
+    RETRY_SCHEME,
     SEEDING_SCHEME,
     SeedLike,
     as_seed_sequence,
+    attempt_seed,
     seed_entropy,
     seed_fingerprint,
     spawn,
@@ -51,20 +90,41 @@ from repro.perf.seeding import (
 )
 
 __all__ = [
+    "RETRY_SCHEME",
     "SEEDING_SCHEME",
     "SeedLike",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "ParallelResult",
+    "TaskError",
+    "TaskFailedError",
+    "TaskTimeoutError",
     "as_seed_sequence",
+    "attempt_seed",
     "cpu_count",
+    "fault_plan",
     "get_default_jobs",
     "get_default_memoize",
+    "get_default_resume",
+    "get_default_retries",
+    "get_default_task_timeout",
+    "get_fault_plan",
     "in_worker",
     "parallel_map",
+    "parse_fault_spec",
     "resolve_jobs",
+    "resolve_retries",
+    "resolve_task_timeout",
     "seed_entropy",
     "seed_fingerprint",
     "set_default_jobs",
     "set_default_memoize",
+    "set_default_resume",
+    "set_default_retries",
+    "set_default_task_timeout",
+    "set_fault_plan",
     "spawn",
     "stream",
+    "task_timeout_guard",
 ]

@@ -13,16 +13,36 @@ analyses.  Its contract:
   task order; once it fires, no new tasks are dispatched, in-flight
   tasks drain, and their results are discarded — the consumed prefix is
   exactly what a serial run would have consumed.
+* **Fault-tolerant.**  A task exception does not propagate raw out of
+  ``future.result()``: the attempt is captured as a
+  :class:`repro.perf.resilience.TaskError` (exception type, message,
+  traceback, task index, worker pid), retried up to ``retries`` times
+  with the *same* payload (so a retry that succeeds is bit-identical to
+  a clean run), and only then surfaced — as a raised
+  :class:`~repro.perf.resilience.TaskFailedError` (``on_error="raise"``)
+  or as the task's result (``on_error="capture"``).  A per-task
+  ``task_timeout`` turns runaway tasks into ordinary task errors, a
+  dying worker (``BrokenProcessPool``) degrades the region to
+  in-process serial execution of the remaining tasks, and on *every*
+  exit path — clean, stopped, failed, aborted — in-flight futures are
+  cancelled or drained and the region's metrics and ``parallel:{stage}``
+  span are still emitted.
 * **Observable.**  Each task becomes a span on the active tracer, the
   workers' own spans and metrics are re-absorbed into the parent
   tracer/registry (in task order, so merged metrics are deterministic),
-  and every region — pooled or the ``jobs=1`` in-process fast path —
-  reports a ``parallel_efficiency`` gauge (``busy_time / (jobs *
-  wall_time)``, 1.0 in-process) and a ``parallel_tasks`` counter, so a
-  ``repro profile`` comparison across job counts lines up metric for
-  metric.  Only true pool regions wrap themselves in a
-  ``parallel:{stage}`` span with per-task child spans; the in-process
-  path records the task function's own spans inline instead.
+  and every region — pooled or the in-process fast path — reports a
+  ``parallel_efficiency`` gauge (``busy_time / (jobs * wall_time)``,
+  1.0 in-process) labelled with both the *requested* and the
+  *effective* job count, a ``parallel_tasks`` counter, and the
+  resilience counters ``parallel_task_retries`` /
+  ``parallel_task_failures`` / ``parallel_tasks_discarded`` /
+  ``parallel_pool_broken``, so a ``repro profile`` comparison across
+  job counts lines up metric for metric.  Only true pool regions wrap
+  themselves in a ``parallel:{stage}`` span with per-task child spans;
+  the in-process path records the task function's own spans inline
+  instead.  A failed attempt's partial worker telemetry is *discarded*
+  (only its wall-clock is accounted), so the merged metrics of a
+  retried-then-clean run match a fault-free run exactly.
 
 Nested parallelism is suppressed: a worker process resolves any
 ``jobs`` request to 1, so the outermost parallel layer wins and inner
@@ -34,9 +54,13 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.perf import faults as _faults
+from repro.perf import resilience as _resilience
+from repro.perf.resilience import TaskError, TaskFailedError
 
 __all__ = [
     "ParallelResult",
@@ -133,19 +157,39 @@ class ParallelResult(List[Any]):
     """The consumed results (a list), plus execution telemetry.
 
     Attributes:
-        jobs: worker count the region ran with (1 = in-process).
+        jobs: worker count the region actually ran with (1 =
+            in-process; a single-task region always runs in-process).
+        jobs_requested: worker count the caller's configuration asked
+            for, before the single-task rewrite — ``repro profile``
+            comparisons report both so the region's label always
+            matches the requested configuration.
         wall_s: wall-clock of the whole region.
-        busy_s: summed task execution time across workers.
+        busy_s: summed task execution time across workers, including
+            failed attempts and drained-but-discarded tasks.
         efficiency: ``busy_s / (jobs * wall_s)`` — 1.0 is perfect
             scaling, ``1/jobs`` means the pool bought nothing.
         stopped: whether the ``stop`` predicate ended the region early.
+        retries: task attempts re-run after a captured failure.
+        failures: :class:`TaskError` of every task that exhausted its
+            retries (at most one when ``on_error="raise"``).
+        discarded: in-flight tasks that ran to completion after an
+            early stop / failure but whose results were discarded.
+        pool_broken: whether a dying worker broke the process pool and
+            the region fell back to in-process serial execution.
     """
 
-    jobs: int = 1
-    wall_s: float = 0.0
-    busy_s: float = 0.0
-    efficiency: float = 1.0
-    stopped: bool = False
+    def __init__(self, *args):
+        super().__init__(*args)
+        self.jobs: int = 1
+        self.jobs_requested: int = 1
+        self.wall_s: float = 0.0
+        self.busy_s: float = 0.0
+        self.efficiency: float = 1.0
+        self.stopped: bool = False
+        self.retries: int = 0
+        self.failures: List[TaskError] = []
+        self.discarded: int = 0
+        self.pool_broken: bool = False
 
 
 def _init_worker() -> None:
@@ -155,20 +199,31 @@ def _init_worker() -> None:
 
 
 def _worker_call(payload):
-    """Run one task in a worker under fresh, capturable instrumentation.
+    """Run one task attempt in a worker under capturable instrumentation.
 
     Returns ``(result, duration_s, pid, metrics_snapshot, span_dicts)``;
-    the parent merges the snapshots back in task order so the combined
-    telemetry is deterministic and complete.
+    ``result`` is a :class:`TaskError` when the attempt raised (fault
+    injection, task exception, or timeout), in which case the metrics
+    snapshot and spans are from the *failed* attempt and the parent
+    discards them to keep merged telemetry identical to a clean run.
     """
-    fn, task, want_spans = payload
+    fn, task, index, attempt, stage, want_spans, timeout_s, plan = payload
     registry = obs.MetricsRegistry()
     tracer = obs.Tracer() if want_spans else None
     previous_registry = obs.set_registry(registry)
     previous_tracer = obs.set_tracer(tracer) if want_spans else None
     start = time.perf_counter()
     try:
-        result = fn(task)
+        try:
+            # Faults run inside the guard so an injected delay is
+            # subject to the same timeout as real task work.
+            with _resilience.task_timeout_guard(timeout_s):
+                _faults.apply_task_faults(
+                    plan, stage, index, attempt, _in_worker
+                )
+                result = fn(task)
+        except Exception as exc:  # structured capture, never raw
+            result = _resilience.task_error_from(exc, index, attempt)
     finally:
         obs.set_registry(previous_registry)
         if want_spans:
@@ -180,15 +235,136 @@ def _worker_call(payload):
     return result, duration, os.getpid(), registry.snapshot(), spans
 
 
+def _run_attempts_inprocess(
+    fn: Callable[[Any], Any],
+    task: Any,
+    index: int,
+    stage: str,
+    retries: int,
+    timeout_s: Optional[float],
+    reseed: Optional[Callable[[Any, int], Any]],
+    plan,
+    out: "ParallelResult",
+    first_attempt: int = 0,
+) -> Any:
+    """Run one task in-process with the full retry/timeout/fault stack.
+
+    Returns the task's result, or the final attempt's
+    :class:`TaskError` once retries are exhausted.  Used by the serial
+    fast path and by the broken-pool fallback.
+    """
+    error: Optional[TaskError] = None
+    for attempt in range(first_attempt, retries + 1):
+        attempt_task = (
+            task if (reseed is None or attempt == 0) else reseed(task, attempt)
+        )
+        t0 = time.perf_counter()
+        try:
+            with _resilience.task_timeout_guard(timeout_s):
+                _faults.apply_task_faults(
+                    plan, stage, index, attempt, _in_worker
+                )
+                result = fn(attempt_task)
+            out.busy_s += time.perf_counter() - t0
+            return result
+        except Exception as exc:  # structured capture, never raw
+            out.busy_s += time.perf_counter() - t0
+            error = _resilience.task_error_from(exc, index, attempt)
+            _record_task_failure(error, stage)
+            if attempt < retries:
+                out.retries += 1
+    return error
+
+
+def _record_task_failure(error: TaskError, stage: str) -> None:
+    """Emit the failure's telemetry: a counter tick and a trace event."""
+    obs.get_registry().counter(
+        "parallel_task_errors", "task attempts that raised"
+    ).inc(stage=stage, exc_type=error.exc_type)
+    obs.get_tracer().event(
+        "task_error",
+        stage=stage,
+        index=error.index,
+        attempt=error.attempt,
+        exc_type=error.exc_type,
+        message=error.message,
+        worker_pid=error.worker_pid,
+    )
+
+
 def _emit_region_metrics(out: "ParallelResult", stage: str) -> None:
-    """Report a region's scaling telemetry (pooled and serial alike)."""
-    obs.get_registry().gauge(
+    """Report a region's scaling + resilience telemetry (every path)."""
+    registry = obs.get_registry()
+    registry.gauge(
         "parallel_efficiency",
         "busy / (jobs * wall) of a parallel region",
-    ).set(out.efficiency, stage=stage, jobs=out.jobs)
-    obs.get_registry().counter(
+    ).set(out.efficiency, stage=stage, jobs=out.jobs,
+          requested=out.jobs_requested)
+    registry.counter(
         "parallel_tasks", "tasks executed by parallel regions"
     ).inc(len(out), stage=stage)
+    registry.counter(
+        "parallel_task_retries", "task attempts re-run after a failure"
+    ).inc(out.retries, stage=stage)
+    registry.counter(
+        "parallel_task_failures", "tasks that exhausted their retries"
+    ).inc(len(out.failures), stage=stage)
+    registry.counter(
+        "parallel_tasks_discarded",
+        "in-flight tasks drained after an early stop, their work unused",
+    ).inc(out.discarded, stage=stage)
+    if out.pool_broken:
+        registry.counter(
+            "parallel_pool_broken",
+            "regions that lost their pool and fell back to serial",
+        ).inc(stage=stage)
+
+
+def _drain_futures(
+    futures: Dict[int, Any], out: "ParallelResult"
+) -> None:
+    """Cancel pending futures and drain running ones on region exit.
+
+    ``Future.cancel`` only stops not-yet-started tasks; anything
+    already executing runs to completion inside the executor, so its
+    wall-clock is accounted into ``busy_s`` and counted as discarded
+    work — ``efficiency`` stays honest about what the pool really did.
+    """
+    for index in sorted(futures):
+        future = futures.pop(index)
+        if future.cancel():
+            continue
+        try:
+            result, duration, _pid, _metrics, _spans = future.result()
+        except Exception:  # broken pool / interpreter teardown
+            continue
+        out.busy_s += duration
+        out.discarded += 1
+
+
+def _finish_task(
+    out: "ParallelResult",
+    index: int,
+    result: Any,
+    on_result: Optional[Callable[[int, Any], None]],
+    stop: Optional[Callable[[int, Any], bool]],
+    on_error: str,
+) -> bool:
+    """Consume one final (post-retry) task result, in task order.
+
+    Returns True when the region should stop dispatching.
+    """
+    if isinstance(result, TaskError):
+        out.failures.append(result)
+        if on_error == "raise":
+            raise TaskFailedError(result)
+    out.append(result)
+    if on_result is not None:
+        on_result(index, result)
+    if stop is not None and stop(index, result):
+        out.stopped = True
+        return True
+    return False
 
 
 def _pool_context():
@@ -209,6 +385,10 @@ def parallel_map(
     stop: Optional[Callable[[int, Any], bool]] = None,
     on_result: Optional[Callable[[int, Any], None]] = None,
     window: Optional[int] = None,
+    retries: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    reseed: Optional[Callable[[Any, int], Any]] = None,
+    on_error: str = "raise",
 ) -> ParallelResult:
     """Apply ``fn`` to every task, in order, optionally across processes.
 
@@ -226,13 +406,37 @@ def parallel_map(
             each consumed result (progress reporting).
         window: max in-flight tasks beyond the consumed front (default
             ``2 * jobs``); bounds wasted work after an early stop.
+        retries: times a failed task is re-run before its error is
+            surfaced; None defers to the ambient ``--retries`` default
+            (0).  Retries re-run the *same* payload, so a retry that
+            succeeds is bit-identical to a clean run; callers that want
+            per-attempt entropy pass ``reseed``.
+        task_timeout: per-task wall-clock budget in seconds (a timeout
+            becomes an ordinary task error, retried like any other);
+            None defers to the ambient ``--task-timeout`` default.
+        reseed: ``reseed(task, attempt) -> task`` mapping a task to its
+            attempt-``k`` payload (attempt 0 always uses the original);
+            pair with :func:`repro.perf.seeding.attempt_seed` for
+            reproducible per-attempt streams.
+        on_error: ``"raise"`` (default) raises
+            :class:`~repro.perf.resilience.TaskFailedError` once a task
+            exhausts its retries — with in-flight work drained and
+            region telemetry still emitted; ``"capture"`` appends the
+            :class:`~repro.perf.resilience.TaskError` as the task's
+            result and keeps going.
 
     Returns:
         A :class:`ParallelResult` with the consumed results (a prefix
-        of ``tasks``'s results) and scaling telemetry.
+        of ``tasks``'s results) and scaling + resilience telemetry.
     """
+    if on_error not in ("raise", "capture"):
+        raise ValueError(f"unknown on_error mode {on_error!r}")
     jobs = resolve_jobs(jobs)
+    retries = _resilience.resolve_retries(retries)
+    task_timeout = _resilience.resolve_task_timeout(task_timeout)
+    plan = _faults.get_fault_plan()
     out = ParallelResult()
+    out.jobs_requested = jobs
     out.jobs = jobs
     tasks = list(tasks)
     tracer = obs.get_tracer()
@@ -240,71 +444,124 @@ def parallel_map(
 
     if jobs == 1 or len(tasks) <= 1:
         out.jobs = 1
-        for i, task in enumerate(tasks):
-            t0 = time.perf_counter()
-            result = fn(task)
-            out.busy_s += time.perf_counter() - t0
-            out.append(result)
-            if on_result is not None:
-                on_result(i, result)
-            if stop is not None and stop(i, result):
-                out.stopped = True
-                break
-        out.wall_s = time.perf_counter() - start
-        out.efficiency = 1.0
-        _emit_region_metrics(out, stage)
+        try:
+            for i, task in enumerate(tasks):
+                _faults.check_abort(plan, stage, i)
+                result = _run_attempts_inprocess(
+                    fn, task, i, stage, retries, task_timeout, reseed,
+                    plan, out,
+                )
+                if _finish_task(out, i, result, on_result, stop, on_error):
+                    break
+        finally:
+            out.wall_s = time.perf_counter() - start
+            out.efficiency = 1.0
+            _emit_region_metrics(out, stage)
         return out
 
     want_spans = bool(tracer.enabled)
     window = max(jobs, window if window is not None else 2 * jobs)
-    with obs.span(f"parallel:{stage}", jobs=jobs, tasks=len(tasks)):
-        with ProcessPoolExecutor(
-            max_workers=jobs,
-            mp_context=_pool_context(),
-            initializer=_init_worker,
-        ) as executor:
-            futures = {}
-            next_submit = 0
+    try:
+        with obs.span(f"parallel:{stage}", jobs=jobs, tasks=len(tasks)):
+            with ProcessPoolExecutor(
+                max_workers=jobs,
+                mp_context=_pool_context(),
+                initializer=_init_worker,
+            ) as executor:
+                futures: Dict[int, Any] = {}
+                next_submit = 0
 
-            def submit_up_to(limit):
-                nonlocal next_submit
-                while next_submit < min(limit, len(tasks)):
-                    futures[next_submit] = executor.submit(
-                        _worker_call, (fn, tasks[next_submit], want_spans)
+                def submit(index, attempt):
+                    attempt_task = (
+                        tasks[index]
+                        if (reseed is None or attempt == 0)
+                        else reseed(tasks[index], attempt)
                     )
-                    next_submit += 1
-
-            submit_up_to(window)
-            for i in range(len(tasks)):
-                if i not in futures:
-                    break
-                result, duration, pid, metrics, spans = futures.pop(
-                    i
-                ).result()
-                out.busy_s += duration
-                obs.get_registry().merge(metrics)
-                record = tracer.record_span(
-                    f"{stage}:task", duration,
-                    index=i, worker_pid=pid, jobs=jobs,
-                )
-                if spans:
-                    tracer.absorb(
-                        spans,
-                        parent_id=record.span_id if record else None,
+                    futures[index] = executor.submit(
+                        _worker_call,
+                        (fn, attempt_task, index, attempt, stage,
+                         want_spans, task_timeout, plan),
                     )
-                out.append(result)
-                if on_result is not None:
-                    on_result(i, result)
-                if stop is not None and stop(i, result):
-                    out.stopped = True
-                    for future in futures.values():
-                        future.cancel()
-                    break
-                submit_up_to(i + 1 + window)
 
-    out.wall_s = time.perf_counter() - start
-    out.efficiency = (
-        out.busy_s / (jobs * out.wall_s) if out.wall_s > 0 else 1.0
-    )
-    _emit_region_metrics(out, stage)
+                def submit_up_to(limit):
+                    nonlocal next_submit
+                    while next_submit < min(limit, len(tasks)):
+                        submit(next_submit, 0)
+                        next_submit += 1
+
+                i = 0
+                broken_at: Optional[int] = None
+                try:
+                    submit_up_to(window)
+                    while i < len(tasks):
+                        if i not in futures:
+                            break
+                        _faults.check_abort(plan, stage, i)
+                        (result, duration, pid, metrics,
+                         spans) = futures.pop(i).result()
+                        out.busy_s += duration
+                        failed = isinstance(result, TaskError)
+                        if not failed:
+                            # Failed attempts contribute wall-clock
+                            # only: their partial telemetry is dropped
+                            # so merged metrics match a clean run.
+                            obs.get_registry().merge(metrics)
+                        record = tracer.record_span(
+                            f"{stage}:task", duration,
+                            index=i, worker_pid=pid, jobs=jobs,
+                            **(
+                                {"error": result.exc_type,
+                                 "attempt": result.attempt}
+                                if failed else {}
+                            ),
+                        )
+                        if spans and not failed:
+                            tracer.absorb(
+                                spans,
+                                parent_id=(
+                                    record.span_id if record else None
+                                ),
+                            )
+                        if failed:
+                            _record_task_failure(result, stage)
+                            if result.attempt < retries:
+                                out.retries += 1
+                                submit(i, result.attempt + 1)
+                                continue
+                        if _finish_task(
+                            out, i, result, on_result, stop, on_error
+                        ):
+                            break
+                        i += 1
+                        submit_up_to(i + window)
+                except BrokenProcessPool:
+                    # Raised from .result() of the crashed task's
+                    # future *or* from a later submit; either way the
+                    # tasks from ``i`` on have not been consumed.
+                    broken_at = i
+                finally:
+                    _drain_futures(futures, out)
+                if broken_at is not None:
+                    # A worker died (SIGKILL, OOM...): the pool is
+                    # unusable, so degrade gracefully — finish the
+                    # remaining tasks in-process.  Seed derivation makes
+                    # the results identical to an unbroken run; attempt
+                    # numbering restarts for tasks the pool lost.
+                    out.pool_broken = True
+                    for i in range(broken_at, len(tasks)):
+                        _faults.check_abort(plan, stage, i)
+                        result = _run_attempts_inprocess(
+                            fn, tasks[i], i, stage, retries, task_timeout,
+                            reseed, plan, out,
+                        )
+                        if _finish_task(
+                            out, i, result, on_result, stop, on_error
+                        ):
+                            break
+    finally:
+        out.wall_s = time.perf_counter() - start
+        out.efficiency = (
+            out.busy_s / (out.jobs * out.wall_s) if out.wall_s > 0 else 1.0
+        )
+        _emit_region_metrics(out, stage)
     return out

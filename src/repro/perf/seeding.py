@@ -15,7 +15,9 @@ or across 32 — so parallel output is bit-identical to serial, and the
 ``repro runs diff`` CI gate can enforce it.
 
 The scheme identifier (:data:`SEEDING_SCHEME`) is recorded in every run
-manifest so a stored run documents which derivation produced it.
+manifest so a stored run documents which derivation produced it; retried
+task attempts derive their streams via :func:`attempt_seed` under the
+separate :data:`RETRY_SCHEME` identifier.
 """
 
 from __future__ import annotations
@@ -24,17 +26,24 @@ from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.obs.manifest import SEEDING_SCHEME
+from repro.obs.manifest import RETRY_SCHEME, SEEDING_SCHEME
 
 __all__ = [
+    "RETRY_SCHEME",
     "SEEDING_SCHEME",
     "SeedLike",
     "as_seed_sequence",
+    "attempt_seed",
     "seed_entropy",
     "seed_fingerprint",
     "spawn",
     "stream",
 ]
+
+#: Spawn-key branch reserved for retry attempts.  Large enough that no
+#: in-band coordinate (packet index, sweep point...) ever collides with
+#: it, so attempt streams are disjoint from every first-attempt stream.
+RETRY_SPAWN_KEY = 0x52455452  # ASCII "RETR"
 
 #: Anything accepted where a seed is expected.
 SeedLike = Union[int, np.random.SeedSequence]
@@ -71,6 +80,30 @@ def spawn(seed: SeedLike, n: int) -> List[np.random.SeedSequence]:
 def stream(seed: SeedLike) -> np.random.Generator:
     """A fresh generator for one unit of work."""
     return np.random.default_rng(as_seed_sequence(seed))
+
+
+def attempt_seed(seed: SeedLike, attempt: int) -> np.random.SeedSequence:
+    """The seed of retry attempt ``attempt`` of a unit of work.
+
+    Attempt 0 *is* the unit's own seed — so by default a retried task
+    replays the identical stream and a retry-then-succeed run is
+    bit-identical to a clean one.  Attempts ``k > 0`` branch under the
+    reserved :data:`RETRY_SPAWN_KEY`, giving callers that *want* fresh
+    entropy per attempt (e.g. probing a flaky numerical corner) a
+    reproducible stream: attempt ``k`` of task ``i`` is the same stream
+    on every machine, every run (:data:`RETRY_SCHEME`, recorded in the
+    manifest).
+    """
+    attempt = int(attempt)
+    if attempt < 0:
+        raise ValueError(f"attempt must be >= 0, got {attempt}")
+    root = as_seed_sequence(seed)
+    if attempt == 0:
+        return root
+    return np.random.SeedSequence(
+        entropy=root.entropy,
+        spawn_key=root.spawn_key + (RETRY_SPAWN_KEY, attempt),
+    )
 
 
 def seed_fingerprint(seed: SeedLike) -> Dict[str, Any]:

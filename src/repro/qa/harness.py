@@ -317,11 +317,111 @@ def run_fuzz_checks(seed: int = 0, quick: bool = False) -> List[QaCheck]:
     return checks
 
 
+def _qa_identity_task(x):
+    """Picklable no-op task for the timeout check."""
+    return x
+
+
+def _qa_sweep(seed: int):
+    """The small reference sweep the resilience checks replay."""
+    from repro.core.sweep import ParameterSweep
+    from repro.core.testbench import TestbenchConfig
+
+    return ParameterSweep(
+        base_config=TestbenchConfig(rate_mbps=6, psdu_bytes=20),
+        parameter="snr_db",
+        values=[0.0, 2.0, 4.0, 6.0],
+        n_packets=1,
+        seed=seed,
+    )
+
+
+def run_resilience_checks(
+    seed: int = 0, jobs: Optional[int] = None
+) -> List[QaCheck]:
+    """Exercise the error paths of the parallel execution layer.
+
+    Each check injects a deterministic fault (:mod:`repro.perf.faults`)
+    and asserts the recovery contract: retried and resumed runs must
+    reproduce the fault-free measurement *exactly*, a killed worker must
+    degrade to in-process execution, and a timeout must surface as a
+    structured :class:`~repro.perf.resilience.TaskError`.
+    """
+    import tempfile
+
+    from repro import obs, perf
+
+    checks: List[QaCheck] = []
+
+    def add(name: str, ok: bool, detail: str = ""):
+        checks.append(QaCheck("resilience", name, bool(ok), detail))
+
+    pool_jobs = jobs if jobs is not None and jobs > 1 else 2
+    sweep = _qa_sweep(seed)
+    clean = sweep.run(jobs=1)
+    clean_bers = list(clean.bers)
+
+    # 1. Injected failures on 2 of 4 points, one retry: bit-identical.
+    with perf.fault_plan(
+        perf.parse_fault_spec("sweep/fail:1@0,sweep/fail:3@0")
+    ):
+        retried = sweep.run(jobs=pool_jobs, retries=1)
+    add(
+        "retry_determinism",
+        list(retried.bers) == clean_bers,
+        "2/4 points failed once, 1 retry; BERs match clean run exactly",
+    )
+
+    # 2. A SIGKILLed worker breaks the pool; the region must finish
+    # in-process with identical results.
+    with perf.fault_plan(perf.parse_fault_spec("sweep/kill:2@0")):
+        survived = sweep.run(jobs=pool_jobs, retries=1)
+    add(
+        "broken_pool_fallback",
+        list(survived.bers) == clean_bers,
+        "worker SIGKILLed mid-sweep; serial fallback matches clean run",
+    )
+
+    # 3. A delayed task must trip the per-task timeout as a TaskError.
+    with perf.fault_plan(perf.parse_fault_spec("qa-timeout/delay:1=5")):
+        result = perf.parallel_map(
+            _qa_identity_task, [0, 1, 2], jobs=pool_jobs,
+            stage="qa-timeout", task_timeout=0.25, on_error="capture",
+        )
+    timed_out = [r for r in result if isinstance(r, perf.TaskError)]
+    add(
+        "task_timeout",
+        len(timed_out) == 1
+        and timed_out[0].exc_type == "TaskTimeoutError"
+        and timed_out[0].index == 1,
+        "delayed task captured as a structured TaskTimeoutError",
+    )
+
+    # 4. Interrupt a checkpointing sweep, resume it, diff against clean.
+    with tempfile.TemporaryDirectory() as tmp:
+        store = obs.RunStore(tmp)
+        interrupted = False
+        try:
+            with perf.fault_plan(perf.parse_fault_spec("sweep/abort:2")):
+                sweep.run(jobs=1, store=store, resume=True)
+        except perf.InjectedFault:
+            interrupted = True
+        resumed = sweep.run(jobs=1, store=store, resume=True)
+        add(
+            "resume_determinism",
+            interrupted and list(resumed.bers) == clean_bers,
+            "sweep aborted before point 2; resumed run matches clean "
+            "run exactly",
+        )
+    return checks
+
+
 def run_qa(
     seed: int = 0,
     jobs: Optional[int] = None,
     quick: bool = False,
     store=None,
+    faults: bool = False,
 ) -> QaReport:
     """Run the complete QA harness.
 
@@ -331,6 +431,8 @@ def run_qa(
         quick: reduce sample sizes (CI smoke / tier-1 friendly).
         store: optional :class:`repro.obs.RunStore`; results also attach
             to the ambient run writer when the CLI installed one.
+        faults: additionally run the fault-injection resilience section
+            (retry/fallback/timeout/resume determinism).
 
     Returns:
         The aggregated :class:`QaReport`.
@@ -346,12 +448,17 @@ def run_qa(
         )
     with obs.span("qa:fuzz"):
         report.checks.extend(run_fuzz_checks(seed=seed, quick=quick))
+    if faults:
+        with obs.span("qa:resilience"):
+            report.checks.extend(
+                run_resilience_checks(seed=seed, jobs=jobs)
+            )
     obs.contribute(
         store,
         kind="qa",
         name="qa",
         seed=seed,
-        config={"quick": quick},
+        config={"quick": quick, "faults": faults},
         tables={"qa_checks": report.as_table()},
         kpis=report.kpis(),
     )

@@ -207,6 +207,61 @@ class TestRunStoreCli:
         capsys.readouterr()
         assert code == 2
 
+    def test_injected_abort_exits_70(self, tmp_path, capsys):
+        code = main(["--store", str(tmp_path / "runs"),
+                     "--resume", "--inject-faults", "sweep/abort:3",
+                     "fig5", "--packets", "1"])
+        err = capsys.readouterr().err
+        assert code == 70
+        assert "interrupted" in err
+
+    def test_unrecovered_task_failure_exits_71(self, capsys):
+        code = main(["--inject-faults", "sweep/fail:0",
+                     "fig5", "--packets", "1"])
+        err = capsys.readouterr().err
+        assert code == 71
+        assert "task failed after retries" in err
+        assert "InjectedFault" in err
+
+    def test_faulted_retry_run_diffs_clean_against_baseline(
+        self, tmp_path, capsys
+    ):
+        store = str(tmp_path / "runs")
+        assert main(["--store", store, "--seed", "7",
+                     "fig5", "--packets", "1"]) == 0
+        err = capsys.readouterr().err
+        baseline = err.split("run stored: ")[1].split(" ")[0]
+        assert main(["--store", store, "--seed", "7", "--jobs", "2",
+                     "--retries", "1",
+                     "--inject-faults", "sweep/fail:1@0,sweep/fail:3@0",
+                     "fig5", "--packets", "1"]) == 0
+        capsys.readouterr()
+        code = main(["runs", "diff", baseline, "latest",
+                     "--store", store, "--no-timing"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 nonzero deltas" in out
+
+    def test_resume_after_interrupt_diffs_clean(self, tmp_path, capsys):
+        store = str(tmp_path / "runs")
+        assert main(["--store", store, "--seed", "7",
+                     "fig5", "--packets", "1"]) == 0
+        err = capsys.readouterr().err
+        baseline = err.split("run stored: ")[1].split(" ")[0]
+        assert main(["--store", store, "--seed", "7", "--resume",
+                     "--inject-faults", "sweep/abort:3",
+                     "fig5", "--packets", "1"]) == 70
+        capsys.readouterr()
+        assert main(["--store", store, "--seed", "7", "--resume",
+                     "fig5", "--packets", "1"]) == 0
+        err = capsys.readouterr().err
+        resumed = err.split("run stored: ")[1].split(" ")[0]
+        code = main(["runs", "diff", baseline, resumed, "--store", store,
+                     "--no-timing", "--no-metrics"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 nonzero deltas" in out
+
     def test_gc_keeps_newest(self, tmp_path, capsys):
         store = tmp_path / "runs"
         self._store_fig5(store, capsys)

@@ -158,7 +158,7 @@ class TestParallelMap:
             0.0, 1.0, 2.0, 3.0, 4.0, 5.0
         ]
         assert registry.gauge("parallel_efficiency").value(
-            stage="merge", jobs=2
+            stage="merge", jobs=2, requested=2
         ) > 0.0
 
     def test_worker_spans_absorbed_under_task_spans(self):
@@ -187,7 +187,7 @@ class TestParallelMap:
         finally:
             obs.set_registry(previous)
         assert registry.gauge("parallel_efficiency").value(
-            stage="quiet", jobs=1
+            stage="quiet", jobs=1, requested=1
         ) == 1.0
         assert registry.counter("parallel_tasks").value(
             stage="quiet"

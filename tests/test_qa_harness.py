@@ -106,3 +106,21 @@ class TestQaCli:
         out = capsys.readouterr().out
         assert code == 0
         assert "0 over tolerance" in out
+
+
+class TestQaResilience:
+    def test_resilience_section_passes(self):
+        from repro.qa.harness import run_resilience_checks
+
+        checks = run_resilience_checks(seed=0)
+        assert {c.name for c in checks} == {
+            "retry_determinism", "broken_pool_fallback",
+            "task_timeout", "resume_determinism",
+        }
+        assert all(c.passed for c in checks), [
+            c.name for c in checks if not c.passed
+        ]
+        assert all(c.section == "resilience" for c in checks)
+
+    def test_faults_off_by_default(self, quick_report):
+        assert not quick_report.section("resilience")
