@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Measure signal-probe overhead: off vs basic vs full presets.
+
+Runs the same fixed BER workload (24 Mbit/s through the double-conversion
+front end, thermal floor on — the configuration where every RF stage tap
+fires) under each probe preset and records best-of-N wall-clock plus the
+overhead relative to probes-off.  Also asserts the probe determinism
+contract: the measured BER must be identical under every preset, because
+taps only read the signal.
+
+The document lands under the ``"probes"`` key of ``BENCH_perf.json``
+when invoked through ``benchmarks/record.py --perf-out``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_probes.py --out -
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import obs  # noqa: E402
+from repro.core.testbench import TestbenchConfig, WlanTestbench  # noqa: E402
+from repro.rf.frontend import FrontendConfig  # noqa: E402
+
+PRESETS = ("off", "basic", "full")
+
+
+def _workload(packets: int):
+    bench = WlanTestbench(TestbenchConfig(
+        rate_mbps=24,
+        psdu_bytes=60,
+        thermal_floor=True,
+        frontend=FrontendConfig(),
+        input_level_dbm=-55.0,
+    ))
+    return lambda: bench.measure_ber(n_packets=packets, seed=0)
+
+
+def run_probe_overhead(packets: int = 6, repeats: int = 3) -> dict:
+    """Time the workload under each preset; return the overhead doc."""
+    run = _workload(packets)
+    run()  # warm filter/FFT caches outside the timed region
+    entries = {}
+    for preset in PRESETS:
+        best = float("inf")
+        measurement = None
+        for _ in range(repeats):
+            registry = obs.ProbeRegistry(obs.probe_preset(preset))
+            previous = obs.set_probes(registry)
+            try:
+                t0 = time.perf_counter()
+                measurement = run()
+                best = min(best, time.perf_counter() - t0)
+            finally:
+                obs.set_probes(previous)
+        entries[preset] = {
+            "wall_s": round(best, 4),
+            "ber": measurement.ber,
+            "per": measurement.per,
+        }
+    off_wall = entries["off"]["wall_s"]
+    for preset in PRESETS:
+        entries[preset]["overhead_pct"] = round(
+            100.0 * (entries[preset]["wall_s"] / off_wall - 1.0), 2
+        )
+    identical = all(
+        e["ber"] == entries["off"]["ber"]
+        and e["per"] == entries["off"]["per"]
+        for e in entries.values()
+    )
+    return {
+        "workload": {
+            "packets": packets,
+            "rate_mbps": 24,
+            "psdu_bytes": 60,
+            "frontend": "double-conversion",
+        },
+        "repeats": repeats,
+        "presets": entries,
+        "identical_measurement": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="-", metavar="PATH",
+                        help="output JSON path, '-' for stdout")
+    parser.add_argument("--packets", type=int, default=6,
+                        help="packets per timed run (default 6)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats, best-of (default 3)")
+    args = parser.parse_args(argv)
+
+    doc = run_probe_overhead(packets=args.packets, repeats=args.repeats)
+    text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    if args.out == "-":
+        sys.stdout.write(text)
+    else:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}")
+    if not doc["identical_measurement"]:
+        print("ERROR: probes perturbed the measurement", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,8 +10,9 @@ recordings can be gated with ``repro runs diff``.
 
 ``--perf-out PATH`` additionally runs the parallel-scaling benchmark
 (:mod:`benchmarks.bench_parallel_scaling`: the fixed 8-point sweep,
-serial vs ``jobs=2`` and ``jobs=4``) and writes its wall-clock /
-speedup / efficiency document there.
+serial vs ``jobs=2`` and ``jobs=4``) plus the signal-probe overhead
+benchmark (:mod:`benchmarks.bench_probes`: off vs basic vs full
+presets) and writes their combined document there.
 
 Usage::
 
@@ -166,8 +167,10 @@ def main(argv=None) -> int:
 
     if args.perf_out:
         from bench_parallel_scaling import run_scaling
+        from bench_probes import run_probe_overhead
 
         perf_doc = run_scaling(packets=args.packets)
+        perf_doc["probes"] = run_probe_overhead(packets=args.packets)
         perf_out = Path(args.perf_out)
         perf_out.write_text(
             json.dumps(perf_doc, indent=2, sort_keys=True) + "\n"

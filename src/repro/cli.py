@@ -349,6 +349,7 @@ def _cmd_runs_diff(args) -> int:
         kpi_rel_tol=args.kpi_rel_tol,
         timing_rel_tol=args.timing_tol,
         ber_shift_tol_db=args.ber_tol_db,
+        probe_kpi_abs_tol=args.probe_tol,
         compare_timing=not args.no_timing,
         compare_metrics=not args.no_metrics,
     )
@@ -414,6 +415,70 @@ def _cmd_netlist(args) -> int:
     design = NetlistCompiler(target=args.target).compile(text)
     for warning in design.warnings:
         print(f"WARNING: {warning}", file=sys.stderr)
+    return 0
+
+
+def _cmd_probe(args) -> int:
+    from repro import obs
+    from repro.channel.interference import InterferenceScenario
+    from repro.core.reporting import render_table
+    from repro.core.testbench import TestbenchConfig, WlanTestbench
+    from repro.obs.probes import (
+        ccdf_rows,
+        evm_rows,
+        render_spectrum_ascii,
+        waterfall_rows,
+    )
+    from repro.rf.frontend import FrontendConfig
+
+    interference = (
+        InterferenceScenario.adjacent() if args.adjacent
+        else InterferenceScenario.none()
+    )
+    cfg = TestbenchConfig(
+        rate_mbps=args.rate,
+        psdu_bytes=args.bytes,
+        thermal_floor=True,
+        frontend=FrontendConfig(),
+        interference=interference,
+        input_level_dbm=args.level,
+    )
+    bench = WlanTestbench(cfg)
+    measurement = bench.measure_ber(n_packets=args.packets, seed=args.seed)
+    probes = obs.get_probes()
+    export = probes.export()
+    print(
+        f"{args.packets} packets at {args.rate} Mbps, {args.level:.1f} dBm "
+        f"input{' + adjacent channel' if args.adjacent else ''}: "
+        f"BER {measurement.ber:.3g}, PER {measurement.per:.3g}"
+    )
+    headers, rows = waterfall_rows(export)
+    if rows:
+        print("\nbudget waterfall (measured vs cascade prediction):")
+        print(render_table(headers, rows))
+    headers, rows = evm_rows(export)
+    if rows:
+        print("\ndata-aided EVM at the equalizer output:")
+        print(render_table(headers, rows))
+    for stage, v in sorted(export.get("mask", {}).items()):
+        verdict = "pass" if v["worst_margin_db"] >= 0.0 else "FAIL"
+        print(
+            f"\n802.11a transmit mask at '{stage}': worst margin "
+            f"{v['worst_margin_db']:.2f} dB over {v['n']} burst(s) "
+            f"[{verdict}]"
+        )
+    for stage in ("tx",):
+        headers, rows = ccdf_rows(export, stage)
+        if rows:
+            print(f"\nPAPR CCDF at '{stage}':")
+            print(render_table(headers, rows))
+    for stage in ("rf:lpf", "channel", "tx"):
+        if stage in export.get("psd", {}):
+            art = render_spectrum_ascii(export, stage)
+            if not art.startswith("("):
+                print(f"\naccumulated Welch PSD at '{stage}':")
+                print(art)
+            break
     return 0
 
 
@@ -498,6 +563,19 @@ def build_parser() -> argparse.ArgumentParser:
              "'sweep/fail:1@0,sweep/abort:3'",
     )
     parser.add_argument(
+        "--probes",
+        nargs="?",
+        const="basic",
+        choices=("basic", "full"),
+        default=None,
+        metavar="PRESET",
+        help="attach signal probes (stage power waterfall, EVM, "
+             "transmit-mask margin, PAPR) to the simulated chain; "
+             "'basic' (default) keeps scalar summaries, 'full' adds "
+             "PSDs and constellation snapshots; probe KPIs persist "
+             "with --store and render under 'repro report'",
+    )
+    parser.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
@@ -552,6 +630,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--depth", choices=("quick", "full"), default="quick")
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "probe",
+        help="run one configurable packet burst with full signal probes "
+             "and print the stage budget waterfall, EVM, transmit-mask "
+             "margin, PAPR CCDF, and accumulated spectrum",
+    )
+    p.add_argument("--rate", type=int, default=24, help="PHY rate [Mb/s]")
+    p.add_argument("--bytes", type=int, default=60, help="PSDU size")
+    p.add_argument("--packets", type=int, default=4, help="burst length")
+    p.add_argument(
+        "--level", type=float, default=-55.0,
+        help="antenna input level [dBm]",
+    )
+    p.add_argument(
+        "--adjacent", action="store_true",
+        help="add the paper's adjacent-channel interferer",
+    )
+    p.add_argument(
+        "--preset", choices=("basic", "full"), default="full",
+        help="probe preset when the global --probes flag is absent",
+    )
+    p.set_defaults(func=_cmd_probe)
 
     p = sub.add_parser("netlist", help="emit + compile the RF netlist")
     p.add_argument("--target", choices=("ams", "spectre"), default="ams")
@@ -634,6 +735,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="allowed BER-curve shift in dB at fixed BER")
     q.add_argument("--timing-tol", type=float, default=0.5,
                    help="allowed one-sided wall-clock growth (0.5 = +50%%)")
+    q.add_argument("--probe-tol", type=float, default=0.0,
+                   help="absolute tolerance for probe.* KPIs — EVM, mask "
+                        "margin, PAPR, stage power, all in dB "
+                        "(default exact)")
     q.add_argument("--no-timing", action="store_true",
                    help="skip wall-clock comparisons entirely")
     q.add_argument("--no-metrics", action="store_true",
@@ -711,6 +816,12 @@ def _run_observed(args, argv) -> int:
         obs.set_tracer(previous_tracer)
         obs.set_registry(previous_registry)
         obs.set_current_writer(previous_writer)
+    probes = obs.get_probes()
+    if probes.enabled and probes.has_data():
+        probes.emit_metrics(registry)
+        if writer is not None:
+            writer.add_probes(probes.export())
+            writer.add_kpis(probes.kpis())
     if args.trace:
         tracer.write_jsonl(args.trace, header=manifest.as_dict())
     if args.metrics:
@@ -730,11 +841,31 @@ def _run_observed(args, argv) -> int:
     return code
 
 
+def _normalize_probe_flag(argv: List[str]) -> List[str]:
+    """Make the optional value of ``--probes`` actually optional.
+
+    argparse's ``nargs="?"`` greedily consumes the next token, so a bare
+    ``repro --probes fig5`` would read ``fig5`` as the preset.  Insert
+    the default preset whenever ``--probes`` is not followed by one.
+    """
+    out: List[str] = []
+    for i, tok in enumerate(argv):
+        out.append(tok)
+        if tok == "--probes":
+            nxt = argv[i + 1] if i + 1 < len(argv) else None
+            if nxt not in ("basic", "full"):
+                out.append("basic")
+    return out
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     from repro import perf
 
     parser = build_parser()
+    argv = _normalize_probe_flag(
+        list(argv) if argv is not None else sys.argv[1:]
+    )
     args = parser.parse_args(argv)
     if getattr(args, "consumes_store", False):
         # Store consumers (runs/report) read run directories; they never
@@ -746,7 +877,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     previous_timeout = None
     previous_resume = None
     previous_plan = None
+    previous_probes = None
     installed_plan = False
+    installed_probes = False
+    probe_preset_name = args.probes
+    if args.command == "probe" and probe_preset_name is None:
+        probe_preset_name = args.preset
+    if probe_preset_name is not None:
+        from repro import obs
+
+        previous_probes = obs.set_probes(
+            obs.ProbeRegistry(obs.probe_preset(probe_preset_name))
+        )
+        installed_probes = True
     if args.jobs is not None:
         previous_jobs = perf.set_default_jobs(args.jobs)
     if args.memoize:
@@ -786,6 +929,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             perf.set_default_resume(previous_resume)
         if installed_plan:
             perf.set_fault_plan(previous_plan)
+        if installed_probes:
+            from repro import obs
+
+            obs.set_probes(previous_probes)
 
 
 if __name__ == "__main__":

@@ -61,7 +61,13 @@ def _packet_chunk_task(payload):
     bench = WlanTestbench(config)
     outcomes = []
     for child in seed_children:
-        outcome = bench.run_packet(np.random.default_rng(child))
+        # The probe tag is the packet's seed coordinates — stable under
+        # any chunking/worker placement, so reservoir sampling keeps the
+        # same IQ points at every job count.
+        tag = f"{child.entropy}:{child.spawn_key}"
+        outcome = bench.run_packet(
+            np.random.default_rng(child), probe_tag=tag
+        )
         outcomes.append((outcome.bit_errors, outcome.n_bits, outcome.lost))
     return outcomes
 
@@ -171,14 +177,28 @@ class WlanTestbench:
             self._rx_config = RxConfig()
 
     # ------------------------------------------------------------------
-    def run_packet(self, rng: np.random.Generator) -> PacketOutcome:
+    def run_packet(
+        self, rng: np.random.Generator, probe_tag: str = "pkt"
+    ) -> PacketOutcome:
         """Send one packet through the complete chain and decode it.
 
         Each stage runs under a ``block:`` span so a traced run yields a
         per-block time breakdown (``repro profile``); with the default
-        no-op tracer the spans cost nothing.
+        no-op tracer the spans cost nothing.  When the ambient
+        :class:`repro.obs.ProbeRegistry` is enabled, signal taps fire at
+        the stage boundaries (TX output, channel output, every RF
+        front-end stage, equalizer output); the taps never touch the
+        signal or the random streams, so the packet outcome is
+        bit-identical with probes on or off.
+
+        Args:
+            rng: the packet's random stream.
+            probe_tag: stable identity of this packet for probe
+                reservoir sampling (its seed coordinates in parallel
+                runs).
         """
         cfg = self.config
+        probes = obs.get_probes()
         tx = Transmitter(self._tx_config)
         psdu = random_psdu(cfg.psdu_bytes, rng)
         with obs.span("block:transmitter", rate_mbps=cfg.rate_mbps) as sp:
@@ -195,6 +215,12 @@ class WlanTestbench:
         if cfg.frontend is not None or cfg.thermal_floor:
             sig = sig.scaled_to_dbm(cfg.input_level_dbm)
 
+        if probes.enabled:
+            probes.tap("tx", sig.samples, sig.sample_rate)
+            # Mask compliance on the bare burst (guard zeros excluded);
+            # the mask is relative (dBr) so level adaptation is moot.
+            probes.tap_mask("tx", wave, sample_rate)
+
         with obs.span("block:channel", samples=len(sig)):
             sig = cfg.interference.apply(sig, rng)
             if cfg.fading is not None:
@@ -204,9 +230,26 @@ class WlanTestbench:
                 include_thermal_floor=cfg.thermal_floor,
             ).process(sig, rng)
 
+        if probes.enabled:
+            probes.tap("channel", sig.samples, sig.sample_rate)
+
         if cfg.frontend is not None:
             with obs.span("block:rf_frontend", samples=len(sig)):
-                sig = _build_frontend(cfg.frontend).process(sig, rng)
+                frontend = _build_frontend(cfg.frontend)
+                if probes.enabled:
+                    # stage_outputs is exactly process() with the
+                    # intermediate signals kept (identical rng usage).
+                    probes.note_budget(cfg.frontend)
+                    staged = frontend.stage_outputs(sig, rng)
+                    for name, stage_sig in staged:
+                        probes.tap(
+                            f"rf:{name}",
+                            stage_sig.samples,
+                            stage_sig.sample_rate,
+                        )
+                    sig = staged[-1][1]
+                else:
+                    sig = frontend.process(sig, rng)
         elif self.oversample > 1:
             # No RF front end: decimate back to 20 MHz for the receiver
             # (ideal anti-alias — the DSP-only configuration).
@@ -217,6 +260,8 @@ class WlanTestbench:
                     resample_poly(sig.samples, 1, self.oversample),
                     sample_rate / self.oversample,
                 )
+            if probes.enabled:
+                probes.tap("decimator", sig.samples, sig.sample_rate)
 
         # Output level adaptation ("constant multipliers").
         power = sig.power_watts()
@@ -231,6 +276,20 @@ class WlanTestbench:
             result = Receiver(self._rx_config).receive(baseband)
         n_bits = 8 * cfg.psdu_bytes
         tx_symbols = tx.data_symbols(psdu)
+        if probes.enabled and result.data_symbols is not None:
+            from repro.dsp.params import RATES
+
+            rx = result.data_symbols.reshape(-1)
+            ref = tx_symbols.reshape(-1)
+            n = min(rx.size, ref.size)
+            if n:
+                probes.tap_evm(
+                    "eq",
+                    rx[:n],
+                    ref[:n],
+                    RATES[cfg.rate_mbps].modulation,
+                    tag=probe_tag,
+                )
         if not result.success or result.psdu.size != psdu.size:
             return PacketOutcome(n_bits / 2.0, n_bits, True, result, tx_symbols)
         errors = int(

@@ -362,4 +362,6 @@ def build_figure3_schematic(
     sch.connect("level_out.out", "rx.in")
     sch.connect("tx.bits", "ber.ref")
     sch.connect("rx.bits", "ber.rx")
+    sch.probe("antenna.out")
+    sch.probe("rf_frontend.out")
     return sch, meter

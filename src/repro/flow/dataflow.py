@@ -424,6 +424,26 @@ class DataflowEngine:
                 return self._run_compiled(schematic, order, ctx)
             return self._run_interpreted(schematic, order, ctx)
 
+    def _tap_signal_probes(self, schematic, probes) -> None:
+        """Feed probed wires into the ambient signal-probe registry.
+
+        Wires the schematic designer marked ``probe=True`` show up in the
+        signal-level telemetry (power/PAPR summaries) under
+        ``flow:{schematic}.{block}.{port}``.  Sorted order keeps the
+        registry state independent of wire-dict insertion order.
+        """
+        registry = obs.get_probes()
+        if not registry.enabled:
+            return
+        for key in sorted(probes):
+            samples = np.asarray(probes[key])
+            if samples.size:
+                registry.tap(
+                    f"flow:{schematic.name}.{key}",
+                    samples,
+                    self.sample_rate,
+                )
+
     def _run_compiled(self, schematic, order, ctx) -> RunResult:
         tracer = self._active_tracer()
         tracing = tracer.enabled
@@ -465,6 +485,7 @@ class DataflowEngine:
             if wire.probed and key in values:
                 probes[f"{key[0]}.{key[1]}"] = values[key]
         outputs = {f"{b}.{p}": v for (b, p), v in values.items()}
+        self._tap_signal_probes(schematic, probes)
         return RunResult(outputs, probes, invocations, stats)
 
     def _run_interpreted(self, schematic, order, ctx) -> RunResult:
@@ -552,4 +573,5 @@ class DataflowEngine:
             for k, wire in schematic._wires.items()
             if wire.probed and f"{k[0]}.{k[1]}" in merged
         }
+        self._tap_signal_probes(schematic, probes)
         return RunResult(merged, probes, invocations, stats)

@@ -73,6 +73,14 @@ from repro.obs.metrics import (
     get_registry,
     set_registry,
 )
+from repro.obs.probes import (
+    PROBE_PRESETS,
+    ProbeConfig,
+    ProbeRegistry,
+    get_probes,
+    probe_preset,
+    set_probes,
+)
 from repro.obs.profile import SpanSummary, aggregate_spans, profile_rows
 from repro.obs.progress import ProgressEvent, ProgressListener, as_listener, printer
 from repro.obs.tracer import (
@@ -95,6 +103,9 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NullTracer",
+    "PROBE_PRESETS",
+    "ProbeConfig",
+    "ProbeRegistry",
     "ProgressEvent",
     "ProgressListener",
     "RegressionConfig",
@@ -119,9 +130,11 @@ __all__ = [
     "current_writer",
     "event",
     "flatten_metrics",
+    "get_probes",
     "get_registry",
     "get_tracer",
     "printer",
+    "probe_preset",
     "profile_rows",
     "read_jsonl",
     "render_html",
@@ -130,6 +143,7 @@ __all__ = [
     "render_timeline",
     "run_sections",
     "set_current_writer",
+    "set_probes",
     "set_registry",
     "set_tracer",
     "source_revision",

@@ -118,16 +118,26 @@ class RegressionConfig:
             geometric midpoint of the baseline curve's dynamic range.
         require_integrity: fail runs whose stored digest mismatches.
         metric_ignore: ``fnmatch`` patterns of metric names excluded
-            from comparison entirely.  Defaults to the execution
-            telemetry of the parallel executor (``parallel_*``), which
-            describes *how* a run was scheduled, not *what* it
-            computed — a serial baseline and a ``--jobs 4`` candidate
-            must still diff clean.
+            from comparison entirely.  Defaults to execution/telemetry
+            series that describe *how* a run was scheduled or observed,
+            not *what* it computed: the parallel executor's
+            ``parallel_*`` counters and any ``jobs_requested*`` label
+            variants (a serial baseline and a ``--jobs 4`` candidate
+            must still diff clean), plus the signal-probe ``probe_*``
+            gauges (a probes-on candidate must diff clean against a
+            probes-off baseline; the *probe KPIs* remain compared,
+            under :attr:`probe_kpi_abs_tol`, whenever both runs carry
+            them).
+        probe_kpi_abs_tol: absolute tolerance for ``probe.*`` KPIs
+            (EVM dB, mask margin dB, PAPR dB...), unless a
+            ``kpi_overrides`` pattern matches first.  Exact by default:
+            probe artefacts are bit-deterministic at any job count.
     """
 
     kpi_abs_tol: float = 0.0
     kpi_rel_tol: float = 0.0
     kpi_overrides: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    probe_kpi_abs_tol: float = 0.0
     timing_rel_tol: float = 0.5
     timing_abs_tol: float = 0.25
     timing_min_s: float = 0.05
@@ -139,7 +149,11 @@ class RegressionConfig:
     ber_shift_tol_db: float = 1.0
     ber_target: Optional[float] = None
     require_integrity: bool = True
-    metric_ignore: Tuple[str, ...] = ("parallel_*",)
+    metric_ignore: Tuple[str, ...] = (
+        "parallel_*",
+        "probe_*",
+        "jobs_requested*",
+    )
 
     def is_ignored_metric(self, name: str) -> bool:
         """Whether a metric name is excluded from comparison."""
@@ -152,6 +166,8 @@ class RegressionConfig:
         for pattern, tol in self.kpi_overrides.items():
             if fnmatch.fnmatch(name, pattern):
                 return tol
+        if name.startswith("probe."):
+            return (self.probe_kpi_abs_tol, 0.0)
         return (self.kpi_abs_tol, self.kpi_rel_tol)
 
 

@@ -200,6 +200,86 @@ def _profile_section(run: RunRecord) -> Optional[Section]:
     return section
 
 
+#: PSD probe stages drawn as ASCII spectra, in preference order (the
+#: post-channel-filter view is the paper's figure-5 diagnostic).
+_SPECTRUM_STAGES = ("rf:lpf", "channel", "tx", "decimator", "rf:adc")
+
+
+def _probes_section(run: RunRecord) -> Optional[Section]:
+    """The "Signal probes" section: waterfall, EVM, mask, PAPR, spectra."""
+    export = run.probes
+    if not export:
+        return None
+    from repro.obs.probes import (
+        ccdf_rows,
+        evm_rows,
+        render_spectrum_ascii,
+        waterfall_rows,
+    )
+
+    section = Section(
+        "Signal probes",
+        paragraphs=[
+            f"Signal taps recorded under the `{export.get('preset', '?')}` "
+            "probe preset. The waterfall lists measured complex-baseband "
+            "power per stage boundary next to the cascade (Friis) budget; "
+            "the implied SNR is the measured power over the budget-raised "
+            "thermal floor in the 16.6 MHz OFDM bandwidth.",
+        ],
+    )
+    headers, rows = waterfall_rows(export)
+    if rows:
+        section.tables.append((headers, rows))
+    headers, rows = evm_rows(export)
+    if rows:
+        section.tables.append((headers, rows))
+    mask_rows = [
+        [stage, f"{v['worst_margin_db']:.2f}",
+         "pass" if v["worst_margin_db"] >= 0.0 else "FAIL",
+         str(int(v["n"]))]
+        for stage, v in sorted(export.get("mask", {}).items())
+    ]
+    if mask_rows:
+        section.tables.append((
+            ["mask check", "worst margin [dB]", "802.11a 17.3.9",
+             "bursts"],
+            mask_rows,
+        ))
+    papr_stages = export.get("papr", {})
+    ccdf_stage = "tx" if "tx" in papr_stages else None
+    if ccdf_stage is None and papr_stages:
+        ccdf_stage = sorted(papr_stages)[0]
+    if ccdf_stage is not None:
+        headers, rows = ccdf_rows(export, ccdf_stage)
+        if rows:
+            # Captions can't interleave with tables (Section groups
+            # paragraphs first), so the stage goes into the header.
+            section.tables.append((
+                [headers[0], f"{headers[1]} at '{ccdf_stage}'"], rows,
+            ))
+    drawn = 0
+    for stage in _SPECTRUM_STAGES:
+        if stage not in export.get("psd", {}) or drawn >= 2:
+            continue
+        art = render_spectrum_ascii(export, stage)
+        if art.startswith("("):
+            continue
+        section.code.append(
+            ("text", f"accumulated Welch PSD at '{stage}'\n{art}")
+        )
+        drawn += 1
+    constellation = export.get("constellation", {})
+    if constellation:
+        section.tables.append((
+            ["constellation snapshot", "IQ points retained"],
+            [
+                [key, str(len(v.get("points", [])))]
+                for key, v in sorted(constellation.items())
+            ],
+        ))
+    return section
+
+
 def _tables_section(run: RunRecord) -> Optional[Section]:
     if not run.tables:
         return None
@@ -214,7 +294,7 @@ def run_sections(run: RunRecord) -> List[Section]:
     """Distill a stored run into report sections."""
     sections: List[Section] = [_manifest_section(run)]
     for maybe in (
-        [_kpi_section(run)]
+        [_kpi_section(run), _probes_section(run)]
         + _metrics_sections(run)
         + [_time_split_section(run), _profile_section(run),
            _tables_section(run)]

@@ -76,18 +76,25 @@ def _content_digest(
     kpis: Dict[str, float],
     curves: Dict[str, Dict[str, Any]],
     tables: Dict[str, str],
+    probes: Optional[Dict[str, Any]] = None,
 ) -> str:
     stable = {
         k: v for k, v in manifest.items()
         if k not in _VOLATILE_MANIFEST_KEYS
     }
-    return _digest({
+    payload = {
         "manifest": stable,
         "metrics": metrics,
         "kpis": kpis,
         "curves": curves,
         "tables": tables,
-    })
+    }
+    # Probe artefacts join the address only when present, so runs
+    # persisted before the probe layer existed (and probe-off runs)
+    # keep their original digests.
+    if probes:
+        payload["probes"] = probes
+    return _digest(payload)
 
 
 def config_key(config: Any) -> str:
@@ -165,6 +172,8 @@ class RunRecord:
         curves: named BER curves (``x_label``, ``x``, ``ber``, optional
             ``per`` / ``packets`` arrays).
         tables: rendered result tables by name.
+        probes: signal-probe artefacts (``ProbeRegistry.export``; empty
+            for probe-less runs).
         stored_digest: content address recorded at store time.
         digest: content address recomputed at load time.
     """
@@ -176,6 +185,7 @@ class RunRecord:
     kpis: Dict[str, float]
     curves: Dict[str, Dict[str, Any]]
     tables: Dict[str, str]
+    probes: Dict[str, Any] = field(default_factory=dict)
     stored_digest: str = ""
     digest: str = ""
 
@@ -232,6 +242,7 @@ class RunWriter:
         self.tables: Dict[str, str] = {}
         self.curves: Dict[str, Dict[str, Any]] = {}
         self.kpis: Dict[str, float] = {}
+        self.probes: Dict[str, Any] = {}
         self.finalized: Optional[RunRecord] = None
 
     @property
@@ -275,6 +286,14 @@ class RunWriter:
         """Merge flat scalar key results (optionally name-prefixed)."""
         for key, value in kpis.items():
             self.kpis[f"{prefix}{key}"] = float(value)
+
+    def add_probes(self, export: Mapping[str, Any]) -> None:
+        """Attach a :meth:`repro.obs.ProbeRegistry.export` payload.
+
+        Persisted as ``probes.json`` and folded into the run's content
+        address (probe-less runs keep their pre-probe digests).
+        """
+        self.probes = dict(export)
 
     # -- persistence ---------------------------------------------------
     def finalize(
@@ -324,6 +343,7 @@ class RunWriter:
             curves=dict(self.curves),
             tables=dict(self.tables),
             trace=trace,
+            probes=dict(self.probes),
         )
         return self.finalized
 
@@ -376,8 +396,11 @@ class RunStore:
         curves: Dict[str, Dict[str, Any]],
         tables: Dict[str, str],
         trace: Optional[List[Dict[str, Any]]],
+        probes: Optional[Dict[str, Any]] = None,
     ) -> RunRecord:
-        digest = _content_digest(manifest, metrics, kpis, curves, tables)
+        digest = _content_digest(
+            manifest, metrics, kpis, curves, tables, probes
+        )
         run_id = f"{kind}-{digest[:12]}"
         self.root.mkdir(parents=True, exist_ok=True)
         tmp = self.root / f".tmp-{run_id}"
@@ -389,6 +412,8 @@ class RunStore:
             _write_json(tmp / "metrics.json", metrics)
             _write_json(tmp / "kpis.json", kpis)
             _write_json(tmp / "curves.json", curves)
+            if probes:
+                _write_json(tmp / "probes.json", probes)
             _write_json(tmp / "digest.json", {"sha256": digest})
             if tables:
                 (tmp / "tables").mkdir()
@@ -430,6 +455,7 @@ class RunStore:
             kpis=kpis,
             curves=curves,
             tables=tables,
+            probes=dict(probes or {}),
             stored_digest=digest,
             digest=digest,
         )
@@ -476,6 +502,7 @@ class RunStore:
         metrics = read("metrics.json", {})
         kpis = {k: float(v) for k, v in read("kpis.json", {}).items()}
         curves = read("curves.json", {})
+        probes = read("probes.json", {})
         stored = read("digest.json", {}).get("sha256", "")
         tables: Dict[str, str] = {}
         tables_dir = path / "tables"
@@ -484,7 +511,9 @@ class RunStore:
                 tables[table_path.stem] = table_path.read_text(
                     encoding="utf-8"
                 ).rstrip("\n")
-        digest = _content_digest(manifest, metrics, kpis, curves, tables)
+        digest = _content_digest(
+            manifest, metrics, kpis, curves, tables, probes
+        )
         return RunRecord(
             run_id=run_id,
             path=path,
@@ -493,6 +522,7 @@ class RunStore:
             kpis=kpis,
             curves=curves,
             tables=tables,
+            probes=probes,
             stored_digest=stored,
             digest=digest,
         )

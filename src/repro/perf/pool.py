@@ -201,17 +201,21 @@ def _init_worker() -> None:
 def _worker_call(payload):
     """Run one task attempt in a worker under capturable instrumentation.
 
-    Returns ``(result, duration_s, pid, metrics_snapshot, span_dicts)``;
-    ``result`` is a :class:`TaskError` when the attempt raised (fault
-    injection, task exception, or timeout), in which case the metrics
-    snapshot and spans are from the *failed* attempt and the parent
-    discards them to keep merged telemetry identical to a clean run.
+    Returns ``(result, duration_s, pid, metrics_snapshot, span_dicts,
+    probe_snapshot)``; ``result`` is a :class:`TaskError` when the
+    attempt raised (fault injection, task exception, or timeout), in
+    which case the metrics snapshot, spans and probe state are from the
+    *failed* attempt and the parent discards them to keep merged
+    telemetry identical to a clean run.
     """
-    fn, task, index, attempt, stage, want_spans, timeout_s, plan = payload
+    (fn, task, index, attempt, stage, want_spans, timeout_s, plan,
+     probe_cfg) = payload
     registry = obs.MetricsRegistry()
     tracer = obs.Tracer() if want_spans else None
+    probes = obs.ProbeRegistry(probe_cfg) if probe_cfg is not None else None
     previous_registry = obs.set_registry(registry)
     previous_tracer = obs.set_tracer(tracer) if want_spans else None
+    previous_probes = obs.set_probes(probes) if probes is not None else None
     start = time.perf_counter()
     try:
         try:
@@ -228,11 +232,15 @@ def _worker_call(payload):
         obs.set_registry(previous_registry)
         if want_spans:
             obs.set_tracer(previous_tracer)
+        if probes is not None:
+            obs.set_probes(previous_probes)
     duration = time.perf_counter() - start
     spans = (
         [r.as_dict() for r in tracer.records] if tracer is not None else None
     )
-    return result, duration, os.getpid(), registry.snapshot(), spans
+    probe_snap = probes.snapshot() if probes is not None else None
+    return (result, duration, os.getpid(), registry.snapshot(), spans,
+            probe_snap)
 
 
 def _run_attempts_inprocess(
@@ -254,10 +262,19 @@ def _run_attempts_inprocess(
     fast path and by the broken-pool fallback.
     """
     error: Optional[TaskError] = None
+    ambient_probes = obs.get_probes()
     for attempt in range(first_attempt, retries + 1):
         attempt_task = (
             task if (reseed is None or attempt == 0) else reseed(task, attempt)
         )
+        # Each attempt accumulates probe taps into its own scratch
+        # registry, merged into the ambient one only on success — the
+        # same snapshot/merge tree the pooled path builds, so serial,
+        # pooled and faulted-then-retried probe state is bit-identical,
+        # and a failed attempt's taps are discarded like its metrics.
+        scratch = ambient_probes.spawn() if ambient_probes.enabled else None
+        if scratch is not None:
+            obs.set_probes(scratch)
         t0 = time.perf_counter()
         try:
             with _resilience.task_timeout_guard(timeout_s):
@@ -266,6 +283,8 @@ def _run_attempts_inprocess(
                 )
                 result = fn(attempt_task)
             out.busy_s += time.perf_counter() - t0
+            if scratch is not None:
+                ambient_probes.merge(scratch.snapshot())
             return result
         except Exception as exc:  # structured capture, never raw
             out.busy_s += time.perf_counter() - t0
@@ -273,6 +292,9 @@ def _run_attempts_inprocess(
             _record_task_failure(error, stage)
             if attempt < retries:
                 out.retries += 1
+        finally:
+            if scratch is not None:
+                obs.set_probes(ambient_probes)
     return error
 
 
@@ -335,7 +357,7 @@ def _drain_futures(
         if future.cancel():
             continue
         try:
-            result, duration, _pid, _metrics, _spans = future.result()
+            result, duration = future.result()[:2]
         except Exception:  # broken pool / interpreter teardown
             continue
         out.busy_s += duration
@@ -459,6 +481,8 @@ def parallel_map(
             _emit_region_metrics(out, stage)
         return out
 
+    ambient_probes = obs.get_probes()
+    probe_cfg = ambient_probes.config if ambient_probes.enabled else None
     want_spans = bool(tracer.enabled)
     window = max(jobs, window if window is not None else 2 * jobs)
     try:
@@ -480,7 +504,7 @@ def parallel_map(
                     futures[index] = executor.submit(
                         _worker_call,
                         (fn, attempt_task, index, attempt, stage,
-                         want_spans, task_timeout, plan),
+                         want_spans, task_timeout, plan, probe_cfg),
                     )
 
                 def submit_up_to(limit):
@@ -497,8 +521,8 @@ def parallel_map(
                         if i not in futures:
                             break
                         _faults.check_abort(plan, stage, i)
-                        (result, duration, pid, metrics,
-                         spans) = futures.pop(i).result()
+                        (result, duration, pid, metrics, spans,
+                         probe_snap) = futures.pop(i).result()
                         out.busy_s += duration
                         failed = isinstance(result, TaskError)
                         if not failed:
@@ -506,6 +530,8 @@ def parallel_map(
                             # only: their partial telemetry is dropped
                             # so merged metrics match a clean run.
                             obs.get_registry().merge(metrics)
+                            if probe_snap is not None:
+                                ambient_probes.merge(probe_snap)
                         record = tracer.record_span(
                             f"{stage}:task", duration,
                             index=i, worker_pid=pid, jobs=jobs,

@@ -14,6 +14,10 @@ Orchestrates the three QA pillars into one pass/fail report:
 3. **Fuzz** (:mod:`repro.qa.fuzz`): netlist round-trip and mutation
    fuzzing, the committed regression corpus, and random-payload
    TX -> RX loopback over all eight rates.
+4. **Probes** (:mod:`repro.obs.probes`): the data-aided EVM probe
+   against the ``(Es/N0)^(-1/2)`` AWGN oracle for all four
+   constellations, and transmit-mask discrimination (clean burst
+   passes, PA at 0 dB backoff fails).
 
 Results persist to the PR-2 run store as kind ``qa`` (each check
 becomes a pass/fail KPI plus its measured value), so ``repro runs
@@ -317,6 +321,35 @@ def run_fuzz_checks(seed: int = 0, quick: bool = False) -> List[QaCheck]:
     return checks
 
 
+def run_probe_checks(seed: int = 0, quick: bool = False) -> List[QaCheck]:
+    """Signal-probe sanity: EVM vs the AWGN oracle + mask discrimination.
+
+    The data-aided EVM probe must reproduce ``(Es/N0)^(-1/2)`` for all
+    four 802.11a constellations within the chi-square concentration
+    bound, and the transmit-mask probe must pass a clean burst while
+    flagging a PA driven into compression.
+    """
+    from repro.qa import oracles
+
+    n_symbols = 1024 if quick else 4096
+    results = [
+        oracles.check_probe_evm(m, n_symbols=n_symbols, seed=seed)
+        for m in ("BPSK", "QPSK", "QAM16", "QAM64")
+    ]
+    results.extend(oracles.check_probe_mask(seed=seed))
+    return [
+        QaCheck(
+            "probe",
+            r.name,
+            r.passed,
+            r.detail,
+            measured=r.measured,
+            expected=r.expected,
+        )
+        for r in results
+    ]
+
+
 def _qa_identity_task(x):
     """Picklable no-op task for the timeout check."""
     return x
@@ -448,6 +481,8 @@ def run_qa(
         )
     with obs.span("qa:fuzz"):
         report.checks.extend(run_fuzz_checks(seed=seed, quick=quick))
+    with obs.span("qa:probes"):
+        report.checks.extend(run_probe_checks(seed=seed, quick=quick))
     if faults:
         with obs.span("qa:resilience"):
             report.checks.extend(

@@ -353,3 +353,104 @@ def check_cascade_characterization(
             )
         )
     return checks
+
+
+def check_probe_evm(
+    modulation: str,
+    esn0_db: float = 20.0,
+    n_symbols: int = 4096,
+    seed: int = 0,
+    z: float = 4.5,
+) -> OracleCheck:
+    """Data-aided EVM probe against the AWGN oracle.
+
+    A constellation at unit symbol energy plus complex AWGN of known
+    ``N0`` has ``EVM_rms = sqrt(N0/Es) = (Es/N0)^(-1/2)`` in
+    expectation.  ``EVM_rms**2`` is a scaled chi-square with ``2n``
+    degrees of freedom, so the RMS concentrates with relative standard
+    deviation ``1/(2*sqrt(n))``; the check accepts within ``z`` of
+    those sigmas (the Wilson-style ``z`` the BER oracles use).
+    """
+    from repro.obs.probes import ProbeRegistry, probe_preset
+
+    mapper = Mapper(modulation)
+    rng = np.random.default_rng(seed)
+    bits = rng.integers(0, 2, size=n_symbols * mapper.n_bpsc, dtype=np.uint8)
+    ref = mapper.map(bits)
+    n0 = 10.0 ** (-esn0_db / 10.0)  # Es = 1 by K_MOD normalization
+    noise = np.sqrt(n0 / 2.0) * (
+        rng.standard_normal(ref.size) + 1j * rng.standard_normal(ref.size)
+    )
+    registry = ProbeRegistry(probe_preset("basic"))
+    registry.tap_evm("eq", ref + noise, ref, modulation)
+    measured = registry.kpis()[f"probe.evm_rms[{modulation}]"]
+    expected = float(np.sqrt(n0))
+    rel = z / (2.0 * np.sqrt(n_symbols))
+    low, high = expected * (1.0 - rel), expected * (1.0 + rel)
+    return OracleCheck(
+        name=f"probe_evm_{modulation.lower()}",
+        measured=measured,
+        expected=expected,
+        low=low,
+        high=high,
+        passed=bool(low <= measured <= high),
+        detail=(
+            f"Es/N0={esn0_db:g} dB, {n_symbols} symbols, "
+            f"+/-{100 * rel:.2f}% at z={z:g}"
+        ),
+    )
+
+
+def check_probe_mask(seed: int = 0) -> List[OracleCheck]:
+    """Transmit-mask probe discrimination.
+
+    A clean 802.11a burst must meet the section 17.3.9 mask (the probe
+    normalizes to dBr, so the worst margin of an undistorted burst is
+    exactly 0 at the peak bin), while the same burst through a Rapp PA
+    at 0 dB output backoff regrows spectrally and must violate it.
+    """
+    from repro.dsp.transmitter import Transmitter, TxConfig
+    from repro.obs.probes import ProbeRegistry, probe_preset
+    from repro.rf.nonlinearity import RappNonlinearity
+    from repro.rf.signal import dbm_to_watts
+
+    rng = np.random.default_rng(seed)
+    psdu = rng.integers(0, 256, size=100, dtype=np.uint8)
+    tx = Transmitter(TxConfig(rate_mbps=24, oversample=4))
+    wave = tx.transmit(psdu)
+    fs = tx.config.sample_rate
+
+    clean = ProbeRegistry(probe_preset("basic"))
+    clean.tap_mask("tx", wave, fs)
+    clean_margin = clean.kpis()["probe.mask_margin_db[tx]"]
+
+    p_avg = float(np.mean(np.abs(wave) ** 2))
+    scale = np.sqrt(dbm_to_watts(0.0) / p_avg)
+    pa = RappNonlinearity(gain_db=0.0, osat_dbm=0.0, smoothness=2.0)
+    driven = ProbeRegistry(probe_preset("basic"))
+    driven.tap_mask("pa", pa.apply(wave * scale), fs)
+    driven_margin = driven.kpis()["probe.mask_margin_db[pa]"]
+
+    return [
+        OracleCheck(
+            name="probe_mask_clean_tx",
+            measured=clean_margin,
+            expected=0.0,
+            low=0.0,
+            high=float("inf"),
+            passed=bool(clean_margin >= 0.0),
+            detail="clean 24 Mbit/s burst must meet the 17.3.9 mask",
+        ),
+        OracleCheck(
+            name="probe_mask_pa_compression",
+            measured=driven_margin,
+            expected=0.0,
+            low=float("-inf"),
+            high=0.0,
+            passed=bool(driven_margin < 0.0),
+            detail=(
+                "Rapp PA at 0 dB output backoff must regrow past the "
+                "mask (negative margin)"
+            ),
+        ),
+    ]

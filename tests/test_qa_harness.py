@@ -50,16 +50,17 @@ class TestRunQaQuick:
         ]
         assert not failed, failed
 
-    def test_all_three_sections_present(self, quick_report):
+    def test_all_four_sections_present(self, quick_report):
         sections = {c.section for c in quick_report.checks}
-        assert sections == {"conformance", "oracle", "fuzz"}
+        assert sections == {"conformance", "oracle", "fuzz", "probe"}
 
     def test_check_census(self, quick_report):
-        # 18 conformance + 9 oracle + 4 fuzz; a silently dropped check
-        # would weaken the gate without failing anything.
+        # 18 conformance + 9 oracle + 4 fuzz + 6 probe; a silently
+        # dropped check would weaken the gate without failing anything.
         assert len(quick_report.section("conformance")) == 18
         assert len(quick_report.section("oracle")) == 9
         assert len(quick_report.section("fuzz")) == 4
+        assert len(quick_report.section("probe")) == 6
 
     def test_persists_as_qa_run(self, tmp_path):
         store = RunStore(tmp_path / "runs")
