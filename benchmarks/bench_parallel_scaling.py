@@ -55,6 +55,7 @@ def run_scaling(packets: int = 3, jobs_list=(1, 2, 4)) -> dict:
     entries = []
     serial_wall = None
     serial_bers = None
+    host_cpus = perf.cpu_count()
     for jobs in jobs_list:
         sweep = scaling_sweep(packets)
         t0 = time.perf_counter()
@@ -70,6 +71,11 @@ def run_scaling(packets: int = 3, jobs_list=(1, 2, 4)) -> dict:
         speedup = (serial_wall / wall_s) if serial_wall else 1.0
         entries.append({
             "jobs": jobs,
+            "parallel": jobs > 1,
+            "cpu_count": host_cpus,
+            # A jobs>1 timing taken on a single core measures scheduling
+            # overhead, not scaling — consumers should skip those entries.
+            "meaningful": jobs <= host_cpus,
             "wall_s": round(wall_s, 4),
             "speedup": round(speedup, 3),
             "efficiency": round(speedup / jobs, 3),
@@ -99,6 +105,23 @@ def run_scaling(packets: int = 3, jobs_list=(1, 2, 4)) -> dict:
     }
 
 
+def warn_if_single_core(doc, stream=None) -> bool:
+    """Print a warning when the perf doc was recorded on one core.
+
+    Returns True when the warning fired, so callers can also stamp the
+    condition machine-readably.
+    """
+    if doc.get("cpu_count", 0) > 1:
+        return False
+    print(
+        "WARNING: BENCH_perf recorded on a single core; "
+        "parallel-efficiency numbers are not meaningful "
+        "(entries carry meaningful=false)",
+        file=stream if stream is not None else sys.stderr,
+    )
+    return True
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_perf.json", metavar="PATH",
@@ -113,6 +136,7 @@ def main(argv=None) -> int:
     if jobs_list[0] != 1:
         jobs_list.insert(0, 1)  # speedups need the serial baseline first
     doc = run_scaling(packets=args.packets, jobs_list=jobs_list)
+    warn_if_single_core(doc)
     out = Path(args.out)
     out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out} ({len(doc['scaling'])} settings, "

@@ -166,11 +166,12 @@ def main(argv=None) -> int:
     print(f"wrote {out} ({len(results)} benchmarks)")
 
     if args.perf_out:
-        from bench_parallel_scaling import run_scaling
+        from bench_parallel_scaling import run_scaling, warn_if_single_core
         from bench_probes import run_probe_overhead
 
         perf_doc = run_scaling(packets=args.packets)
         perf_doc["probes"] = run_probe_overhead(packets=args.packets)
+        perf_doc["single_core_recording"] = warn_if_single_core(perf_doc)
         perf_out = Path(args.perf_out)
         perf_out.write_text(
             json.dumps(perf_doc, indent=2, sort_keys=True) + "\n"

@@ -40,12 +40,26 @@ failures (``[stage/]action:task[@attempt][=delay_s]``, e.g.
 ``sweep/fail:1@0`` or ``sweep/abort:3``) to exercise those paths; an
 injected abort exits with code 70, an unrecovered task failure with 71.
 
+Live telemetry: ``--live`` streams an ASCII dashboard (per-point
+Wilson-CI convergence, worker heartbeats with stall detection, ETA)
+while a run executes, ``--metrics-port PORT`` serves the run's metrics
+as OpenMetrics text on ``127.0.0.1`` (0 picks a free port), and
+``--openmetrics PATH`` writes the final exposition to a file.  All are
+read-only: a ``--live`` run's measurements are bit-identical to one
+without.  With ``--store`` the event timeline also persists as
+``flight.jsonl`` (deterministic per seed and jobs), rendered as a "Run
+timeline" section by ``repro report``; ``repro watch [run]`` tails an
+in-flight run's spool (or replays a stored flight), and ``repro runs
+trend [kpi-glob]`` prints per-KPI trajectories across stored runs.
+
 Run store: ``--store DIR`` persists the whole run — manifest, metrics,
 trace, result tables, BER curves, KPIs — as a content-addressed run
 directory under DIR (default ``runs/``).  Stored runs are consumed by::
 
     repro runs list|show|diff|gc        inspect / regression-gate / prune
+    repro runs trend [kpi-glob]         cross-run KPI trajectories
     repro report <run_id>               render markdown/HTML + chrome trace
+    repro watch [run]                   tail / replay live telemetry
 
 ``repro runs diff <baseline> <candidate>`` exits nonzero when any KPI,
 metric, BER curve or wall-clock aggregate regresses beyond tolerance —
@@ -275,11 +289,52 @@ def _open_store(args):
     return RunStore(args.store or "runs")
 
 
+def _parse_since(text: str) -> Optional[float]:
+    """Turn ``--since`` into a unix timestamp cutoff, or None on error.
+
+    Accepts a relative age (``30m``, ``2h``, ``3d``, ``1w``, ``90s``)
+    or an ISO date/datetime (``2026-08-01``, ``2026-08-01T12:00``).
+    """
+    import re
+    import time
+    from datetime import datetime
+
+    match = re.fullmatch(r"(\d+(?:\.\d+)?)([smhdw])", text.strip())
+    if match:
+        unit_s = {"s": 1, "m": 60, "h": 3600, "d": 86400, "w": 604800}
+        return time.time() - float(match.group(1)) * unit_s[match.group(2)]
+    try:
+        return datetime.fromisoformat(text.strip()).timestamp()
+    except ValueError:
+        print(
+            f"bad --since value {text!r}: expected a relative age "
+            "(30m, 2h, 3d, 1w) or an ISO date/datetime",
+            file=sys.stderr,
+        )
+        return None
+
+
+def _kind_spec(text: Optional[str]) -> Optional[List[str]]:
+    """Split a ``--kind`` value into its include/exclude entries."""
+    if not text:
+        return None
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
 def _cmd_runs_list(args) -> int:
     from repro.core.reporting import render_table
+    from repro.obs.live import _kind_selected
 
     store = _open_store(args)
-    entries = store.list_runs(kind=args.kind)
+    entries = store.list_runs()
+    spec = _kind_spec(args.kind)
+    if spec:
+        entries = [e for e in entries if _kind_selected(e.kind, spec)]
+    if args.since:
+        cutoff = _parse_since(args.since)
+        if cutoff is None:
+            return 2
+        entries = [e for e in entries if e.created_unix_s >= cutoff]
     if args.ids:
         for entry in entries:
             print(entry.run_id)
@@ -371,6 +426,126 @@ def _cmd_runs_gc(args) -> int:
             print(f"{verb} {run_id}")
     kept = len(store.list_runs()) - (len(removed) if args.dry_run else 0)
     print(f"{verb} {len(removed)} run(s), kept {kept} under {store.root}")
+    return 0
+
+
+def _cmd_runs_trend(args) -> int:
+    from repro import obs
+    from repro.core.reporting import render_table
+
+    store = _open_store(args)
+    since = None
+    if args.since:
+        since = _parse_since(args.since)
+        if since is None:
+            return 2
+    series = obs.kpi_trend(
+        store,
+        pattern=args.pattern,
+        kinds=_kind_spec(args.kind),
+        since=since,
+        last=args.last,
+    )
+    if not series:
+        print(
+            f"no stored KPIs match {args.pattern!r} under {store.root}",
+            file=sys.stderr,
+        )
+        return 1
+    for name, samples in series.items():
+        values = [s["value"] for s in samples]
+        print(
+            f"{name}: {len(values)} run(s), "
+            f"first={values[0]:.6g} last={values[-1]:.6g}  "
+            f"[{obs.sparkline(values)}]"
+        )
+        print(render_table(
+            ["created", "kind", "run id", "value"],
+            [
+                [s["created_iso"] or "-", s["kind"], s["run_id"],
+                 f"{s['value']:.6g}"]
+                for s in samples
+            ],
+        ))
+        print()
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(series, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"trend data written to {args.json_out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    import time as _time
+    from pathlib import Path
+
+    from repro import obs
+
+    root = Path(args.store or "runs")
+    token = args.run or "latest"
+
+    def read_spool(path: Path):
+        records = []
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            return records
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                continue  # partial line mid-write; next tick gets it
+        return records
+
+    # Prefer an in-flight spool (<store>/live/<command>.jsonl) matching
+    # the token; fall back to a finished run's stored flight recorder.
+    live_dir = root / "live"
+    spools = []
+    if live_dir.is_dir():
+        spools = [
+            p for p in live_dir.glob("*.jsonl")
+            if token == "latest" or token in p.stem
+        ]
+        spools.sort(key=lambda p: p.stat().st_mtime)
+    if spools:
+        spool = spools[-1]
+        print(f"watching {spool} (ctrl-c to stop)", file=sys.stderr)
+        last = None
+        while True:
+            monitor = obs.LiveMonitor.replay(read_spool(spool))
+            text = obs.render_dashboard(monitor.snapshot())
+            if text != last:
+                print(text)
+                print()
+                last = text
+            if args.once:
+                return 0
+            try:
+                _time.sleep(args.interval)
+            except KeyboardInterrupt:
+                return 0
+    store = obs.RunStore(root)
+    try:
+        run = store.load_run(token)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if not run.flight:
+        print(
+            f"run {run.run_id} has no flight recorder "
+            "(it was executed without --live)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"replaying stored flight of {run.run_id} "
+        f"({len(run.flight)} records)",
+        file=sys.stderr,
+    )
+    print(obs.render_dashboard(obs.LiveMonitor.replay(run.flight).snapshot()))
     return 0
 
 
@@ -576,6 +751,30 @@ def build_parser() -> argparse.ArgumentParser:
              "with --store and render under 'repro report'",
     )
     parser.add_argument(
+        "--live",
+        action="store_true",
+        help="stream a live telemetry dashboard (per-point Wilson-CI "
+             "convergence, worker heartbeats, ETA) to stderr while the "
+             "run executes; with --store the event timeline persists as "
+             "flight.jsonl — measurements are bit-identical either way",
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve live run metrics as OpenMetrics text on "
+             "127.0.0.1:PORT/metrics while the run executes "
+             "(0 = pick a free port, printed to stderr)",
+    )
+    parser.add_argument(
+        "--openmetrics",
+        metavar="PATH",
+        default=None,
+        help="write the run's final metrics as an OpenMetrics text "
+             "exposition to PATH",
+    )
+    parser.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
@@ -709,10 +908,38 @@ def build_parser() -> argparse.ArgumentParser:
 
     q = runs_sub.add_parser("list", parents=[store_opt],
                             help="list stored runs, newest first")
-    q.add_argument("--kind", default=None, help="only runs of this kind")
+    q.add_argument("--kind", default=None,
+                   help="only runs of these kinds (comma-separated; "
+                        "prefix a kind with ! to exclude it, e.g. "
+                        "--kind '!point' hides memoized sweep points)")
+    q.add_argument("--since", default=None, metavar="AGE|DATE",
+                   help="only runs created within a relative age "
+                        "(30m, 2h, 3d, 1w) or at/after an ISO "
+                        "date/datetime")
     q.add_argument("--ids", action="store_true",
                    help="print bare run ids only")
     q.set_defaults(func=_cmd_runs_list, consumes_store=True)
+
+    q = runs_sub.add_parser(
+        "trend",
+        parents=[store_opt],
+        help="per-KPI trajectories across stored runs, oldest first "
+             "(the consumer for accumulated run history)",
+    )
+    q.add_argument("pattern", nargs="?", default="*",
+                   help="fnmatch glob over KPI names (default: all)")
+    q.add_argument("--kind", default=None,
+                   help="only runs of these kinds (comma-separated, "
+                        "! excludes)")
+    q.add_argument("--since", default=None, metavar="AGE|DATE",
+                   help="only runs created within a relative age or "
+                        "at/after an ISO date/datetime")
+    q.add_argument("--last", type=int, default=None, metavar="N",
+                   help="keep only each KPI's most recent N samples")
+    q.add_argument("--json", dest="json_out", metavar="PATH",
+                   default=None,
+                   help="also export the full series as JSON to PATH")
+    q.set_defaults(func=_cmd_runs_trend, consumes_store=True)
 
     q = runs_sub.add_parser("show", parents=[store_opt],
                             help="summarize one stored run")
@@ -773,6 +1000,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also export the stored trace as Chrome "
                         "trace-event JSON")
     p.set_defaults(func=_cmd_report, consumes_store=True)
+
+    p = sub.add_parser(
+        "watch",
+        parents=[store_opt],
+        help="tail an in-flight --live run's telemetry spool, or "
+             "replay a finished run's stored flight recorder",
+    )
+    p.add_argument("run", nargs="?", default=None,
+                   help="run id prefix, command name, or 'latest' "
+                        "(default: the most recent)")
+    p.add_argument("--interval", type=float, default=2.0, metavar="S",
+                   help="refresh period in seconds (default 2)")
+    p.add_argument("--once", action="store_true",
+                   help="render one snapshot and exit (no tailing)")
+    p.set_defaults(func=_cmd_watch, consumes_store=True)
     return parser
 
 
@@ -796,7 +1038,11 @@ def _run_observed(args, argv) -> int:
         command=command_line,
         config={
             k: v for k, v in vars(args).items()
-            if k not in ("func", "trace", "metrics", "store")
+            # Pure observation flags stay out of the manifest config
+            # (like --trace/--metrics/--store), so a --live run's
+            # manifest matches its baseline's.
+            if k not in ("func", "trace", "metrics", "store",
+                         "live", "metrics_port", "openmetrics")
         },
     )
     writer = None
@@ -805,6 +1051,15 @@ def _run_observed(args, argv) -> int:
         writer = store.create(
             args.command, name=args.command, seed=args.seed,
             command=command_line,
+        )
+    monitor = obs.get_live_monitor()
+    if monitor is not None and args.store:
+        # Spool flight records next to the store so `repro watch` can
+        # tail this run from another terminal while it executes.
+        from pathlib import Path
+
+        monitor.open_spool(
+            Path(args.store) / "live" / f"{args.command}.jsonl"
         )
     previous_tracer = obs.set_tracer(tracer)
     previous_registry = obs.set_registry(registry)
@@ -822,6 +1077,15 @@ def _run_observed(args, argv) -> int:
         if writer is not None:
             writer.add_probes(probes.export())
             writer.add_kpis(probes.kpis())
+    if monitor is not None and monitor.has_data():
+        monitor.emit_metrics(registry)
+        if writer is not None:
+            writer.add_flight(monitor.flight_records())
+    if args.openmetrics:
+        with open(args.openmetrics, "w", encoding="utf-8") as fh:
+            fh.write(obs.openmetrics_text(registry))
+        print(f"openmetrics written to {args.openmetrics}",
+              file=sys.stderr)
     if args.trace:
         tracer.write_jsonl(args.trace, header=manifest.as_dict())
     if args.metrics:
@@ -838,6 +1102,12 @@ def _run_observed(args, argv) -> int:
         )
         print(f"run stored: {record.run_id} ({record.path})",
               file=sys.stderr)
+    if monitor is not None:
+        # The run finished: its flight is persisted (when storing), so
+        # the tail spool is no longer needed.  On an aborted run this
+        # line is never reached and the spool survives for post-mortem
+        # `repro watch`.
+        monitor.close_spool(remove=True)
     return code
 
 
@@ -905,8 +1175,28 @@ def main(argv: Optional[List[str]] = None) -> int:
             perf.parse_fault_spec(args.inject_faults)
         )
         installed_plan = True
+    live_requested = bool(
+        args.live or args.metrics_port is not None or args.openmetrics
+    )
+    monitor = None
+    dashboard = None
+    server = None
+    previous_monitor = None
+    installed_monitor = False
+    if live_requested:
+        from repro import obs
+
+        monitor = obs.LiveMonitor()
+        if args.live:
+            dashboard = obs.LiveDashboard()
+            monitor.on_update = dashboard.on_update
+        previous_monitor = obs.set_live_monitor(monitor)
+        installed_monitor = True
+        if args.metrics_port is not None:
+            server = obs.MetricsServer(port=args.metrics_port).start()
+            print(f"live metrics: {server.url}", file=sys.stderr)
     try:
-        if args.trace or args.metrics or args.store:
+        if args.trace or args.metrics or args.store or live_requested:
             return _run_observed(args, argv)
         return args.func(args)
     except perf.InjectedFault as exc:
@@ -917,6 +1207,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"task failed after retries: {exc}", file=sys.stderr)
         return 71
     finally:
+        if server is not None:
+            server.stop()
+        if dashboard is not None and monitor is not None:
+            dashboard.final(monitor)
+        if monitor is not None:
+            # No-op on a clean run (the spool was already removed);
+            # flushes and keeps the spool after an abort.
+            monitor.close_spool()
+        if installed_monitor:
+            from repro import obs
+
+            obs.set_live_monitor(previous_monitor)
         if previous_jobs is not None:
             perf.set_default_jobs(previous_jobs)
         if previous_memoize is not None:

@@ -332,6 +332,10 @@ class ParameterSweep:
                     "ber": measurement.ber,
                     "per": measurement.per,
                     "packets": measurement.packets,
+                    # Raw counts feed the live monitor's Wilson-CI
+                    # convergence classification per sweep point.
+                    "bit_errors": measurement.bit_errors,
+                    "bits_total": measurement.bits_total,
                     "memoized": cached,
                 },
             ))

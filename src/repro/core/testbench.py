@@ -358,6 +358,8 @@ class WlanTestbench:
             for i in range(0, n_packets, chunk_size)
         ]
 
+        emit = obs.as_listener(None)
+
         def accumulate(index, chunk_outcomes):
             for bit_errors, n_bits, lost in chunk_outcomes:
                 if lost:
@@ -370,6 +372,26 @@ class WlanTestbench:
                     counter.bit_errors += bit_errors
                     if bit_errors:
                         counter.packets_errored += 1
+            # Runs parent-side in chunk order (serial and pooled alike),
+            # so the live monitor sees the same cumulative convergence
+            # trajectory at every jobs setting.  Inside a sweep point
+            # these events are suppressed/worker-local; a direct BER
+            # measurement streams its Wilson-CI state chunk by chunk.
+            emit(obs.ProgressEvent(
+                stage="ber",
+                current=index + 1,
+                total=len(chunks),
+                message=(
+                    f"chunk {index + 1}/{len(chunks)}: "
+                    f"{counter.bit_errors} errors / "
+                    f"{counter.bits_total} bits"
+                ),
+                data={
+                    "bit_errors": counter.bit_errors,
+                    "bits_total": counter.bits_total,
+                    "packets": counter.packets,
+                },
+            ))
 
         def crossed(index, chunk_outcomes):
             return (

@@ -82,6 +82,23 @@ from repro.obs.probes import (
     set_probes,
 )
 from repro.obs.profile import SpanSummary, aggregate_spans, profile_rows
+from repro.obs.live import (
+    ConvergenceConfig,
+    LiveDashboard,
+    LiveMonitor,
+    MetricsServer,
+    classify_point,
+    get_live_monitor,
+    kpi_trend,
+    openmetrics_text,
+    parse_openmetrics,
+    render_dashboard,
+    set_live_monitor,
+    sparkline,
+)
+from repro.obs.live import note_region as live_note_region
+from repro.obs.live import note_task as live_note_task
+from repro.obs.live import suspended as live_suspended
 from repro.obs.progress import ProgressEvent, ProgressListener, as_listener, printer
 from repro.obs.tracer import (
     EventRecord,
@@ -96,12 +113,16 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "ConvergenceConfig",
     "Counter",
     "Delta",
     "EventRecord",
     "Gauge",
     "Histogram",
+    "LiveDashboard",
+    "LiveMonitor",
     "MetricsRegistry",
+    "MetricsServer",
     "NullTracer",
     "PROBE_PRESETS",
     "ProbeConfig",
@@ -124,16 +145,25 @@ __all__ = [
     "as_listener",
     "build_manifest",
     "chrome_trace",
+    "classify_point",
     "compare_runs",
     "config_key",
     "contribute",
     "current_writer",
     "event",
     "flatten_metrics",
+    "get_live_monitor",
     "get_probes",
     "get_registry",
     "get_tracer",
+    "kpi_trend",
+    "live_note_region",
+    "live_note_task",
+    "live_suspended",
+    "openmetrics_text",
+    "parse_openmetrics",
     "printer",
+    "render_dashboard",
     "probe_preset",
     "profile_rows",
     "read_jsonl",
@@ -143,11 +173,13 @@ __all__ = [
     "render_timeline",
     "run_sections",
     "set_current_writer",
+    "set_live_monitor",
     "set_probes",
     "set_registry",
     "set_tracer",
     "source_revision",
     "span",
+    "sparkline",
     "timed",
     "write_chrome_trace",
 ]

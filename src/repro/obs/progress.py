@@ -11,7 +11,10 @@ with one structured event:
   kept so existing CLI output is unchanged), or a structured listener —
   into a uniform ``Callable[[ProgressEvent], None]``;
 * every event is mirrored onto the active tracer as a ``progress``
-  event, so traces capture the run's heartbeat even when nothing prints.
+  event, so traces capture the run's heartbeat even when nothing prints;
+* every event also feeds the ambient :class:`repro.obs.live.LiveMonitor`
+  (when one is installed by ``repro --live``), which turns the stream
+  into convergence state, heartbeats, and the flight recorder.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
+from repro.obs import live as _live
 from repro.obs import tracer as _tracer
 
 __all__ = ["ProgressEvent", "ProgressListener", "as_listener", "printer"]
@@ -56,9 +60,26 @@ class ProgressListener:
 
 
 def printer(print_fn: Callable[[str], None] = print) -> ProgressListener:
-    """A structured listener that prints each event's message."""
+    """A structured listener that prints each event's message.
+
+    When the event carries a usable ``total`` the message is prefixed
+    with a ``[current/total pct%]`` progress stamp.  A zero or missing
+    ``total`` (open-ended stages, empty sweeps) must not reach the
+    percent division — those events print their message bare instead of
+    being dropped by a ``ZeroDivisionError`` inside the listener.
+    """
     listener = ProgressListener()
-    listener.on_event = lambda event: print_fn(event.message)  # type: ignore[method-assign]
+
+    def _print(event: ProgressEvent) -> None:
+        if event.total:  # falsy guards both None and 0
+            pct = 100.0 * event.current / event.total
+            print_fn(
+                f"[{event.current}/{event.total} {pct:3.0f}%] {event.message}"
+            )
+        else:
+            print_fn(event.message)
+
+    listener.on_event = _print  # type: ignore[method-assign]
     return listener
 
 
@@ -99,6 +120,7 @@ def as_listener(progress) -> Callable[[ProgressEvent], None]:
                 message=event.message,
                 **event.data,
             )
+        _live.observe_event(event)
         if sink is not None:
             sink(event)
 

@@ -127,7 +127,10 @@ class RegressionConfig:
             gauges (a probes-on candidate must diff clean against a
             probes-off baseline; the *probe KPIs* remain compared,
             under :attr:`probe_kpi_abs_tol`, whenever both runs carry
-            them).
+            them), plus the live-telemetry ``live_*`` gauges, which
+            carry wall-clock rates, ETA, and worker health — volatile
+            by construction, so a ``--live`` run must diff clean
+            against a baseline without it.
         probe_kpi_abs_tol: absolute tolerance for ``probe.*`` KPIs
             (EVM dB, mask margin dB, PAPR dB...), unless a
             ``kpi_overrides`` pattern matches first.  Exact by default:
@@ -153,6 +156,7 @@ class RegressionConfig:
         "parallel_*",
         "probe_*",
         "jobs_requested*",
+        "live_*",
     )
 
     def is_ignored_metric(self, name: str) -> bool:

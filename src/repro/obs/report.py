@@ -290,11 +290,65 @@ def _tables_section(run: RunRecord) -> Optional[Section]:
     return section
 
 
+def _flight_section(run: RunRecord) -> Optional[Section]:
+    """The "Run timeline" section: the live flight recorder, replayed."""
+    if not run.flight:
+        return None
+    from repro.obs.live import LiveMonitor
+
+    monitor = LiveMonitor.replay(run.flight)
+    summary = monitor.flight_summary()
+    section = Section(
+        "Run timeline",
+        paragraphs=[
+            f"Live flight recorder: {summary['events']} progress events "
+            f"({summary['recorded']} retained, {summary['dropped']} "
+            "dropped by the bound). Convergence states use the Wilson "
+            "interval over each point's cumulative error count.",
+        ],
+    )
+    stage_rows = [
+        [stage, str(s["events"]),
+         f"{s['current']}/{s['total']}" if s["total"] is not None
+         else str(s["current"])]
+        for stage, s in sorted(summary["stages"].items())
+    ]
+    if stage_rows:
+        section.tables.append((["stage", "events", "progress"], stage_rows))
+    snap = monitor.snapshot()
+    point_rows = [
+        [p["key"], f"{p.get('ber', 0.0):.3g}",
+         f"{p.get('ci_lo', 0.0):.3g}", f"{p.get('ci_hi', 1.0):.3g}",
+         str(int(p.get("errors", 0))), str(p.get("bits", 0)),
+         p.get("state", "pending")]
+        for p in snap["points"]
+    ]
+    if point_rows:
+        section.tables.append((
+            ["point", "BER", "CI lo", "CI hi", "errors", "bits", "state"],
+            point_rows,
+        ))
+    tail = run.flight[-12:]
+    timeline = "\n".join(
+        f"[{r.get('seq', '?'):>4}] {r.get('stage', '?'):<10} "
+        f"{r.get('message', '')}"
+        for r in tail
+    )
+    if timeline:
+        if len(run.flight) > len(tail):
+            timeline = (
+                f"... {len(run.flight) - len(tail)} earlier events ...\n"
+                + timeline
+            )
+        section.code.append(("text", timeline))
+    return section
+
+
 def run_sections(run: RunRecord) -> List[Section]:
     """Distill a stored run into report sections."""
     sections: List[Section] = [_manifest_section(run)]
     for maybe in (
-        [_kpi_section(run), _probes_section(run)]
+        [_kpi_section(run), _probes_section(run), _flight_section(run)]
         + _metrics_sections(run)
         + [_time_split_section(run), _profile_section(run),
            _tables_section(run)]

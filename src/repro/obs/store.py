@@ -10,6 +10,7 @@ PR 1 made every run's telemetry observable; this module makes it
                     curves.json        named BER curves (x grid + BER/PER)
                     tables/<name>.txt  rendered result tables
                     trace.jsonl        span/event trace (when recorded)
+                    flight.jsonl       live-telemetry timeline (when live)
 
 Run directories are **content addressed**: the run id is
 ``<kind>-<sha256[:12]>`` over the canonical JSON of everything persisted
@@ -52,6 +53,7 @@ _ACTIVE = object()
 
 _INDEX = "index.json"
 _TRACE = "trace.jsonl"
+_FLIGHT = "flight.jsonl"
 
 
 def _canonical(payload: Any) -> str:
@@ -77,6 +79,7 @@ def _content_digest(
     curves: Dict[str, Dict[str, Any]],
     tables: Dict[str, str],
     probes: Optional[Dict[str, Any]] = None,
+    flight: Optional[List[Dict[str, Any]]] = None,
 ) -> str:
     stable = {
         k: v for k, v in manifest.items()
@@ -89,11 +92,13 @@ def _content_digest(
         "curves": curves,
         "tables": tables,
     }
-    # Probe artefacts join the address only when present, so runs
-    # persisted before the probe layer existed (and probe-off runs)
-    # keep their original digests.
+    # Probe and flight artefacts join the address only when present, so
+    # runs persisted before those layers existed (and runs with them
+    # switched off) keep their original digests.
     if probes:
         payload["probes"] = probes
+    if flight:
+        payload["flight"] = flight
     return _digest(payload)
 
 
@@ -174,6 +179,8 @@ class RunRecord:
         tables: rendered result tables by name.
         probes: signal-probe artefacts (``ProbeRegistry.export``; empty
             for probe-less runs).
+        flight: live-telemetry flight-recorder records (``flight.jsonl``;
+            empty for runs executed without ``--live``).
         stored_digest: content address recorded at store time.
         digest: content address recomputed at load time.
     """
@@ -186,6 +193,7 @@ class RunRecord:
     curves: Dict[str, Dict[str, Any]]
     tables: Dict[str, str]
     probes: Dict[str, Any] = field(default_factory=dict)
+    flight: List[Dict[str, Any]] = field(default_factory=list)
     stored_digest: str = ""
     digest: str = ""
 
@@ -243,6 +251,7 @@ class RunWriter:
         self.curves: Dict[str, Dict[str, Any]] = {}
         self.kpis: Dict[str, float] = {}
         self.probes: Dict[str, Any] = {}
+        self.flight: List[Dict[str, Any]] = []
         self.finalized: Optional[RunRecord] = None
 
     @property
@@ -295,6 +304,16 @@ class RunWriter:
         """
         self.probes = dict(export)
 
+    def add_flight(self, records: Sequence[Mapping[str, Any]]) -> None:
+        """Attach live-telemetry flight-recorder records.
+
+        Persisted as ``flight.jsonl`` (one compact JSON object per
+        line) and folded into the run's content address only when
+        non-empty — runs without ``--live`` keep their digests, the
+        same convention ``probes.json`` follows.
+        """
+        self.flight = [dict(r) for r in records]
+
     # -- persistence ---------------------------------------------------
     def finalize(
         self,
@@ -344,6 +363,7 @@ class RunWriter:
             tables=dict(self.tables),
             trace=trace,
             probes=dict(self.probes),
+            flight=list(self.flight),
         )
         return self.finalized
 
@@ -397,9 +417,10 @@ class RunStore:
         tables: Dict[str, str],
         trace: Optional[List[Dict[str, Any]]],
         probes: Optional[Dict[str, Any]] = None,
+        flight: Optional[List[Dict[str, Any]]] = None,
     ) -> RunRecord:
         digest = _content_digest(
-            manifest, metrics, kpis, curves, tables, probes
+            manifest, metrics, kpis, curves, tables, probes, flight
         )
         run_id = f"{kind}-{digest[:12]}"
         self.root.mkdir(parents=True, exist_ok=True)
@@ -414,6 +435,12 @@ class RunStore:
             _write_json(tmp / "curves.json", curves)
             if probes:
                 _write_json(tmp / "probes.json", probes)
+            if flight:
+                with open(tmp / _FLIGHT, "w", encoding="utf-8") as fh:
+                    for record in flight:
+                        json.dump(record, fh, sort_keys=True,
+                                  separators=(",", ":"))
+                        fh.write("\n")
             _write_json(tmp / "digest.json", {"sha256": digest})
             if tables:
                 (tmp / "tables").mkdir()
@@ -456,6 +483,7 @@ class RunStore:
             curves=curves,
             tables=tables,
             probes=dict(probes or {}),
+            flight=list(flight or []),
             stored_digest=digest,
             digest=digest,
         )
@@ -503,6 +531,12 @@ class RunStore:
         kpis = {k: float(v) for k, v in read("kpis.json", {}).items()}
         curves = read("curves.json", {})
         probes = read("probes.json", {})
+        flight: List[Dict[str, Any]] = []
+        flight_path = path / _FLIGHT
+        if flight_path.is_file():
+            for line in flight_path.read_text(encoding="utf-8").splitlines():
+                if line.strip():
+                    flight.append(json.loads(line))
         stored = read("digest.json", {}).get("sha256", "")
         tables: Dict[str, str] = {}
         tables_dir = path / "tables"
@@ -512,7 +546,7 @@ class RunStore:
                     encoding="utf-8"
                 ).rstrip("\n")
         digest = _content_digest(
-            manifest, metrics, kpis, curves, tables, probes
+            manifest, metrics, kpis, curves, tables, probes, flight
         )
         return RunRecord(
             run_id=run_id,
@@ -523,6 +557,7 @@ class RunStore:
             curves=curves,
             tables=tables,
             probes=probes,
+            flight=flight,
             stored_digest=stored,
             digest=digest,
         )

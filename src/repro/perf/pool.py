@@ -193,9 +193,17 @@ class ParallelResult(List[Any]):
 
 
 def _init_worker() -> None:
-    """Pool initializer: mark the process so nested fan-out is serial."""
+    """Pool initializer: mark the process so nested fan-out is serial.
+
+    A forked worker also inherits the parent's ambient live monitor;
+    it is disabled here so events emitted inside tasks stay invisible
+    to the parent-side flight recorder — the in-process fast path
+    suppresses them symmetrically via ``obs.live_suspended``, which is
+    what keeps serial and pooled flight records identical.
+    """
     global _in_worker
     _in_worker = True
+    obs.set_live_monitor(None)
 
 
 def _worker_call(payload):
@@ -281,15 +289,29 @@ def _run_attempts_inprocess(
                 _faults.apply_task_faults(
                     plan, stage, index, attempt, _in_worker
                 )
-                result = fn(attempt_task)
-            out.busy_s += time.perf_counter() - t0
+                # Suspended so events the task emits internally stay
+                # out of the live monitor, matching pooled workers
+                # (whose monitor _init_worker disables).
+                with obs.live_suspended():
+                    result = fn(attempt_task)
+            duration = time.perf_counter() - t0
+            out.busy_s += duration
             if scratch is not None:
                 ambient_probes.merge(scratch.snapshot())
+            obs.live_note_task(
+                stage, index, duration, os.getpid(), ok=True,
+                attempt=attempt,
+            )
             return result
         except Exception as exc:  # structured capture, never raw
-            out.busy_s += time.perf_counter() - t0
+            duration = time.perf_counter() - t0
+            out.busy_s += duration
             error = _resilience.task_error_from(exc, index, attempt)
             _record_task_failure(error, stage)
+            obs.live_note_task(
+                stage, index, duration, os.getpid(), ok=False,
+                attempt=attempt,
+            )
             if attempt < retries:
                 out.retries += 1
         finally:
@@ -466,6 +488,7 @@ def parallel_map(
 
     if jobs == 1 or len(tasks) <= 1:
         out.jobs = 1
+        obs.live_note_region(stage, len(tasks), 1)
         try:
             for i, task in enumerate(tasks):
                 _faults.check_abort(plan, stage, i)
@@ -485,6 +508,7 @@ def parallel_map(
     probe_cfg = ambient_probes.config if ambient_probes.enabled else None
     want_spans = bool(tracer.enabled)
     window = max(jobs, window if window is not None else 2 * jobs)
+    obs.live_note_region(stage, len(tasks), jobs)
     try:
         with obs.span(f"parallel:{stage}", jobs=jobs, tasks=len(tasks)):
             with ProcessPoolExecutor(
@@ -548,6 +572,10 @@ def parallel_map(
                                     record.span_id if record else None
                                 ),
                             )
+                        obs.live_note_task(
+                            stage, i, duration, pid, ok=not failed,
+                            attempt=result.attempt if failed else 0,
+                        )
                         if failed:
                             _record_task_failure(result, stage)
                             if result.attempt < retries:

@@ -18,7 +18,7 @@ class TestParser:
         assert commands == {
             "quickstart", "fig5", "fig6", "table2", "sensitivity",
             "flow", "netlist", "campaign", "profile", "runs", "report",
-            "qa", "probe",
+            "qa", "probe", "watch",
         }
 
     def test_missing_command_errors(self):
@@ -109,8 +109,17 @@ class TestObservability:
             r for r in records
             if r["type"] == "event" and r["name"] == "progress"
         ]
-        assert len(progress) == 6  # fig5 sweeps six filter bandwidths
-        assert all("ber" in r["attributes"] for r in progress)
+        by_stage = {}
+        for r in progress:
+            by_stage.setdefault(r["attributes"]["stage"], []).append(r)
+        # One per sweep point, plus the per-chunk BER accumulation
+        # events that feed live convergence tracking.
+        assert len(by_stage["sweep"]) == 6  # six filter bandwidths
+        assert all("ber" in r["attributes"] for r in by_stage["sweep"])
+        assert len(by_stage["ber"]) == 6  # one chunk per point at 1 packet
+        assert all(
+            "bit_errors" in r["attributes"] for r in by_stage["ber"]
+        )
 
     def test_metrics_json(self, tmp_path, capsys):
         metrics = tmp_path / "m.json"
