@@ -10,9 +10,12 @@ recordings can be gated with ``repro runs diff``.
 
 ``--perf-out PATH`` additionally runs the parallel-scaling benchmark
 (:mod:`benchmarks.bench_parallel_scaling`: the fixed 8-point sweep,
-serial vs ``jobs=2`` and ``jobs=4``) plus the signal-probe overhead
+serial vs ``jobs=2`` and ``jobs=4``), the signal-probe overhead
 benchmark (:mod:`benchmarks.bench_probes`: off vs basic vs full
-presets) and writes their combined document there.
+presets) and the batched PHY-engine throughput benchmark
+(:mod:`benchmarks.bench_phy_throughput`: packets/s per rate and batch
+size, KPI-identity checked against serial) and writes their combined
+document there.
 
 Usage::
 
@@ -167,10 +170,14 @@ def main(argv=None) -> int:
 
     if args.perf_out:
         from bench_parallel_scaling import run_scaling, warn_if_single_core
+        from bench_phy_throughput import run_phy_throughput
         from bench_probes import run_probe_overhead
 
         perf_doc = run_scaling(packets=args.packets)
         perf_doc["probes"] = run_probe_overhead(packets=args.packets)
+        perf_doc["phy_throughput"] = run_phy_throughput(
+            packets=max(32, 16 * args.packets)
+        )
         perf_doc["single_core_recording"] = warn_if_single_core(perf_doc)
         perf_out = Path(args.perf_out)
         perf_out.write_text(

@@ -696,6 +696,15 @@ def build_parser() -> argparse.ArgumentParser:
              "bit-identical either way)",
     )
     parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="packets evaluated per stacked PHY-chain pass inside a "
+             "packet chunk (default 1, i.e. the per-packet chain); any "
+             "batch size is bit-identical — it only changes throughput",
+    )
+    parser.add_argument(
         "--memoize",
         action="store_true",
         help="with --store: skip sweep points whose exact measurement "
@@ -1162,6 +1171,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         installed_probes = True
     if args.jobs is not None:
         previous_jobs = perf.set_default_jobs(args.jobs)
+    previous_batch = None
+    if args.batch_size is not None:
+        previous_batch = perf.set_default_batch_size(args.batch_size)
     if args.memoize:
         previous_memoize = perf.set_default_memoize(True)
     if args.retries is not None:
@@ -1221,6 +1233,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             obs.set_live_monitor(previous_monitor)
         if previous_jobs is not None:
             perf.set_default_jobs(previous_jobs)
+        if previous_batch is not None:
+            perf.set_default_batch_size(previous_batch)
         if previous_memoize is not None:
             perf.set_default_memoize(previous_memoize)
         if previous_retries is not None:

@@ -46,29 +46,69 @@ def _build_frontend(config):
     return DoubleConversionReceiver(config)
 
 
+#: Worker-local bench memo: rebuilding the testbench (transmitter,
+#: receiver, Viterbi tables) for every chunk wasted a constant per-chunk
+#: cost; the bench is stateless across packets, so reuse is exact.
+_BENCH_CACHE: dict = {}
+_BENCH_CACHE_MAX = 8
+
+
+def _bench_for_config(config) -> "WlanTestbench":
+    """Memoized :class:`WlanTestbench` keyed on the config content hash."""
+    key = obs.config_key(config)
+    bench = _BENCH_CACHE.get(key)
+    if bench is None:
+        if len(_BENCH_CACHE) >= _BENCH_CACHE_MAX:
+            _BENCH_CACHE.clear()
+        bench = WlanTestbench(config)
+        _BENCH_CACHE[key] = bench
+    return bench
+
+
 def _packet_chunk_task(payload):
     """Run one chunk of packets (a :func:`repro.perf.parallel_map` task).
 
     Each packet draws its random stream from its own
     :class:`~numpy.random.SeedSequence` child, so the outcome depends
     only on the packet's coordinates — not on which process runs it or
-    how many packets preceded it.
+    how many packets preceded it.  With ``batch_size > 1`` the chunk is
+    evaluated in groups of up to ``batch_size`` packets through the
+    batched PHY chain (:meth:`WlanTestbench.run_packet_batch`), which is
+    bit-identical to the per-packet path.
 
     Returns:
         ``[(bit_errors, n_bits, lost), ...]`` per packet, in order.
     """
-    config, seed_children = payload
-    bench = WlanTestbench(config)
+    config, seed_children, batch_size = payload
+    bench = _bench_for_config(config)
+    # The probe tag is the packet's seed coordinates — stable under
+    # any chunking/worker placement, so reservoir sampling keeps the
+    # same IQ points at every job count.
+    tags = [f"{child.entropy}:{child.spawn_key}" for child in seed_children]
     outcomes = []
-    for child in seed_children:
-        # The probe tag is the packet's seed coordinates — stable under
-        # any chunking/worker placement, so reservoir sampling keeps the
-        # same IQ points at every job count.
-        tag = f"{child.entropy}:{child.spawn_key}"
-        outcome = bench.run_packet(
-            np.random.default_rng(child), probe_tag=tag
-        )
-        outcomes.append((outcome.bit_errors, outcome.n_bits, outcome.lost))
+    if batch_size > 1:
+        for i in range(0, len(seed_children), batch_size):
+            group = seed_children[i : i + batch_size]
+            group_tags = tags[i : i + batch_size]
+            if len(group) == 1:
+                packet_outcomes = [bench.run_packet(
+                    np.random.default_rng(group[0]), probe_tag=group_tags[0]
+                )]
+            else:
+                rngs = [np.random.default_rng(child) for child in group]
+                packet_outcomes = bench.run_packet_batch(rngs, group_tags)
+            for outcome in packet_outcomes:
+                outcomes.append(
+                    (outcome.bit_errors, outcome.n_bits, outcome.lost)
+                )
+    else:
+        for child, tag in zip(seed_children, tags):
+            outcome = bench.run_packet(
+                np.random.default_rng(child), probe_tag=tag
+            )
+            outcomes.append(
+                (outcome.bit_errors, outcome.n_bits, outcome.lost)
+            )
     return outcomes
 
 
@@ -175,6 +215,10 @@ class WlanTestbench:
             )
         else:
             self._rx_config = RxConfig()
+        # Transmitter and receiver are stateless across packets; build
+        # them once instead of per packet (and per chunk in workers).
+        self._transmitter = Transmitter(self._tx_config)
+        self._receiver = Receiver(self._rx_config)
 
     # ------------------------------------------------------------------
     def run_packet(
@@ -199,11 +243,30 @@ class WlanTestbench:
         """
         cfg = self.config
         probes = obs.get_probes()
-        tx = Transmitter(self._tx_config)
+        tx = self._transmitter
         psdu = random_psdu(cfg.psdu_bytes, rng)
         with obs.span("block:transmitter", rate_mbps=cfg.rate_mbps) as sp:
             wave = tx.transmit(psdu)
             sp.set(samples=wave.size)
+        baseband = self._propagate(wave, rng, probes)
+        with obs.span("block:receiver", samples=baseband.size):
+            result = self._receiver.receive(baseband)
+        tx_symbols = tx.data_symbols(psdu)
+        self._tap_evm(probes, result, tx_symbols, probe_tag)
+        return self._packet_outcome(result, psdu, tx_symbols)
+
+    def _propagate(
+        self, wave: np.ndarray, rng: np.random.Generator, probes
+    ) -> np.ndarray:
+        """One packet's channel + RF path: TX waveform to RX baseband.
+
+        Covers everything between the transmitter and receiver spans —
+        guard padding, level adaptation, interference/fading/AWGN, the RF
+        front end (or the ideal decimator), output normalization and the
+        genie-timing slice — including all the per-packet probe taps, in
+        the exact per-packet order of the scalar chain.
+        """
+        cfg = self.config
         guard = np.zeros(cfg.guard_samples * self.oversample, dtype=complex)
         samples = np.concatenate([guard, wave, guard])
         sample_rate = self._tx_config.sample_rate
@@ -271,15 +334,14 @@ class WlanTestbench:
             # Genie timing: hand the receiver the exact packet start.  Only
             # valid without a front end (whose group delay would shift it).
             baseband = baseband[cfg.guard_samples :]
+        return baseband
 
-        with obs.span("block:receiver", samples=baseband.size):
-            result = Receiver(self._rx_config).receive(baseband)
-        n_bits = 8 * cfg.psdu_bytes
-        tx_symbols = tx.data_symbols(psdu)
+    def _tap_evm(self, probes, result: RxResult, tx_symbols, probe_tag):
+        """Fire the equalizer-output EVM probe for one decoded packet."""
         if probes.enabled and result.data_symbols is not None:
             from repro.dsp.params import RATES
 
-            rx = result.data_symbols.reshape(-1)
+            rx = np.asarray(result.data_symbols).reshape(-1)
             ref = tx_symbols.reshape(-1)
             n = min(rx.size, ref.size)
             if n:
@@ -287,15 +349,68 @@ class WlanTestbench:
                     "eq",
                     rx[:n],
                     ref[:n],
-                    RATES[cfg.rate_mbps].modulation,
+                    RATES[self.config.rate_mbps].modulation,
                     tag=probe_tag,
                 )
+
+    def _packet_outcome(
+        self, result: RxResult, psdu: np.ndarray, tx_symbols: np.ndarray
+    ) -> PacketOutcome:
+        """Score one reception against its transmitted payload."""
+        n_bits = 8 * self.config.psdu_bytes
         if not result.success or result.psdu.size != psdu.size:
             return PacketOutcome(n_bits / 2.0, n_bits, True, result, tx_symbols)
         errors = int(
             np.unpackbits(result.psdu ^ psdu, bitorder="little").sum()
         )
         return PacketOutcome(float(errors), n_bits, False, result, tx_symbols)
+
+    # ------------------------------------------------------------------
+    def run_packet_batch(self, rngs, probe_tags=None) -> list:
+        """Run a batch of packets with the PHY chain evaluated stacked.
+
+        The transmitter's bit chain and OFDM modulation run once over
+        ``(n_packets, ...)`` arrays, the channel/RF path stays per packet
+        (each stage draws from its packet's own random stream, in the
+        same order as :meth:`run_packet`), and the receiver decodes the
+        whole batch through stacked FFTs and one batched Viterbi pass.
+
+        Args:
+            rngs: one :class:`numpy.random.Generator` per packet.
+            probe_tags: per-packet probe identity tags (defaults to
+                ``"pkt"`` each, like :meth:`run_packet`).
+
+        Returns:
+            List of :class:`PacketOutcome`, bit-identical to calling
+            :meth:`run_packet` per packet.
+        """
+        cfg = self.config
+        probes = obs.get_probes()
+        if probe_tags is None:
+            probe_tags = ["pkt"] * len(rngs)
+        psdus = np.stack([random_psdu(cfg.psdu_bytes, rng) for rng in rngs])
+        with obs.span(
+            "block:transmitter", rate_mbps=cfg.rate_mbps, batch=len(rngs)
+        ) as sp:
+            waves, tx_symbol_stack = self._transmitter.transmit_batch(psdus)
+            sp.set(samples=int(waves.size))
+        basebands = [
+            self._propagate(waves[k], rngs[k], probes)
+            for k in range(len(rngs))
+        ]
+        with obs.span(
+            "block:receiver",
+            samples=int(sum(b.size for b in basebands)),
+            batch=len(rngs),
+        ):
+            results = self._receiver.receive_batch(np.stack(basebands))
+        outcomes = []
+        for k, result in enumerate(results):
+            self._tap_evm(probes, result, tx_symbol_stack[k], probe_tags[k])
+            outcomes.append(
+                self._packet_outcome(result, psdus[k], tx_symbol_stack[k])
+            )
+        return outcomes
 
     # ------------------------------------------------------------------
     def measure_ber(
@@ -306,7 +421,8 @@ class WlanTestbench:
         store=None,
         run_name: str = "ber",
         jobs: Optional[int] = None,
-        chunk_size: int = 1,
+        chunk_size: Optional[int] = None,
+        batch_size: Optional[int] = None,
         retries: Optional[int] = None,
         task_timeout: Optional[float] = None,
     ) -> BerMeasurement:
@@ -339,7 +455,13 @@ class WlanTestbench:
             jobs: worker processes for packet chunks; None defers to
                 the ambient ``--jobs`` default, 1 runs in-process.
             chunk_size: packets per dispatched chunk (early-stop
-                granularity).
+                granularity); None uses the resolved batch size, so a
+                chunk is one batched chain evaluation.
+            batch_size: packets evaluated per stacked PHY-chain pass
+                inside a chunk; None defers to the ambient
+                ``--batch-size`` default (1 = the classic per-packet
+                path).  Any batch size is bit-identical — it only
+                changes throughput.
             retries: per-chunk retry budget on task failure (each
                 attempt replays the chunk's own seed children, so a
                 retried measurement is bit-identical to a clean one);
@@ -349,12 +471,15 @@ class WlanTestbench:
         """
         from repro import perf
 
+        batch = perf.resolve_batch_size(batch_size)
+        if chunk_size is None:
+            chunk_size = batch
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
         counter = BerCounter()
         children = perf.spawn(seed, n_packets)
         chunks = [
-            (self.config, children[i:i + chunk_size])
+            (self.config, children[i:i + chunk_size], batch)
             for i in range(0, n_packets, chunk_size)
         ]
 

@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.dsp.ofdm import (
     OfdmDemodulator,
-    pilot_values,
+    pilot_value_rows,
     subcarriers_to_fft_bins,
 )
 from repro.dsp.params import (
@@ -55,9 +55,16 @@ def estimate_channel_ls(ltf_samples: np.ndarray) -> np.ndarray:
 
 
 def equalize(freq_symbols: np.ndarray, h_est: np.ndarray) -> np.ndarray:
-    """Zero-forcing equalization of full FFT rows by the channel estimate."""
-    freq_symbols = np.atleast_2d(np.asarray(freq_symbols, dtype=complex))
-    return freq_symbols / h_est[None, :]
+    """Zero-forcing equalization of full FFT rows by the channel estimate.
+
+    ``h_est`` broadcasts against ``freq_symbols``: pass the plain 64-bin
+    estimate for one packet, or a ``(n_packets, 1, 64)`` stack against
+    ``(n_packets, n_symbols, 64)`` rows for a batch.
+    """
+    freq_symbols = np.asarray(freq_symbols, dtype=complex)
+    if freq_symbols.ndim == 1:
+        freq_symbols = freq_symbols[None, :]
+    return freq_symbols / np.asarray(h_est, dtype=complex)
 
 
 def pilot_phase_correction(
@@ -67,21 +74,26 @@ def pilot_phase_correction(
 
     Args:
         equalized_rows: shape ``(n_symbols, 64)`` equalized FFT rows of
-            consecutive DATA symbols.
+            consecutive DATA symbols, or a ``(n_packets, n_symbols, 64)``
+            batch (every packet starts at ``first_symbol_index``).
         first_symbol_index: DATA symbol index of the first row (controls
             the expected pilot polarity sequence).
 
     Returns:
         Phase-corrected copy of ``equalized_rows``.
     """
-    rows = np.atleast_2d(np.asarray(equalized_rows, dtype=complex)).copy()
-    for n in range(rows.shape[0]):
-        expected = pilot_values(first_symbol_index + n)
-        received = rows[n, _PILOT_BINS]
-        rotation = np.sum(received * np.conj(expected))
-        if np.abs(rotation) > 0:
-            rows[n] *= np.exp(-1j * np.angle(rotation))
-    return rows
+    rows = np.asarray(equalized_rows, dtype=complex)
+    if rows.ndim == 1:
+        rows = rows[None, :]
+    expected = pilot_value_rows(first_symbol_index, rows.shape[-2])
+    received = rows[..., _PILOT_BINS]  # (..., n_symbols, 4)
+    rotation = np.sum(received * np.conj(expected), axis=-1)
+    phase = np.exp(-1j * np.angle(rotation))
+    # Rotate only symbols with a nonzero pilot correlation (the scalar
+    # guard); where() leaves the untouched rows bit-identical instead of
+    # multiplying them by exactly 1+0j.
+    apply = (np.abs(rotation) > 0)[..., None]
+    return np.where(apply, rows * phase[..., None], rows)
 
 
 def smooth_channel_estimate(h_est: np.ndarray, n_taps: int = 16) -> np.ndarray:
@@ -125,23 +137,27 @@ def smooth_channel_estimate(h_est: np.ndarray, n_taps: int = 16) -> np.ndarray:
 
 
 def equalize_mmse(
-    freq_symbols: np.ndarray, h_est: np.ndarray, noise_var: float
+    freq_symbols: np.ndarray, h_est: np.ndarray, noise_var
 ) -> np.ndarray:
     """MMSE equalization: ``conj(H) / (|H|^2 + noise_var)`` per bin.
 
     With unit-energy constellations the MMSE weight regularizes weak bins
     instead of amplifying their noise, which matters on faded channels.
     The residual bias per bin is removed so hard decisions stay centered.
+    ``h_est`` and ``noise_var`` broadcast against ``freq_symbols`` (pass
+    ``(n_packets, 1, 64)`` / ``(n_packets, 1, 1)`` shapes for a batch).
     """
-    freq_symbols = np.atleast_2d(np.asarray(freq_symbols, dtype=complex))
+    freq_symbols = np.asarray(freq_symbols, dtype=complex)
+    if freq_symbols.ndim == 1:
+        freq_symbols = freq_symbols[None, :]
     h = np.asarray(h_est, dtype=complex)
-    noise_var = max(float(noise_var), 1e-12)
-    weight = np.conj(h) / (np.abs(h) ** 2 + noise_var)
-    eq = freq_symbols * weight[None, :]
+    noise = np.maximum(np.asarray(noise_var, dtype=float), 1e-12)
+    weight = np.conj(h) / (np.abs(h) ** 2 + noise)
+    eq = freq_symbols * weight
     # Remove the MMSE bias |H|^2/(|H|^2+N0) so constellations line up.
-    bias = (np.abs(h) ** 2) / (np.abs(h) ** 2 + noise_var)
+    bias = (np.abs(h) ** 2) / (np.abs(h) ** 2 + noise)
     bias = np.where(bias > 1e-6, bias, 1.0)
-    return eq / bias[None, :]
+    return eq / bias
 
 
 def estimate_noise_variance(ltf_samples: np.ndarray) -> float:

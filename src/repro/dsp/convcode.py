@@ -7,6 +7,7 @@ and 3/4 are obtained by puncturing.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Tuple
 
 import numpy as np
@@ -52,46 +53,63 @@ class ConvolutionalEncoder:
         """Encode ``bits`` into the interleaved A0 B0 A1 B1 ... bit stream.
 
         Args:
-            bits: input data bits (0/1).
+            bits: input data bits (0/1); an ``(..., n)`` array encodes each
+                row along the last axis as an independent frame.
 
         Returns:
-            Array of ``2 * len(bits)`` coded bits.
+            Array of ``(..., 2 * n)`` coded bits.
         """
         bits = np.asarray(bits, dtype=np.uint8)
-        n = bits.size
+        n = bits.shape[-1]
         # Shift-register history: window of K bits ending at each input bit.
-        padded = np.concatenate([np.zeros(CONSTRAINT_LENGTH - 1, dtype=np.uint8), bits])
-        windows = np.lib.stride_tricks.sliding_window_view(padded, CONSTRAINT_LENGTH)
+        pad = np.zeros(bits.shape[:-1] + (CONSTRAINT_LENGTH - 1,), dtype=np.uint8)
+        padded = np.concatenate([pad, bits], axis=-1)
+        windows = np.lib.stride_tricks.sliding_window_view(
+            padded, CONSTRAINT_LENGTH, axis=-1
+        )
         # Window is oldest..newest; generator taps are newest..oldest.
-        windows = windows[:, ::-1]
+        windows = windows[..., ::-1]
         a = (windows @ self._taps0) & 1
         b = (windows @ self._taps1) & 1
-        out = np.empty(2 * n, dtype=np.uint8)
-        out[0::2] = a
-        out[1::2] = b
+        out = np.empty(bits.shape[:-1] + (2 * n,), dtype=np.uint8)
+        out[..., 0::2] = a
+        out[..., 1::2] = b
         return out
+
+
+@lru_cache(maxsize=None)
+def kept_indices(rate: Tuple[int, int], n_coded: int) -> np.ndarray:
+    """Surviving-bit indices for puncturing ``n_coded`` mother-code bits.
+
+    Cached per (coding rate, frame length) so repeated puncture and
+    depuncture calls — one per packet in a BER loop — reuse the same
+    read-only index table instead of re-tiling the boolean mask.
+    """
+    mask = _puncture_mask(rate)
+    if n_coded % mask.size:
+        raise ValueError(
+            f"coded length {n_coded} is not a multiple of the "
+            f"puncture period {mask.size}"
+        )
+    idx = np.flatnonzero(np.tile(mask, n_coded // mask.size))
+    idx.setflags(write=False)
+    return idx
 
 
 def puncture(coded: np.ndarray, rate: Tuple[int, int]) -> np.ndarray:
     """Puncture a rate-1/2 coded stream up to ``rate`` (2/3 or 3/4).
 
     Args:
-        coded: interleaved A/B output of :class:`ConvolutionalEncoder`.  Its
-            length must be a multiple of the puncturing period.
+        coded: interleaved A/B output of :class:`ConvolutionalEncoder`; an
+            ``(..., n)`` array punctures each row along the last axis.  The
+            row length must be a multiple of the puncturing period.
         rate: target coding rate as a ``(k, n)`` tuple.
 
     Returns:
-        The punctured bit stream.
+        The punctured bit stream(s).
     """
-    mask = _puncture_mask(rate)
     coded = np.asarray(coded)
-    if coded.size % mask.size:
-        raise ValueError(
-            f"coded length {coded.size} is not a multiple of the "
-            f"puncture period {mask.size}"
-        )
-    tiled = np.tile(mask, coded.size // mask.size)
-    return coded[tiled]
+    return coded[..., kept_indices(tuple(rate), coded.shape[-1])]
 
 
 def depuncture(
@@ -100,27 +118,29 @@ def depuncture(
     """Re-insert erasures for punctured positions.
 
     Args:
-        received: punctured soft or hard values.
+        received: punctured soft or hard values; an ``(..., n)`` array is
+            depunctured per row along the last axis.
         rate: the coding rate that was used for puncturing.
         erasure: value inserted at punctured positions.  For soft-decision
             LLR decoding an erasure of 0 (no information) is correct.
 
     Returns:
-        The depunctured stream, length a multiple of 2, aligned with the
+        The depunctured stream(s), length a multiple of 2, aligned with the
         rate-1/2 mother-code output.
     """
+    rate = tuple(rate)
     mask = _puncture_mask(rate)
     received = np.asarray(received, dtype=float)
     kept_per_period = int(mask.sum())
-    if received.size % kept_per_period:
+    n = received.shape[-1]
+    if n % kept_per_period:
         raise ValueError(
-            f"received length {received.size} is not a multiple of the "
+            f"received length {n} is not a multiple of the "
             f"kept-bits-per-period count {kept_per_period}"
         )
-    n_periods = received.size // kept_per_period
-    out = np.full(n_periods * mask.size, erasure, dtype=float)
-    tiled = np.tile(mask, n_periods)
-    out[tiled] = received
+    n_out = (n // kept_per_period) * mask.size
+    out = np.full(received.shape[:-1] + (n_out,), erasure, dtype=float)
+    out[..., kept_indices(rate, n_out)] = received
     return out
 
 

@@ -127,3 +127,49 @@ class Demapper:
             d1 = dist[:, mask1].min(axis=1)
             llrs[:, b] = (d1 - d0) / max(noise_var, 1e-30)
         return llrs.reshape(-1)
+
+    def demap_soft_rows(
+        self, symbol_rows: np.ndarray, noise_vars: np.ndarray
+    ) -> np.ndarray:
+        """Batched max-log demapping with a per-row noise variance.
+
+        Args:
+            symbol_rows: ``(n_rows, n_symbols)`` received constellation
+                symbols — one packet per row.
+            noise_vars: per-row effective noise variance, shape
+                ``(n_rows,)``.
+
+        Returns:
+            ``(n_rows, n_symbols * n_bpsc)`` LLRs; row ``k`` equals
+            ``demap_soft(symbol_rows[k], noise_vars[k])`` exactly.
+        """
+        symbol_rows = np.asarray(symbol_rows, dtype=complex)
+        if symbol_rows.ndim != 2:
+            raise ValueError("expected (n_rows, n_symbols) input")
+        n_rows, n_per = symbol_rows.shape
+        n = self.n_bpsc
+        flat = symbol_rows.reshape(-1)
+        dist = np.abs(flat[:, None] - self._points[None, :])
+        np.multiply(dist, dist, out=dist)
+        llrs = np.empty((flat.size, n))
+        div = np.repeat(
+            np.maximum(np.asarray(noise_vars, dtype=float), 1e-30), n_per
+        )
+        for b in range(n):
+            if n >= 6:
+                # MSB-first Gray indexing makes bit b a reshape axis, so
+                # the per-bit minima reduce over strided views instead of
+                # boolean-mask copies.  min() over the same point set is
+                # traversal-order independent (distances are nonnegative,
+                # so no ±0.0 ambiguity): bit-identical to the mask form,
+                # and ~2.5x faster for the 64-point constellation.  For
+                # the small constellations the masked copies win.
+                d = dist.reshape(flat.size, 1 << b, 2, 1 << (n - 1 - b))
+                d0 = d[:, :, 0, :].min(axis=(1, 2))
+                d1 = d[:, :, 1, :].min(axis=(1, 2))
+            else:
+                mask1 = self._bit_matrix[:, b].astype(bool)
+                d0 = dist[:, ~mask1].min(axis=1)
+                d1 = dist[:, mask1].min(axis=1)
+            llrs[:, b] = (d1 - d0) / div
+        return llrs.reshape(n_rows, n_per * n)

@@ -38,6 +38,16 @@ def pilot_values(symbol_index: int) -> np.ndarray:
     return PILOT_BASE_VALUES * polarity
 
 
+def pilot_value_rows(first_symbol_index: int, n_symbols: int) -> np.ndarray:
+    """Stacked :func:`pilot_values` for ``n_symbols`` consecutive symbols.
+
+    Row ``n`` equals ``pilot_values(first_symbol_index + n)`` exactly.
+    """
+    indices = first_symbol_index + np.arange(n_symbols)
+    polarity = _PILOT_POLARITY[(indices + 1) % _PILOT_POLARITY.size]
+    return PILOT_BASE_VALUES[None, :] * polarity[:, None]
+
+
 def subcarriers_to_fft_bins(carriers: np.ndarray) -> np.ndarray:
     """Map logical subcarrier indices (-32..31) to numpy FFT bin indices."""
     return np.where(carriers >= 0, carriers, carriers + N_FFT)
@@ -82,8 +92,29 @@ class OfdmModulator:
         time = np.fft.ifft(freq) * TIME_SCALE
         return np.concatenate([time[-N_CP:], time])
 
+    def _modulate_blocks(
+        self, blocks: np.ndarray, symbol_indices: np.ndarray
+    ) -> np.ndarray:
+        """Stacked symbol assembly: one IFFT call for all symbols.
+
+        Args:
+            blocks: ``(n, 48)`` data constellation points.
+            symbol_indices: 0-based DATA symbol index per block (controls
+                pilot polarity).
+
+        Returns:
+            ``(n, 80)`` CP-prefixed time-domain symbols; row ``k`` equals
+            ``modulate_symbol(blocks[k], symbol_indices[k])`` exactly.
+        """
+        polarity = _PILOT_POLARITY[(symbol_indices + 1) % _PILOT_POLARITY.size]
+        freq = np.zeros((blocks.shape[0], N_FFT), dtype=complex)
+        freq[:, _DATA_BINS] = blocks
+        freq[:, _PILOT_BINS] = PILOT_BASE_VALUES[None, :] * polarity[:, None]
+        time = np.fft.ifft(freq, axis=1) * TIME_SCALE
+        return np.concatenate([time[:, -N_CP:], time], axis=1)
+
     def modulate(self, data_symbols: np.ndarray) -> np.ndarray:
-        """Modulate a whole DATA field.
+        """Modulate a whole DATA field with a single stacked IFFT.
 
         Args:
             data_symbols: array of shape ``(n_symbols, 48)`` or flat with a
@@ -94,10 +125,29 @@ class OfdmModulator:
         """
         data_symbols = np.asarray(data_symbols, dtype=complex)
         blocks = data_symbols.reshape(-1, _DATA_BINS.size)
-        out = np.empty((blocks.shape[0], N_CP + N_FFT), dtype=complex)
-        for n, block in enumerate(blocks):
-            out[n] = self.modulate_symbol(block, n)
+        out = self._modulate_blocks(blocks, np.arange(blocks.shape[0]))
         return out.reshape(-1)
+
+    def modulate_batch(self, data_symbols: np.ndarray) -> np.ndarray:
+        """Modulate a batch of DATA fields in one stacked IFFT.
+
+        Args:
+            data_symbols: ``(n_packets, n_symbols, 48)`` constellation
+                points; every packet restarts its pilot polarity at DATA
+                symbol 0.
+
+        Returns:
+            ``(n_packets, n_symbols * 80)`` time-domain samples; row ``k``
+            equals ``modulate(data_symbols[k])`` exactly.
+        """
+        data_symbols = np.asarray(data_symbols, dtype=complex)
+        if data_symbols.ndim != 3:
+            raise ValueError("expected (n_packets, n_symbols, 48) input")
+        n_packets, n_symbols, _ = data_symbols.shape
+        blocks = data_symbols.reshape(-1, _DATA_BINS.size)
+        indices = np.tile(np.arange(n_symbols), n_packets)
+        out = self._modulate_blocks(blocks, indices)
+        return out.reshape(n_packets, n_symbols * (N_CP + N_FFT))
 
 
 class OfdmDemodulator:
@@ -123,12 +173,40 @@ class OfdmDemodulator:
         blocks = samples.reshape(-1, N_CP + N_FFT)[:, N_CP:]
         return np.fft.fft(blocks, axis=1) / TIME_SCALE
 
+    def demodulate_batch(self, sample_rows: np.ndarray) -> np.ndarray:
+        """FFT-demodulate a batch of symbol streams in one stacked FFT.
+
+        Args:
+            sample_rows: ``(n_packets, n_samples)`` time-domain samples;
+                the row length must be a multiple of 80.
+
+        Returns:
+            ``(n_packets, n_symbols, 64)`` FFT bins; slice ``k`` equals
+            ``demodulate(sample_rows[k])`` exactly.
+        """
+        sample_rows = np.asarray(sample_rows, dtype=complex)
+        if sample_rows.ndim != 2:
+            raise ValueError("expected (n_packets, n_samples) input")
+        if sample_rows.shape[-1] % (N_CP + N_FFT):
+            raise ValueError(
+                f"sample count {sample_rows.shape[-1]} is not a multiple "
+                f"of {N_CP + N_FFT}"
+            )
+        blocks = sample_rows.reshape(
+            sample_rows.shape[0], -1, N_CP + N_FFT
+        )[:, :, N_CP:]
+        return np.fft.fft(blocks, axis=-1) / TIME_SCALE
+
     def extract_data(self, freq_symbols: np.ndarray) -> np.ndarray:
-        """Pick the 48 data subcarriers from full FFT rows."""
-        freq_symbols = np.atleast_2d(np.asarray(freq_symbols, dtype=complex))
-        return freq_symbols[:, _DATA_BINS]
+        """Pick the 48 data subcarriers from full FFT rows (any ndim)."""
+        freq_symbols = np.asarray(freq_symbols, dtype=complex)
+        if freq_symbols.ndim == 1:
+            freq_symbols = freq_symbols[None, :]
+        return freq_symbols[..., _DATA_BINS]
 
     def extract_pilots(self, freq_symbols: np.ndarray) -> np.ndarray:
-        """Pick the 4 pilot subcarriers from full FFT rows."""
-        freq_symbols = np.atleast_2d(np.asarray(freq_symbols, dtype=complex))
-        return freq_symbols[:, _PILOT_BINS]
+        """Pick the 4 pilot subcarriers from full FFT rows (any ndim)."""
+        freq_symbols = np.asarray(freq_symbols, dtype=complex)
+        if freq_symbols.ndim == 1:
+            freq_symbols = freq_symbols[None, :]
+        return freq_symbols[..., _PILOT_BINS]

@@ -132,6 +132,19 @@ def encode_signal_field(rate: RateParameters, length_bytes: int) -> np.ndarray:
     return OfdmModulator().modulate_symbol(symbols, 0, pilot_polarity=1.0)
 
 
+def _parse_signal_bits(bits: np.ndarray) -> Optional[SignalFieldContent]:
+    """Interpret 24 decoded SIGNAL bits (shared scalar/batched parser)."""
+    rate_bits = tuple(int(b) for b in bits[0:4])
+    mbps = RATE_BITS_TO_MBPS.get(rate_bits)
+    if mbps is None:
+        return None
+    length = int(sum(int(bits[5 + i]) << i for i in range(12)))
+    parity_ok = int(bits[0:17].sum() % 2) == int(bits[17])
+    return SignalFieldContent(
+        rate=RATES[mbps], length_bytes=length, parity_ok=parity_ok
+    )
+
+
 def decode_signal_field(
     data_subcarriers: np.ndarray, noise_var: float = 1.0
 ) -> Optional[SignalFieldContent]:
@@ -152,12 +165,30 @@ def decode_signal_field(
         llr = llr * (20.0 / peak)
     llr = deinterleave(llr, n_cbps=48, n_bpsc=1)
     bits = ViterbiDecoder(terminated=True).decode_soft(llr)
-    rate_bits = tuple(int(b) for b in bits[0:4])
-    mbps = RATE_BITS_TO_MBPS.get(rate_bits)
-    if mbps is None:
-        return None
-    length = int(sum(int(bits[5 + i]) << i for i in range(12)))
-    parity_ok = int(bits[0:17].sum() % 2) == int(bits[17])
-    return SignalFieldContent(
-        rate=RATES[mbps], length_bytes=length, parity_ok=parity_ok
-    )
+    return _parse_signal_bits(bits)
+
+
+def decode_signal_fields(
+    data_subcarrier_rows: np.ndarray, noise_vars: np.ndarray
+) -> list:
+    """Decode a batch of SIGNAL symbols in one vectorized pass.
+
+    Args:
+        data_subcarrier_rows: ``(n_packets, 48)`` equalized data
+            subcarriers, one SIGNAL symbol per row.
+        noise_vars: per-packet noise variance, shape ``(n_packets,)``.
+
+    Returns:
+        One :func:`decode_signal_field`-identical result per row (a
+        :class:`SignalFieldContent` or None).
+    """
+    rows = np.asarray(data_subcarrier_rows, dtype=complex)
+    noise_vars = np.asarray(noise_vars, dtype=float)
+    llr = Demapper("BPSK").demap_soft_rows(rows, noise_vars)
+    peak = np.max(np.abs(llr), axis=1)
+    safe = np.where(peak > 0, peak, 1.0)
+    scale = np.where(peak > 0, 20.0 / safe, 1.0)
+    llr = llr * scale[:, None]
+    llr = deinterleave(llr, n_cbps=48, n_bpsc=1)
+    bits = ViterbiDecoder(terminated=True).decode_soft(llr)
+    return [_parse_signal_bits(row) for row in bits]

@@ -46,6 +46,7 @@ from repro.dsp.preamble import (
     PREAMBLE_LENGTH,
     STF_LENGTH,
     decode_signal_field,
+    decode_signal_fields,
 )
 from repro.dsp.scrambler import Scrambler
 from repro.dsp.synchronization import (
@@ -139,19 +140,19 @@ class Receiver:
         # between the payload and the pad.)
         self._viterbi = ViterbiDecoder(terminated=False)
 
-    def receive(self, samples: np.ndarray) -> RxResult:
-        """Decode one PPDU from a received sample stream.
+    def _sync_and_estimate(self, samples: np.ndarray):
+        """Per-packet front half of :meth:`receive`.
 
-        Args:
-            samples: complex baseband samples at 20 MHz containing (at
-                least) one complete PPDU.
+        Runs timing synchronization, CFO correction and channel/noise
+        estimation — the stages that are inherently sequential per packet.
 
         Returns:
-            An :class:`RxResult`; ``result.success`` is False with a
-            ``failure`` reason if any stage fails.
+            ``(failure, state)`` where exactly one is None.  ``failure`` is
+            the :class:`RxResult` to return; ``state`` is the tuple
+            ``(start, work, h_est, noise_var, cfo_total)`` the decoding
+            half consumes.
         """
         cfg = self.config
-        samples = np.asarray(samples, dtype=complex)
 
         # --- Timing synchronization -----------------------------------
         if cfg.genie_timing:
@@ -159,16 +160,16 @@ class Receiver:
         else:
             detect = detect_packet(samples)
             if detect is None:
-                return RxResult(False, failure="packet not detected")
+                return RxResult(False, failure="packet not detected"), None
             ltf_gi = symbol_timing(samples, search_start=detect + 96)
             if ltf_gi is None:
-                return RxResult(False, failure="timing search failed")
+                return RxResult(False, failure="timing search failed"), None
             start = ltf_gi - STF_LENGTH
             if start < 0 or start + PREAMBLE_LENGTH + N_SYMBOL > samples.size:
-                return RxResult(False, failure="packet truncated")
+                return RxResult(False, failure="packet truncated"), None
 
         if samples.size < start + PREAMBLE_LENGTH + N_SYMBOL:
-            return RxResult(False, failure="packet truncated")
+            return RxResult(False, failure="packet truncated"), None
 
         # --- Frequency synchronization --------------------------------
         cfo_total = 0.0
@@ -190,6 +191,26 @@ class Receiver:
             h_est = smooth_channel_estimate(
                 h_est, cfg.channel_smoothing_taps
             )
+        return None, (start, work, h_est, noise_var, cfo_total)
+
+    def receive(self, samples: np.ndarray) -> RxResult:
+        """Decode one PPDU from a received sample stream.
+
+        Args:
+            samples: complex baseband samples at 20 MHz containing (at
+                least) one complete PPDU.
+
+        Returns:
+            An :class:`RxResult`; ``result.success`` is False with a
+            ``failure`` reason if any stage fails.
+        """
+        cfg = self.config
+        samples = np.asarray(samples, dtype=complex)
+
+        failure, state = self._sync_and_estimate(samples)
+        if failure is not None:
+            return failure
+        start, work, h_est, noise_var, cfo_total = state
 
         def _equalize(rows_in):
             if cfg.equalizer == "mmse":
@@ -310,6 +331,205 @@ class Receiver:
             N_SERVICE_BITS : N_SERVICE_BITS + 8 * length
         ]
         return np.packbits(psdu_bits, bitorder="little")
+
+    # ------------------------------------------------------------------
+    # Batched reception
+    # ------------------------------------------------------------------
+
+    def _equalize_rows(
+        self, rows: np.ndarray, h_stack: np.ndarray, noise: np.ndarray
+    ) -> np.ndarray:
+        """Equalize a ``(n_packets, n_symbols, 64)`` stack per packet."""
+        if self.config.equalizer == "mmse":
+            return equalize_mmse(rows, h_stack, noise)
+        return equalize(rows, h_stack)
+
+    def receive_batch(self, sample_rows: np.ndarray) -> list:
+        """Decode a batch of PPDUs with the heavy DSP stages stacked.
+
+        Synchronization, CFO correction and channel estimation stay
+        per-packet (they are data-dependent and cheap); FFT demodulation,
+        equalization, pilot tracking, SIGNAL decoding and the whole DATA
+        decode chain (demap, deinterleave, depuncture, Viterbi, descramble)
+        run as single stacked array operations over all packets that share
+        a (rate, length) combination.
+
+        Args:
+            sample_rows: ``(n_packets, n_samples)`` received baseband
+                sample streams, one packet per row.
+
+        Returns:
+            List of :class:`RxResult`, one per row; entry ``k`` is
+            bit-identical to ``receive(sample_rows[k])``.
+        """
+        cfg = self.config
+        sample_rows = np.asarray(sample_rows, dtype=complex)
+        if sample_rows.ndim != 2:
+            raise ValueError("expected (n_packets, n_samples) input")
+        n_packets = sample_rows.shape[0]
+        results: list = [None] * n_packets
+        states: list = [None] * n_packets
+
+        for k in range(n_packets):
+            failure, state = self._sync_and_estimate(sample_rows[k])
+            if failure is not None:
+                results[k] = failure
+            else:
+                states[k] = state
+
+        live = [k for k in range(n_packets) if states[k] is not None]
+
+        # --- SIGNAL field (batched across all live packets) -----------
+        signal_info: dict = {}  # k -> (rate, length, parity_ok)
+        if cfg.genie_rate_mbps is not None:
+            if cfg.genie_length_bytes is None:
+                for k in live:
+                    results[k] = RxResult(
+                        False, failure="genie rate requires genie length"
+                    )
+                live = []
+            else:
+                rate = RATES[cfg.genie_rate_mbps]
+                for k in live:
+                    signal_info[k] = (rate, cfg.genie_length_bytes, True)
+        elif live:
+            sig_stack = np.stack([
+                states[k][1][PREAMBLE_LENGTH : PREAMBLE_LENGTH + N_SYMBOL]
+                for k in live
+            ])
+            sig_rows = self._ofdm.demodulate_batch(sig_stack)
+            h_stack = np.stack([states[k][2] for k in live])[:, None, :]
+            noise_vars = np.array([states[k][3] for k in live])
+            sig_eq = self._equalize_rows(
+                sig_rows, h_stack, noise_vars[:, None, None]
+            )
+            sig_eq = pilot_phase_correction(sig_eq, first_symbol_index=-1)
+            sig_data = self._ofdm.extract_data(sig_eq)[:, 0, :]
+            contents = decode_signal_fields(sig_data, noise_vars)
+            for k, content in zip(live, contents):
+                start, _, _, _, cfo_total = states[k]
+                if content is None:
+                    results[k] = RxResult(
+                        False,
+                        packet_start=start,
+                        cfo_hz=cfo_total,
+                        failure="invalid SIGNAL rate field",
+                    )
+                elif not content.parity_ok:
+                    results[k] = RxResult(
+                        False,
+                        packet_start=start,
+                        cfo_hz=cfo_total,
+                        rate=content.rate,
+                        length_bytes=content.length_bytes,
+                        failure="SIGNAL parity error",
+                    )
+                else:
+                    signal_info[k] = (
+                        content.rate, content.length_bytes, content.parity_ok
+                    )
+
+        # --- DATA field (batched per (rate, length) group) ------------
+        groups: dict = {}
+        for k, (rate, length, _parity) in signal_info.items():
+            if length < 1:
+                results[k] = RxResult(False, failure="zero-length PSDU")
+                continue
+            groups.setdefault((rate.data_rate_mbps, length), []).append(k)
+
+        for (rate_mbps, length), members in groups.items():
+            rate = RATES[rate_mbps]
+            n_sym = symbols_for_psdu(length, rate)
+            data_start = PREAMBLE_LENGTH + N_SYMBOL
+            data_end = data_start + n_sym * N_SYMBOL
+            decodable = []
+            for k in members:
+                start, work, _, _, _ = states[k]
+                if work.size < data_end:
+                    results[k] = RxResult(
+                        False,
+                        packet_start=start,
+                        rate=rate,
+                        length_bytes=length,
+                        failure="DATA field truncated",
+                    )
+                else:
+                    decodable.append(k)
+            if not decodable:
+                continue
+            stack = np.stack([
+                states[k][1][data_start:data_end] for k in decodable
+            ])
+            rows = self._ofdm.demodulate_batch(stack)
+            h_stack = np.stack([states[k][2] for k in decodable])
+            noise_vars = np.array([states[k][3] for k in decodable])
+            rows = self._equalize_rows(
+                rows, h_stack[:, None, :], noise_vars[:, None, None]
+            )
+            rows = pilot_phase_correction(rows, first_symbol_index=0)
+            data_points = self._ofdm.extract_data(rows)
+            csi_rows = None
+            if cfg.csi_weighting:
+                csi_rows = np.abs(self._ofdm.extract_data(h_stack)) ** 2
+            psdus = self._decode_data_batch(
+                data_points, rate, length, noise_vars, csi_rows
+            )
+            for i, k in enumerate(decodable):
+                start, _, _, noise_var, cfo_total = states[k]
+                results[k] = RxResult(
+                    True,
+                    psdu=psdus[i],
+                    rate=rate,
+                    length_bytes=length,
+                    signal_parity_ok=signal_info[k][2],
+                    packet_start=start,
+                    cfo_hz=cfo_total,
+                    noise_var=noise_var,
+                    data_symbols=data_points[i],
+                )
+        return results
+
+    def _decode_data_batch(
+        self,
+        data_points: np.ndarray,
+        rate: RateParameters,
+        length: int,
+        noise_vars: np.ndarray,
+        csi_rows: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Batched :meth:`_decode_data` over ``(n_packets, n_sym, 48)``.
+
+        Row ``k`` of the returned ``(n_packets, length)`` byte array equals
+        ``_decode_data(data_points[k], rate, length, noise_vars[k],
+        csi_rows[k])`` exactly.
+        """
+        cfg = self.config
+        demapper = Demapper(rate.modulation)
+        n_packets, n_sym, _ = data_points.shape
+        if cfg.soft_decision:
+            llr = demapper.demap_soft_rows(
+                data_points.reshape(n_packets, -1), noise_vars
+            )
+            if csi_rows is not None:
+                weights = np.repeat(
+                    np.tile(csi_rows, (1, n_sym)), rate.n_bpsc, axis=1
+                )
+                llr = llr * weights
+        else:
+            hard = demapper.demap_hard(data_points.reshape(-1))
+            llr = 1.0 - 2.0 * hard.astype(float).reshape(n_packets, -1)
+        peak = np.max(np.abs(llr), axis=1)
+        safe = np.where(peak > 0, peak, 1.0)
+        scale = np.where(peak > 0, 20.0 / safe, 1.0)
+        llr = llr * scale[:, None]
+        llr = deinterleave(llr, rate.n_cbps, rate.n_bpsc)
+        llr = depuncture(llr, rate.coding_rate)
+        decoded = self._viterbi.decode_soft(llr)
+        descrambled = Scrambler(cfg.scrambler_seed).process(decoded)
+        psdu_bits = descrambled[
+            :, N_SERVICE_BITS : N_SERVICE_BITS + 8 * length
+        ]
+        return np.packbits(psdu_bits, axis=-1, bitorder="little")
 
 
 def ideal_receiver_config(rate_mbps: int, length_bytes: int) -> RxConfig:

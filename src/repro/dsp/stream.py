@@ -4,6 +4,11 @@ The paper's BER runs simulate several OFDM packets back to back (table 2
 counts 1/2/4 packets).  :class:`StreamReceiver` scans a continuous sample
 stream, decoding packet after packet — detection, SIGNAL decode, DATA
 decode, then advancing past the decoded PPDU to hunt for the next one.
+
+Each scan step reuses the per-packet receiver, so stream scanning gets the
+vectorized synchronization front end for free: packet detection evaluates
+its correlation/energy windows with cumulative-sum sliding windows over
+the whole remaining stream slice instead of a Python sample loop.
 """
 
 from __future__ import annotations

@@ -53,13 +53,18 @@ def detect_packet(
     norm = np.convolve(energy, window, mode="valid")
     metric = np.abs(corr) / np.maximum(norm, 1e-30)
     above = metric > threshold
-    # Find the first run of min_run consecutive True values.
-    run = 0
-    for i, flag in enumerate(above):
-        run = run + 1 if flag else 0
-        if run >= min_run:
-            return max(i - run + 1, 0)
-    return None
+    # Find the first run of min_run consecutive True values: the first
+    # window whose sliding sum saturates.  (Integer arithmetic, so this is
+    # exactly the scalar run-counting loop it replaces.)
+    if above.size < min_run:
+        return None
+    counts = np.cumsum(above)
+    window = counts[min_run - 1:].copy()
+    window[1:] -= counts[:-min_run]
+    full = np.flatnonzero(window == min_run)
+    if full.size == 0:
+        return None
+    return int(full[0])
 
 
 def coarse_cfo_estimate(

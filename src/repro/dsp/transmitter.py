@@ -102,6 +102,27 @@ class Transmitter:
         scrambled[tail_start : tail_start + N_TAIL_BITS] = 0
         return scrambled
 
+    def data_field_bits_batch(self, psdus: np.ndarray) -> np.ndarray:
+        """Batched :meth:`data_field_bits` for ``(n_packets, n_bytes)``.
+
+        Every packet shares the PSDU length (one SIGNAL field per batch);
+        row ``k`` equals ``data_field_bits(psdus[k])`` exactly.
+        """
+        psdus = np.asarray(psdus, dtype=np.uint8)
+        if psdus.ndim != 2:
+            raise ValueError("expected (n_packets, n_bytes) input")
+        if psdus.shape[1] > MAX_PSDU_BYTES:
+            raise ValueError(f"PSDU too long ({psdus.shape[1]} bytes)")
+        rate = self.config.rate
+        psdu_bits = np.unpackbits(psdus, axis=1, bitorder="little")
+        n_total = symbols_for_psdu(psdus.shape[1], rate) * rate.n_dbps
+        bits = np.zeros((psdus.shape[0], n_total), dtype=np.uint8)
+        bits[:, N_SERVICE_BITS : N_SERVICE_BITS + psdu_bits.shape[1]] = psdu_bits
+        scrambled = Scrambler(self.config.scrambler_seed).process(bits)
+        tail_start = N_SERVICE_BITS + psdu_bits.shape[1]
+        scrambled[:, tail_start : tail_start + N_TAIL_BITS] = 0
+        return scrambled
+
     def data_symbols(self, psdu: np.ndarray) -> np.ndarray:
         """Constellation symbols of the DATA field, shape (n_sym, 48)."""
         rate = self.config.rate
@@ -109,6 +130,15 @@ class Transmitter:
         coded = puncture(self._encoder.encode(bits), rate.coding_rate)
         interleaved = interleave(coded, rate.n_cbps, rate.n_bpsc)
         return self._mapper.map(interleaved).reshape(-1, 48)
+
+    def data_symbols_batch(self, psdus: np.ndarray) -> np.ndarray:
+        """Batched :meth:`data_symbols`: ``(n_packets, n_symbols, 48)``."""
+        rate = self.config.rate
+        bits = self.data_field_bits_batch(psdus)
+        coded = puncture(self._encoder.encode(bits), rate.coding_rate)
+        interleaved = interleave(coded, rate.n_cbps, rate.n_bpsc)
+        n_packets = interleaved.shape[0]
+        return self._mapper.map(interleaved).reshape(n_packets, -1, 48)
 
     def transmit(self, psdu: np.ndarray) -> np.ndarray:
         """Build the full PPDU waveform for one PSDU.
@@ -130,8 +160,43 @@ class Transmitter:
                 ppdu = self._shape(ppdu)
         return ppdu
 
+    def transmit_batch(self, psdus: np.ndarray):
+        """Build the PPDU waveforms of a whole batch in stacked array ops.
+
+        All packets share the PSDU length, so the preamble + SIGNAL head is
+        built once and broadcast; the DATA fields go through one batched
+        bit chain and one stacked IFFT.
+
+        Args:
+            psdus: payload bytes, shape ``(n_packets, n_bytes)``.
+
+        Returns:
+            Tuple ``(waveforms, data_symbols)`` where ``waveforms`` is
+            ``(n_packets, n_samples)`` with row ``k`` equal to
+            ``transmit(psdus[k])`` exactly, and ``data_symbols`` is the
+            ``(n_packets, n_symbols, 48)`` constellation points (handy for
+            EVM probes without a recompute).
+        """
+        psdus = np.asarray(psdus, dtype=np.uint8)
+        if psdus.ndim != 2:
+            raise ValueError("expected (n_packets, n_bytes) input")
+        n_packets = psdus.shape[0]
+        signal_sym = encode_signal_field(self.config.rate, psdus.shape[1])
+        head = np.concatenate([preamble(), signal_sym])
+        symbols = self.data_symbols_batch(psdus)
+        data_wave = self._ofdm.modulate_batch(symbols)
+        ppdu = np.concatenate(
+            [np.broadcast_to(head, (n_packets, head.size)), data_wave],
+            axis=1,
+        )
+        if self.config.oversample > 1:
+            ppdu = resample_poly(ppdu, self.config.oversample, 1, axis=-1)
+            if self.config.spectral_shaping:
+                ppdu = self._shape(ppdu)
+        return ppdu, symbols
+
     def _shape(self, samples: np.ndarray) -> np.ndarray:
-        """Zero-phase transmit pulse shaping (mask filter)."""
+        """Zero-phase transmit pulse shaping (mask filter); last-axis N-D."""
         from scipy.signal import butter, sosfiltfilt
 
         fs = self.config.sample_rate
@@ -139,7 +204,7 @@ class Transmitter:
         if edge >= fs / 2.0:
             return samples
         sos = butter(7, edge / (fs / 2.0), btype="low", output="sos")
-        return sosfiltfilt(sos, samples)
+        return sosfiltfilt(sos, samples, axis=-1)
 
 
 def random_psdu(n_bytes: int, rng: np.random.Generator) -> np.ndarray:

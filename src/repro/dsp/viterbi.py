@@ -10,6 +10,8 @@ Hard bits are converted to LLRs of +/-1 internally.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.dsp.convcode import CONSTRAINT_LENGTH, G0, G1
@@ -57,6 +59,56 @@ for _s in range(_N_STATES):
         _counts[_ns] += 1
 del _counts, _s, _bit, _ns, _slot
 
+# The (133, 171) trellis is a butterfly: state ``ns`` is reached from
+# ``2*(ns & 31)`` (slot 0) and ``2*(ns & 31) + 1`` (slot 1), and the input
+# bit that led there is ``ns >> 5`` regardless of slot.  The ACS recursion
+# and traceback below exploit this closed form, so pin it down here.
+_half = np.arange(_N_STATES) & 31
+assert np.array_equal(_PREV_STATE, np.stack([2 * _half, 2 * _half + 1], axis=1))
+assert np.array_equal(_PREV_BIT, np.repeat(np.arange(_N_STATES) >> 5, 2).reshape(-1, 2))
+del _half
+
+
+@lru_cache(maxsize=None)
+def acs_tables():
+    """Constant factors of the hoisted branch-metric table (cached).
+
+    The per-call branch tensor is ``sign_a * la + sign_b * lb`` — the LLR
+    vectors change every decode, but the ``(64, 2)`` sign tables derived
+    from the predecessor outputs are constant.  They used to be rebuilt on
+    every ``decode_soft`` call; now every decode (any rate — puncturing
+    only affects the erasure pattern, handled by
+    :func:`repro.dsp.convcode.kept_indices`, which is cached per
+    rate/length) shares the same read-only arrays.
+
+    Returns:
+        ``(sign_a, sign_b)`` — ``+1`` where the branch emits coded bit 0,
+        ``-1`` where it emits bit 1, for the A and B generator outputs.
+    """
+    sign_a = 1.0 - 2.0 * _PREV_OUT_A  # (_N_STATES, 2)
+    sign_b = 1.0 - 2.0 * _PREV_OUT_B
+    sign_a.setflags(write=False)
+    sign_b.setflags(write=False)
+    return sign_a, sign_b
+
+
+@lru_cache(maxsize=None)
+def branch_codes():
+    """Per-branch index into the four distinct branch-metric values (cached).
+
+    A branch metric is ``±la ± lb``, so each trellis step has only four
+    distinct values per packet: ``la+lb``, ``la-lb``, ``lb-la`` and
+    ``-(la+lb)``.  This table maps every ``(state, slot)`` branch to one of
+    those, letting the decoder build the full branch tensor with a single
+    gather instead of two full-size multiplies and an add.  Negation and
+    the single rounded addition commute with sign flips in IEEE-754, so
+    the gathered values equal ``sign_a*la + sign_b*lb`` bit-for-bit.
+    """
+    sign_a, sign_b = acs_tables()
+    code = (((1 - sign_a) // 2) * 2 + ((1 - sign_b) // 2)).astype(np.intp)
+    code.setflags(write=False)
+    return code
+
 
 class ViterbiDecoder:
     """Maximum-likelihood decoder for the K=7 (133, 171) code.
@@ -82,48 +134,84 @@ class ViterbiDecoder:
         Args:
             llr: sequence of log-likelihood ratios for the interleaved
                 A0 B0 A1 B1 ... coded bits; positive favours bit 0, zero is
-                an erasure.  Length must be even.
+                an erasure.  Length must be even.  A 2-D ``(n_packets,
+                n_llr)`` array decodes every row in one pass: the ACS
+                recursion runs each trellis step across all 64 states and
+                all packets at once, and each row's result is bit-identical
+                to decoding it alone.
 
         Returns:
             The decoded data bits (including any tail bits that were
-            encoded; the caller strips them).
+            encoded; the caller strips them), one row per input row.
         """
         llr = np.asarray(llr, dtype=float)
-        if llr.size % 2:
+        single = llr.ndim == 1
+        rows = llr[None, :] if single else llr
+        if rows.ndim != 2:
+            raise ValueError("LLR input must be 1-D or 2-D")
+        if rows.shape[-1] % 2:
             raise ValueError("LLR stream length must be even")
-        n_steps = llr.size // 2
-        la = llr[0::2]
-        lb = llr[1::2]
+        bits = self._decode_rows(rows)
+        return bits[0] if single else bits
+
+    def _decode_rows(self, llr_rows: np.ndarray) -> np.ndarray:
+        """Batched ACS recursion + traceback over ``(n_rows, n_llr)``."""
+        n_rows = llr_rows.shape[0]
+        n_steps = llr_rows.shape[1] // 2
+        # (n_steps, n_rows) layout keeps each trellis step contiguous.
+        la = np.ascontiguousarray(llr_rows[:, 0::2].T)
+        lb = np.ascontiguousarray(llr_rows[:, 1::2].T)
 
         # Path metric: higher is better.  Branch metric for coded bit c with
-        # LLR l is +l/2 if c == 0 else -l/2; we drop the 1/2 scale.
-        metrics = np.full(_N_STATES, -np.inf)
-        metrics[0] = 0.0
-        decisions = np.empty((n_steps, _N_STATES), dtype=np.uint8)
+        # LLR l is +l/2 if c == 0 else -l/2; we drop the 1/2 scale.  Every
+        # branch metric is ±la ± lb, so build the four distinct values per
+        # (step, row) and gather the full (n_steps, n_rows, 64, 2) tensor in
+        # one indexed read — bit-exact with the per-branch multiply/add form
+        # (see :func:`branch_codes`).
+        four = np.empty((n_steps, n_rows, 4))
+        np.add(la, lb, out=four[:, :, 0])
+        np.subtract(la, lb, out=four[:, :, 1])
+        np.subtract(lb, la, out=four[:, :, 2])
+        np.negative(four[:, :, 0], out=four[:, :, 3])
+        # View the branches as (slot-of-32-pairs, prev-pair, slot): because
+        # _PREV_STATE[ns] = [2*(ns & 31), 2*(ns & 31) + 1], the candidate
+        # gather metrics[:, _PREV_STATE] is just metrics viewed as
+        # (n_rows, 32, 2) broadcast over the two halves of the state space —
+        # no fancy indexing inside the loop.
+        br = four[:, :, branch_codes()].reshape(n_steps, n_rows, 2, 32, 2)
 
-        sign_a = 1.0 - 2.0 * _PREV_OUT_A  # (_N_STATES, 2)
-        sign_b = 1.0 - 2.0 * _PREV_OUT_B
-        prev = _PREV_STATE
-
-        # All branch metrics at once: (n_steps, _N_STATES, 2).  Each
-        # element is the same multiply/add as the per-step form, so the
-        # result is bit-exact; hoisting it out of the ACS loop trades
-        # 2*n_steps tiny array ops for two large ones.
-        branches = (
-            sign_a * la[:, None, None] + sign_b * lb[:, None, None]
-        )
-        states = np.arange(_N_STATES)
+        metrics = np.full((n_rows, _N_STATES), -np.inf)
+        metrics[:, 0] = 0.0
+        decisions = np.empty((n_steps, n_rows, _N_STATES), dtype=np.uint8)
+        # np.greater writes decisions straight into the uint8 buffer through
+        # a bool view; traceback below reads it back as integers.
+        dec_bool = decisions.view(bool)
+        cand = np.empty((n_rows, 2, 32, 2))
+        new_metrics = np.empty((n_rows, _N_STATES))
 
         for t in range(n_steps):
-            cand = metrics[prev] + branches[t]
-            best = np.argmax(cand, axis=1)
-            decisions[t] = best
-            metrics = cand[states, best]
+            np.add(metrics.reshape(n_rows, 1, 32, 2), br[t], out=cand)
+            c0 = cand[..., 0].reshape(n_rows, _N_STATES)
+            c1 = cand[..., 1].reshape(n_rows, _N_STATES)
+            # argmax over the slot axis with first-max tie-break == "slot 1
+            # strictly better".  maximum() agrees with the picked candidate
+            # except possibly the sign of a ±0.0 tie, which no comparison or
+            # argmax downstream can distinguish.
+            np.greater(c1, c0, out=dec_bool[t])
+            np.maximum(c0, c1, out=new_metrics)
+            metrics, new_metrics = new_metrics, metrics
 
-        state = 0 if self.terminated else int(np.argmax(metrics))
-        bits = np.empty(n_steps, dtype=np.uint8)
+        if self.terminated:
+            state = np.zeros(n_rows, dtype=np.int64)
+        else:
+            state = np.argmax(metrics, axis=1)
+        bits = np.empty((n_rows, n_steps), dtype=np.uint8)
+        row_idx = np.arange(n_rows)
         for t in range(n_steps - 1, -1, -1):
-            slot = decisions[t, state]
-            bits[t] = _PREV_BIT[state, slot]
-            state = _PREV_STATE[state, slot]
+            # Closed-form traceback (asserted above): the input bit is the
+            # state's MSB independent of slot, and the predecessor is
+            # 2*(state & 31) + slot.
+            bits[:, t] = state >> 5
+            slot = decisions[t, row_idx, state]
+            state = ((state & 31) << 1) + slot
         return bits

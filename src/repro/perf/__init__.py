@@ -55,11 +55,14 @@ from repro.perf.faults import (
 from repro.perf.pool import (
     ParallelResult,
     cpu_count,
+    get_default_batch_size,
     get_default_jobs,
     get_default_memoize,
     in_worker,
     parallel_map,
+    resolve_batch_size,
     resolve_jobs,
+    set_default_batch_size,
     set_default_jobs,
     set_default_memoize,
 )
@@ -104,6 +107,7 @@ __all__ = [
     "attempt_seed",
     "cpu_count",
     "fault_plan",
+    "get_default_batch_size",
     "get_default_jobs",
     "get_default_memoize",
     "get_default_resume",
@@ -113,11 +117,13 @@ __all__ = [
     "in_worker",
     "parallel_map",
     "parse_fault_spec",
+    "resolve_batch_size",
     "resolve_jobs",
     "resolve_retries",
     "resolve_task_timeout",
     "seed_entropy",
     "seed_fingerprint",
+    "set_default_batch_size",
     "set_default_jobs",
     "set_default_memoize",
     "set_default_resume",

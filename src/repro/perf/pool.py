@@ -65,17 +65,24 @@ from repro.perf.resilience import TaskError, TaskFailedError
 __all__ = [
     "ParallelResult",
     "cpu_count",
+    "get_default_batch_size",
     "get_default_jobs",
     "get_default_memoize",
     "in_worker",
     "parallel_map",
+    "resolve_batch_size",
     "resolve_jobs",
+    "set_default_batch_size",
     "set_default_jobs",
     "set_default_memoize",
 ]
 
 #: Ambient job count installed by the CLI's ``--jobs`` flag (1 = serial).
 _default_jobs = 1
+
+#: Ambient PHY batch size installed by the CLI's ``--batch-size`` flag
+#: (1 = the classic per-packet chain).
+_default_batch_size = 1
 
 #: Ambient memoization default installed by the CLI's ``--memoize`` flag.
 _default_memoize = False
@@ -110,6 +117,44 @@ def set_default_jobs(jobs: Optional[int]) -> int:
 def get_default_jobs() -> int:
     """The ambient job count (1 unless ``--jobs``/``set_default_jobs``)."""
     return _default_jobs
+
+
+def set_default_batch_size(batch_size: Optional[int]) -> int:
+    """Install the ambient PHY batch size (the CLI's ``--batch-size``).
+
+    Args:
+        batch_size: packets per stacked PHY-chain evaluation; None or 1
+            selects the per-packet path.
+
+    Returns:
+        The previous default.
+    """
+    global _default_batch_size
+    previous = _default_batch_size
+    _default_batch_size = resolve_batch_size(
+        batch_size if batch_size is not None else 1
+    )
+    return previous
+
+
+def get_default_batch_size() -> int:
+    """The ambient PHY batch size (1 unless ``--batch-size`` was given)."""
+    return _default_batch_size
+
+
+def resolve_batch_size(batch_size: Optional[int]) -> int:
+    """Turn a ``batch_size=`` argument into a concrete batch size.
+
+    ``None`` defers to the ambient default; explicit values must be
+    positive.  Batching is a pure throughput knob — results are
+    bit-identical at every batch size.
+    """
+    if batch_size is None:
+        return _default_batch_size
+    batch_size = int(batch_size)
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    return batch_size
 
 
 def set_default_memoize(memoize: bool) -> bool:
@@ -192,17 +237,20 @@ class ParallelResult(List[Any]):
         self.pool_broken: bool = False
 
 
-def _init_worker() -> None:
+def _init_worker(batch_size: int = 1) -> None:
     """Pool initializer: mark the process so nested fan-out is serial.
 
     A forked worker also inherits the parent's ambient live monitor;
     it is disabled here so events emitted inside tasks stay invisible
     to the parent-side flight recorder — the in-process fast path
     suppresses them symmetrically via ``obs.live_suspended``, which is
-    what keeps serial and pooled flight records identical.
+    what keeps serial and pooled flight records identical.  The ambient
+    PHY batch size is forwarded explicitly so spawn-based platforms
+    match fork-based ones.
     """
-    global _in_worker
+    global _in_worker, _default_batch_size
     _in_worker = True
+    _default_batch_size = batch_size
     obs.set_live_monitor(None)
 
 
@@ -515,6 +563,7 @@ def parallel_map(
                 max_workers=jobs,
                 mp_context=_pool_context(),
                 initializer=_init_worker,
+                initargs=(_default_batch_size,),
             ) as executor:
                 futures: Dict[int, Any] = {}
                 next_submit = 0
