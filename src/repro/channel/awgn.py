@@ -64,3 +64,65 @@ class AwgnChannel:
             floor = thermal_noise_power(signal.sample_rate, self.temperature_k)
             x += white_noise(x.size, floor, rng)
         return signal.with_samples(x)
+
+    def process_importance(
+        self,
+        signal: Signal,
+        rng: np.random.Generator,
+        variance_boost: float = 1.0,
+    ):
+        """Add noise drawn from a scaled-variance proposal distribution.
+
+        Importance-sampling variant of :meth:`process`: the noise is
+        drawn from ``CN(0, variance_boost * sigma^2)`` instead of the
+        nominal ``CN(0, sigma^2)``, and the log likelihood ratio
+        ``log p(z)/q(z)`` of the draw under the *nominal* density over
+        the proposal is returned alongside the noisy signal, so a
+        downstream estimator can reweight outcomes back to the nominal
+        channel (``E_q[w * f] = E_p[f]``).
+
+        The random draws are the *same* as :meth:`process` makes (the
+        nominal-variance samples are drawn first and then scaled by
+        ``sqrt(variance_boost)``), so at ``variance_boost == 1`` the
+        output samples — and the rng state — are bit-identical to the
+        plain channel and the log weight is exactly ``0.0``.
+
+        Args:
+            signal: input signal.
+            rng: noise generator.
+            variance_boost: linear variance scale ``nu >= 1`` applied to
+                every noise source.
+
+        Returns:
+            ``(noisy_signal, log_weight)``.
+        """
+        nu = float(variance_boost)
+        if nu <= 0:
+            raise ValueError("variance_boost must be positive")
+        x = signal.samples.copy()
+        log_weight = 0.0
+        scale = np.sqrt(nu)
+        if self.snr_db is not None:
+            signal_power = signal.power_watts()
+            noise_power = signal_power / 10.0 ** (self.snr_db / 10.0)
+            z = white_noise(x.size, noise_power, rng)
+            if nu != 1.0:
+                # Per complex sample with per-sample variance P:
+                #   log p/q = log(nu) - (1 - 1/nu) * |nu*z'|^2 / P
+                # where the proposal draw is sqrt(nu)*z for a nominal
+                # draw z, giving log(nu) - (nu - 1) * |z|^2 / P.
+                log_weight += x.size * np.log(nu) - (nu - 1.0) * float(
+                    np.sum(np.abs(z) ** 2)
+                ) / noise_power
+                z = scale * z
+            x += z
+        if self.include_thermal_floor:
+            floor = thermal_noise_power(signal.sample_rate, self.temperature_k)
+            z = white_noise(x.size, floor, rng)
+            if nu != 1.0:
+                log_weight += x.size * np.log(nu) - (nu - 1.0) * float(
+                    np.sum(np.abs(z) ** 2)
+                ) / floor
+                z = scale * z
+            x += z
+        return signal.with_samples(x), float(log_weight)

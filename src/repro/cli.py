@@ -9,7 +9,8 @@ Usage::
     repro sensitivity [--rates 6,24,54]
     repro flow
     repro netlist
-    repro qa [--quick] [--store DIR]
+    repro qa [--quick] [--faults] [--rare] [--store DIR]
+    repro rare [--rate 6] [--ebn0 8.4,9.6,10.5] [--packets N]
     repro profile fig5 [--packets N] [--chrome-trace out.json]
 
 Conformance: ``repro qa`` runs the :mod:`repro.qa` harness — frozen
@@ -657,12 +658,101 @@ def _cmd_probe(args) -> int:
     return 0
 
 
+def _cmd_rare(args) -> int:
+    from repro import obs, perf
+    from repro.core.reporting import render_table
+    from repro.perf import rare
+    from repro.qa.oracles import RATE_MODULATIONS, theoretical_ber
+
+    modulation = RATE_MODULATIONS.get(args.rate)
+    if modulation is None:
+        print(f"unknown rate {args.rate} Mbit/s", file=sys.stderr)
+        return 2
+    ebn0s = [float(tok) for tok in args.ebn0.split(",") if tok.strip()]
+    children = perf.spawn(args.seed, len(ebn0s))
+    rows = []
+    curve = {"x_label": "ebn0_db", "x": [], "ber": [], "per": [],
+             "packets": []}
+    kpis = {}
+    ok = True
+    for ebn0, child in zip(ebn0s, children):
+        meas = rare.measure_uncoded_ber(
+            modulation, ebn0,
+            n_packets=args.packets, symbols_per_packet=args.symbols,
+            estimator=args.estimator, boost_db=args.boost_db,
+            seed=child, jobs=args.jobs,
+        )
+        theory = theoretical_ber(modulation, ebn0)
+        low, high = meas.confidence(z=4.5)
+        contained = low <= theory <= high
+        ok &= contained
+        rows.append([
+            f"{ebn0:.2f}",
+            f"{meas.ber:.4g}",
+            f"{theory:.4g}",
+            f"[{low:.3g}, {high:.3g}]",
+            f"{meas.boost_db:.2f}",
+            f"{100.0 * meas.ess_fraction:.0f}%",
+            f"{meas.vr_estimate:.3g}",
+            "PASS" if contained else "FAIL",
+        ])
+        tag = f"ebn0={ebn0:g}"
+        kpis[f"ber[{tag}]"] = meas.ber
+        kpis[f"theory[{tag}]"] = theory
+        kpis[f"ess[{tag}]"] = meas.ess
+        kpis[f"vr_estimate[{tag}]"] = meas.vr_estimate
+        kpis[f"estimator_is[{tag}]"] = (
+            1.0 if meas.estimator == "is" else 0.0
+        )
+        curve["x"].append(float(ebn0))
+        curve["ber"].append(meas.ber)
+        curve["per"].append(meas.per)
+        curve["packets"].append(meas.packets)
+    table = render_table(
+        ["Eb/N0 [dB]", "BER", "theory", "CI (z=4.5)", "boost [dB]",
+         "ESS", "VR", "verdict"],
+        rows,
+    )
+    print(
+        f"{modulation} uncoded rare-event BER "
+        f"({args.estimator}, {args.packets} packets x "
+        f"{args.symbols} symbols per point):"
+    )
+    print(table)
+    obs.contribute(
+        None,
+        kind="rare",
+        name="rare",
+        seed=args.seed,
+        config={
+            "rate_mbps": args.rate,
+            "modulation": modulation,
+            "ebn0_db": ebn0s,
+            "packets": args.packets,
+            "symbols": args.symbols,
+            "estimator": args.estimator,
+            "boost_db": args.boost_db,
+        },
+        tables={"rare": table},
+        curves={"rare": curve},
+        kpis=kpis,
+    )
+    if not ok:
+        print(
+            "\nrare: theory escaped the z=4.5 confidence interval at "
+            "one or more points",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_qa(args) -> int:
     from repro.qa import run_qa
 
     report = run_qa(
         seed=args.seed, jobs=args.jobs, quick=args.quick,
-        faults=args.faults,
+        faults=args.faults, rare=args.rare,
     )
     print(report.as_table())
     n = len(report.checks)
@@ -910,7 +1000,44 @@ def build_parser() -> argparse.ArgumentParser:
              "failures with retries, a killed worker with pool "
              "fallback, timeouts, and interrupt/resume determinism",
     )
+    p.add_argument(
+        "--rare",
+        action="store_true",
+        help="additionally run the rare-event estimator section: "
+             "importance-sampling unbiasedness against plain MC and "
+             "the Cho-Yoon closed forms (z=4.5), the >=10x "
+             "variance-reduction gate, weight diagnostics, and "
+             "adaptive-allocation determinism",
+    )
     p.set_defaults(func=_cmd_qa)
+
+    p = sub.add_parser(
+        "rare",
+        help="importance-sampled uncoded BER at deep operating points, "
+             "checked against the Cho-Yoon closed forms; exits nonzero "
+             "when theory escapes any point's z=4.5 interval",
+    )
+    p.add_argument("--rate", type=int, default=6,
+                   help="PHY rate selecting the constellation [Mb/s]")
+    p.add_argument(
+        "--ebn0", default="8.4,9.6,10.5",
+        help="comma-separated Eb/N0 points [dB] (defaults span "
+             "BER 1e-4 .. 1e-6 for BPSK)",
+    )
+    p.add_argument("--packets", type=int, default=200,
+                   help="trial blocks per point")
+    p.add_argument("--symbols", type=int, default=256,
+                   help="symbols per trial block")
+    p.add_argument(
+        "--estimator", choices=("mc", "is"), default="is",
+        help="plain Monte-Carlo or importance sampling (default)",
+    )
+    p.add_argument(
+        "--boost-db", type=float, default=None,
+        help="explicit proposal noise boost [dB]; default picks the "
+             "boost landing each point at BER ~2e-2",
+    )
+    p.set_defaults(func=_cmd_rare)
 
     p = sub.add_parser("runs", help="inspect the persistent run store")
     runs_sub = p.add_subparsers(dest="runs_command", required=True)

@@ -91,6 +91,19 @@ class BerCounter:
         )
 
 
+def _wilson(p: float, trials: float, z: float) -> Tuple[float, float]:
+    """Wilson score interval from a proportion and a (float) trial count."""
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    center = (p + z2 / (2.0 * trials)) / denom
+    half = (
+        z
+        * np.sqrt(p * (1.0 - p) / trials + z2 / (4.0 * trials * trials))
+        / denom
+    )
+    return (max(center - half, 0.0), min(center + half, 1.0))
+
+
 def binomial_confidence(
     errors: float, trials: int, z: float = 4.5
 ) -> Tuple[float, float]:
@@ -112,16 +125,39 @@ def binomial_confidence(
     """
     if trials <= 0:
         raise ValueError("trials must be positive")
-    p = errors / trials
-    z2 = z * z
-    denom = 1.0 + z2 / trials
-    center = (p + z2 / (2.0 * trials)) / denom
-    half = (
-        z
-        * np.sqrt(p * (1.0 - p) / trials + z2 / (4.0 * trials * trials))
-        / denom
-    )
-    return (max(center - half, 0.0), min(center + half, 1.0))
+    return _wilson(errors / trials, trials, z)
+
+
+def weighted_binomial_confidence(
+    weighted_errors: float, effective_trials: float, z: float = 4.5
+) -> Tuple[float, float]:
+    """Wilson interval on importance-sampling *effective* counts.
+
+    A weighted BER estimate does not come with an integer error count,
+    but it does come with an effective trial count (variance-matched or
+    ESS-based, see :class:`repro.perf.rare.WeightedBerState`) and the
+    corresponding effective error mass ``ber * n_eff``.  Feeding those
+    through the same Wilson score formula as
+    :func:`binomial_confidence` keeps the interval's behavior near zero
+    errors, and reduces to the unweighted interval exactly when the
+    effective counts are the raw ones (all weights equal one).
+
+    Args:
+        weighted_errors: effective error mass (may be fractional).
+        effective_trials: effective number of Bernoulli trials; a
+            non-positive value yields the vacuous interval ``(0, 1)``.
+        z: normal quantile of the desired confidence.
+
+    Returns:
+        ``(low, high)`` bounds on the underlying probability.
+    """
+    if effective_trials <= 0:
+        return (0.0, 1.0)
+    # The unnormalized weighted estimator can stray outside [0, 1] on
+    # pathological weight draws; the proportion fed to Wilson is the
+    # physical clip.
+    p = min(max(weighted_errors / effective_trials, 0.0), 1.0)
+    return _wilson(p, float(effective_trials), z)
 
 
 def error_vector_magnitude(

@@ -30,36 +30,58 @@ def _sweep_point_task(payload):
     :class:`~numpy.random.SeedSequence` child, so the measurement
     depends only on the point's coordinates — not on scheduling.
     """
-    config, value, n_packets, child, max_bit_errors = payload
+    config, value, n_packets, child, max_bit_errors, estimator, boost = (
+        payload
+    )
     bench = WlanTestbench(config)
     with obs.span("sweep:point", value=float(value)):
         return bench.measure_ber(
             n_packets=n_packets,
             seed=child,
             max_bit_errors=max_bit_errors,
+            estimator=estimator,
+            boost_db=boost,
         )
 
 
-def _point_memo_key(config, n_packets, seed, index, max_bit_errors) -> str:
+def _point_memo_key(config, n_packets, seed, index, max_bit_errors,
+                    estimator: str = "mc",
+                    boost_db: Optional[float] = None) -> str:
     """Content hash identifying one sweep point's full measurement setup.
 
     The seed enters through :func:`repro.perf.seed_fingerprint` (root
     entropy + spawn path), which identifies the point's exact packet
     streams; ``seed_entropy`` would collapse every spawned child to
     None and let sweeps with different base seeds share keys.
+
+    Importance-sampled points key on their estimator and resolved
+    proposal boost as well; plain Monte-Carlo points keep the legacy
+    key payload, so caches written before the estimator existed stay
+    valid.
     """
-    return obs.config_key({
+    payload = {
         "config": config,
         "n_packets": n_packets,
         "seed": perf.seed_fingerprint(seed),
         "index": index,
         "max_bit_errors": max_bit_errors,
         "seeding": obs.SEEDING_SCHEME,
-    })
+    }
+    if estimator != "mc":
+        payload["estimator"] = estimator
+        payload["boost_db"] = boost_db
+    return obs.config_key(payload)
 
 
 _MEMO_KPIS = (
     "ber", "per", "bit_errors", "bits_total", "packets", "packets_lost",
+)
+
+#: Extra KPI fields round-tripping a weighted (importance-sampled)
+#: point measurement through the memo store.
+_MEMO_WEIGHTED_KPIS = (
+    "boost_db", "trials", "n_eff", "ess", "ess_fraction", "mean_weight",
+    "max_weight_share", "stderr", "vr_estimate",
 )
 
 
@@ -83,6 +105,32 @@ def _load_memoized_point(store, key: str) -> Optional[BerMeasurement]:
         return None
     ber = kpis["ber"]
     bits_total = int(kpis["bits_total"])
+    if kpis.get("estimator_is"):
+        from repro.perf.rare import WeightedBerMeasurement
+        from repro.core.metrics import weighted_binomial_confidence
+
+        if any(name not in kpis for name in _MEMO_WEIGHTED_KPIS):
+            return None
+        n_eff = kpis["n_eff"]
+        return WeightedBerMeasurement(
+            ber=ber,
+            per=kpis["per"],
+            bit_errors=kpis["bit_errors"],
+            bits_total=bits_total,
+            packets=int(kpis["packets"]),
+            packets_lost=int(kpis["packets_lost"]),
+            ci95=weighted_binomial_confidence(ber * n_eff, n_eff, z=1.96),
+            estimator="is",
+            boost_db=kpis["boost_db"],
+            trials=int(kpis["trials"]),
+            n_eff=n_eff,
+            ess=kpis["ess"],
+            ess_fraction=kpis["ess_fraction"],
+            mean_weight=kpis["mean_weight"],
+            max_weight_share=kpis["max_weight_share"],
+            stderr=kpis["stderr"],
+            vr_estimate=kpis["vr_estimate"],
+        )
     sigma = np.sqrt(max(ber * (1.0 - ber), 0.0) / max(bits_total, 1))
     return BerMeasurement(
         ber=ber,
@@ -98,19 +146,24 @@ def _load_memoized_point(store, key: str) -> Optional[BerMeasurement]:
 def _store_memoized_point(store, key: str, config,
                           measurement: BerMeasurement) -> None:
     """Persist one point measurement under its memoization key."""
+    kpis = {
+        "ber": measurement.ber,
+        "per": measurement.per,
+        "bit_errors": measurement.bit_errors,
+        "bits_total": float(measurement.bits_total),
+        "packets": float(measurement.packets),
+        "packets_lost": float(measurement.packets_lost),
+    }
+    if getattr(measurement, "estimator", "mc") == "is":
+        kpis["estimator_is"] = 1.0
+        for name in _MEMO_WEIGHTED_KPIS:
+            kpis[name] = float(getattr(measurement, name))
     obs.contribute(
         store,
         kind="point",
         name=f"pt-{key[:12]}",
         config={"memo_key": key, "config": config},
-        kpis={
-            "ber": measurement.ber,
-            "per": measurement.per,
-            "bit_errors": measurement.bit_errors,
-            "bits_total": float(measurement.bits_total),
-            "packets": float(measurement.packets),
-            "packets_lost": float(measurement.packets_lost),
-        },
+        kpis=kpis,
         ambient=False,
     )
 
@@ -150,21 +203,42 @@ class SweepResult:
     def bers(self) -> np.ndarray:
         return np.array([p.measurement.ber for p in self.points])
 
+    def _weighted(self) -> bool:
+        """True when any point carries an importance-sampled estimate."""
+        return any(
+            getattr(p.measurement, "estimator", "mc") == "is"
+            for p in self.points
+        )
+
     def as_table(self) -> str:
-        """Plain-text table of the sweep."""
-        rows = [
-            [
+        """Plain-text table of the sweep.
+
+        Pure Monte-Carlo sweeps render the classic five columns;
+        importance-sampled points add estimator and ESS% columns (only
+        then, so existing golden tables stay byte-identical).
+        """
+        weighted = self._weighted()
+        rows = []
+        for p in self.points:
+            row = [
                 f"{p.value:.6g}",
                 f"{p.measurement.ber:.4g}",
                 f"{p.measurement.per:.3g}",
                 str(p.measurement.packets),
                 str(p.measurement.packets_lost),
             ]
-            for p in self.points
-        ]
-        return render_table(
-            [self.parameter, "BER", "PER", "packets", "lost"], rows
-        )
+            if weighted:
+                if getattr(p.measurement, "estimator", "mc") == "is":
+                    row.append("is")
+                    row.append(f"{100.0 * p.measurement.ess_fraction:.0f}%")
+                else:
+                    row.append("mc")
+                    row.append("-")
+            rows.append(row)
+        headers = [self.parameter, "BER", "PER", "packets", "lost"]
+        if weighted:
+            headers += ["est", "ESS%"]
+        return render_table(headers, rows)
 
     def as_curve(self) -> Dict:
         """The sweep as a run-store BER curve (x grid + BER/PER arrays)."""
@@ -177,11 +251,26 @@ class SweepResult:
         }
 
     def as_kpis(self) -> Dict[str, float]:
-        """Flat key results: per-point BER plus the curve extremes."""
+        """Flat key results: per-point BER plus the curve extremes.
+
+        Importance-sampled points also persist their estimator kind,
+        ESS, weight diagnostics and measured variance-reduction factor,
+        so ``repro runs diff`` gates the weighted-estimator state along
+        with the curve itself.
+        """
         kpis = {
             f"ber[{self.parameter}={p.value:.6g}]": p.measurement.ber
             for p in self.points
         }
+        for p in self.points:
+            if getattr(p.measurement, "estimator", "mc") != "is":
+                continue
+            tag = f"[{self.parameter}={p.value:.6g}]"
+            kpis[f"estimator_is{tag}"] = 1.0
+            kpis[f"ess{tag}"] = p.measurement.ess
+            kpis[f"mean_weight{tag}"] = p.measurement.mean_weight
+            kpis[f"max_weight_share{tag}"] = p.measurement.max_weight_share
+            kpis[f"vr_estimate{tag}"] = p.measurement.vr_estimate
         if self.points:
             bers = [p.measurement.ber for p in self.points]
             kpis["ber_min"] = min(bers)
@@ -204,6 +293,17 @@ class ParameterSweep:
         values: the sweep grid.
         n_packets: packets per point.
         seed: base seed (each point derives its own stream).
+        estimator: per-point BER estimator — ``"mc"`` (classic
+            Monte-Carlo), ``"is"`` (importance sampling on the AWGN
+            noise at every point), or ``"auto"`` (per point: switch to
+            importance sampling when the point's analytic uncoded BER
+            falls below ``is_threshold``, stay Monte-Carlo otherwise —
+            deep points get variance reduction, easy points keep the
+            classic path and its memo keys).
+        boost_db: explicit proposal noise boost in dB for IS points;
+            None resolves :func:`repro.perf.rare.auto_boost_db` per
+            point configuration.
+        is_threshold: analytic-BER threshold of the ``"auto"`` switch.
     """
 
     base_config: TestbenchConfig
@@ -212,6 +312,9 @@ class ParameterSweep:
     n_packets: int = 20
     seed: int = 0
     max_bit_errors: Optional[float] = None
+    estimator: str = "mc"
+    boost_db: Optional[float] = None
+    is_threshold: float = 1e-4
 
     def _configured(self, value) -> TestbenchConfig:
         cfg = self.base_config
@@ -232,6 +335,39 @@ class ParameterSweep:
                 f"test bench has no parameter {self.parameter!r}"
             )
         return replace(cfg, **{self.parameter: value})
+
+    def _point_estimator(self, config: TestbenchConfig):
+        """Resolve one point's ``(estimator, boost_db)`` plan.
+
+        Deterministic in the point's configuration alone, so the plan —
+        and with it the memo key and the measurement — is stable across
+        runs, schedules and job counts.
+        """
+        from repro.perf import rare as _rare
+
+        if self.estimator not in ("mc", "is", "auto"):
+            raise ValueError(f"unknown estimator {self.estimator!r}")
+        estimator = self.estimator
+        if estimator == "auto":
+            estimator = "mc"
+            if config.snr_db is not None:
+                from repro.channel.awgn import snr_to_ebn0_db
+                from repro.dsp.params import RATES
+                from repro.qa.oracles import RATE_MODULATIONS, theoretical_ber
+
+                modulation = RATE_MODULATIONS.get(config.rate_mbps)
+                if modulation is not None:
+                    ebn0 = snr_to_ebn0_db(
+                        config.snr_db, RATES[config.rate_mbps]
+                    )
+                    if theoretical_ber(modulation, ebn0) < self.is_threshold:
+                        estimator = "is"
+        if estimator != "is":
+            return "mc", None
+        boost = self.boost_db
+        if boost is None:
+            boost = _rare.auto_boost_db(config)
+        return "is", float(boost)
 
     def _memo_store(self, store, memoize: Optional[bool],
                     resume: bool = False):
@@ -310,7 +446,7 @@ class ParameterSweep:
         measurements: List[Optional[BerMeasurement]] = (
             [None] * len(self.values)
         )
-        pending = []  # (point index, value, config, memo key)
+        pending = []  # (point index, value, config, memo key, plan)
         deferred = []  # fresh (key, config, measurement) to store later
         done = 0
 
@@ -318,6 +454,30 @@ class ParameterSweep:
             nonlocal done
             done += 1
             suffix = " (memoized)" if cached else ""
+            data = {
+                "parameter": self.parameter,
+                "value": float(value),
+                "ber": measurement.ber,
+                "per": measurement.per,
+                "packets": measurement.packets,
+                # Raw counts feed the live monitor's Wilson-CI
+                # convergence classification per sweep point.
+                "bit_errors": measurement.bit_errors,
+                "bits_total": measurement.bits_total,
+                "memoized": cached,
+            }
+            if getattr(measurement, "estimator", "mc") == "is":
+                # Effective counts replace the raw ones, so the live
+                # monitor's Wilson classification becomes the weighted
+                # CI; raw counts ride alongside.
+                data.update(
+                    bit_errors=measurement.k_eff,
+                    bits_total=measurement.n_eff,
+                    raw_bit_errors=measurement.bit_errors,
+                    raw_bits_total=measurement.bits_total,
+                    estimator="is",
+                    ess=measurement.ess,
+                )
             emit(ProgressEvent(
                 stage="sweep",
                 current=done,
@@ -326,18 +486,7 @@ class ParameterSweep:
                     f"{self.parameter}={value:.6g}: "
                     f"BER={measurement.ber:.4g}{suffix}"
                 ),
-                data={
-                    "parameter": self.parameter,
-                    "value": float(value),
-                    "ber": measurement.ber,
-                    "per": measurement.per,
-                    "packets": measurement.packets,
-                    # Raw counts feed the live monitor's Wilson-CI
-                    # convergence classification per sweep point.
-                    "bit_errors": measurement.bit_errors,
-                    "bits_total": measurement.bits_total,
-                    "memoized": cached,
-                },
+                data=data,
             ))
 
         with obs.span(
@@ -345,21 +494,23 @@ class ParameterSweep:
         ):
             for i, value in enumerate(self.values):
                 config = self._configured(value)
+                plan = self._point_estimator(config)
                 key = None
                 if memo_store is not None:
                     key = _point_memo_key(
                         config, self.n_packets, children[i], i,
                         self.max_bit_errors,
+                        estimator=plan[0], boost_db=plan[1],
                     )
                     cached = _load_memoized_point(memo_store, key)
                     if cached is not None:
                         measurements[i] = cached
                         announce(i, value, cached, cached=True)
                         continue
-                pending.append((i, value, config, key))
+                pending.append((i, value, config, key, plan))
 
             def consume(task_index, measurement):
-                i, value, config, key = pending[task_index]
+                i, value, config, key, plan = pending[task_index]
                 measurements[i] = measurement
                 if memo_store is not None and key is not None:
                     if perf.in_worker():
@@ -376,8 +527,8 @@ class ParameterSweep:
                 _sweep_point_task,
                 [
                     (config, value, self.n_packets, children[i],
-                     self.max_bit_errors)
-                    for i, value, config, _ in pending
+                     self.max_bit_errors, plan[0], plan[1])
+                    for i, value, config, _, plan in pending
                 ],
                 jobs=jobs,
                 stage="sweep",
@@ -397,6 +548,40 @@ class ParameterSweep:
             self._persist(result, store, run_name)
         return result
 
+    def run_adaptive(
+        self,
+        total_packets: int,
+        initial_packets: Optional[int] = None,
+        block: Optional[int] = None,
+        jobs: Optional[int] = None,
+        progress: Optional[Callable] = None,
+        store=None,
+        run_name: Optional[str] = None,
+        z: float = 1.96,
+        batch_size: Optional[int] = None,
+    ) -> SweepResult:
+        """Run with a shared packet budget allocated where the CI is widest.
+
+        Delegates to :func:`repro.perf.rare.run_adaptive_sweep`: after a
+        uniform warm-up, each round's packets go to the point whose
+        relative confidence width (Wilson for MC points, the weighted
+        interval for IS points) is currently largest.
+        """
+        from repro.perf import rare as _rare
+
+        return _rare.run_adaptive_sweep(
+            self,
+            total_packets,
+            initial_packets=initial_packets,
+            block=block,
+            jobs=jobs,
+            progress=progress,
+            store=store,
+            run_name=run_name,
+            z=z,
+            batch_size=batch_size,
+        )
+
     def _persist(self, result: SweepResult, store, run_name: Optional[str]):
         """Contribute the sweep's artefacts to the store in scope.
 
@@ -405,18 +590,25 @@ class ParameterSweep:
         fork-time copy the parent never sees).
         """
         name = run_name or self.parameter
+        config = {
+            "parameter": self.parameter,
+            "values": [float(v) for v in self.values],
+            "n_packets": self.n_packets,
+            "base_config": self.base_config,
+            "seeding": obs.SEEDING_SCHEME,
+        }
+        if self.estimator != "mc":
+            # Only estimator-bearing sweeps carry the extra config keys,
+            # so legacy Monte-Carlo manifests stay byte-stable.
+            config["estimator"] = self.estimator
+            config["boost_db"] = self.boost_db
+            config["is_threshold"] = self.is_threshold
         return obs.contribute(
             store,
             kind="sweep",
             name=name,
             seed=perf.seed_entropy(self.seed),
-            config={
-                "parameter": self.parameter,
-                "values": [float(v) for v in self.values],
-                "n_packets": self.n_packets,
-                "base_config": self.base_config,
-                "seeding": obs.SEEDING_SCHEME,
-            },
+            config=config,
             tables={name: result.as_table()},
             curves={name: result.as_curve()},
             kpis=result.as_kpis(),

@@ -76,10 +76,16 @@ def _packet_chunk_task(payload):
     batched PHY chain (:meth:`WlanTestbench.run_packet_batch`), which is
     bit-identical to the per-packet path.
 
+    A non-None ``noise_boost_db`` runs the chunk through the
+    importance-sampled channel (``run_packet(noise_boost_db=...)``); at
+    0 dB boost the outcomes — including the random streams — are
+    bit-identical to the plain path and every log weight is exactly 0.
+
     Returns:
-        ``[(bit_errors, n_bits, lost), ...]`` per packet, in order.
+        ``[(bit_errors, n_bits, lost, log_weight), ...]`` per packet,
+        in order.
     """
-    config, seed_children, batch_size = payload
+    config, seed_children, batch_size, noise_boost_db = payload
     bench = _bench_for_config(config)
     # The probe tag is the packet's seed coordinates — stable under
     # any chunking/worker placement, so reservoir sampling keeps the
@@ -92,22 +98,28 @@ def _packet_chunk_task(payload):
             group_tags = tags[i : i + batch_size]
             if len(group) == 1:
                 packet_outcomes = [bench.run_packet(
-                    np.random.default_rng(group[0]), probe_tag=group_tags[0]
+                    np.random.default_rng(group[0]), probe_tag=group_tags[0],
+                    noise_boost_db=noise_boost_db,
                 )]
             else:
                 rngs = [np.random.default_rng(child) for child in group]
-                packet_outcomes = bench.run_packet_batch(rngs, group_tags)
+                packet_outcomes = bench.run_packet_batch(
+                    rngs, group_tags, noise_boost_db=noise_boost_db
+                )
             for outcome in packet_outcomes:
                 outcomes.append(
-                    (outcome.bit_errors, outcome.n_bits, outcome.lost)
+                    (outcome.bit_errors, outcome.n_bits, outcome.lost,
+                     outcome.log_weight)
                 )
     else:
         for child, tag in zip(seed_children, tags):
             outcome = bench.run_packet(
-                np.random.default_rng(child), probe_tag=tag
+                np.random.default_rng(child), probe_tag=tag,
+                noise_boost_db=noise_boost_db,
             )
             outcomes.append(
-                (outcome.bit_errors, outcome.n_bits, outcome.lost)
+                (outcome.bit_errors, outcome.n_bits, outcome.lost,
+                 outcome.log_weight)
             )
     return outcomes
 
@@ -155,13 +167,18 @@ class TestbenchConfig:
 
 @dataclass
 class PacketOutcome:
-    """Result of a single packet transmission through the bench."""
+    """Result of a single packet transmission through the bench.
+
+    ``log_weight`` is the packet's importance-sampling log likelihood
+    ratio — exactly 0.0 for a plain (non-importance-sampled) run.
+    """
 
     bit_errors: float
     n_bits: int
     lost: bool
     rx_result: RxResult
     tx_symbols: np.ndarray
+    log_weight: float = 0.0
 
 
 @dataclass
@@ -222,7 +239,10 @@ class WlanTestbench:
 
     # ------------------------------------------------------------------
     def run_packet(
-        self, rng: np.random.Generator, probe_tag: str = "pkt"
+        self,
+        rng: np.random.Generator,
+        probe_tag: str = "pkt",
+        noise_boost_db: Optional[float] = None,
     ) -> PacketOutcome:
         """Send one packet through the complete chain and decode it.
 
@@ -240,6 +260,10 @@ class WlanTestbench:
             probe_tag: stable identity of this packet for probe
                 reservoir sampling (its seed coordinates in parallel
                 runs).
+            noise_boost_db: importance-sampling noise-variance boost
+                (dB) applied to the AWGN proposal; None (and exactly
+                0.0) reproduces the plain channel bit for bit, with a
+                0.0 log weight on the outcome.
         """
         cfg = self.config
         probes = obs.get_probes()
@@ -248,16 +272,24 @@ class WlanTestbench:
         with obs.span("block:transmitter", rate_mbps=cfg.rate_mbps) as sp:
             wave = tx.transmit(psdu)
             sp.set(samples=wave.size)
-        baseband = self._propagate(wave, rng, probes)
+        baseband, log_weight = self._propagate(
+            wave, rng, probes, noise_boost_db=noise_boost_db
+        )
         with obs.span("block:receiver", samples=baseband.size):
             result = self._receiver.receive(baseband)
         tx_symbols = tx.data_symbols(psdu)
         self._tap_evm(probes, result, tx_symbols, probe_tag)
-        return self._packet_outcome(result, psdu, tx_symbols)
+        return self._packet_outcome(
+            result, psdu, tx_symbols, log_weight=log_weight
+        )
 
     def _propagate(
-        self, wave: np.ndarray, rng: np.random.Generator, probes
-    ) -> np.ndarray:
+        self,
+        wave: np.ndarray,
+        rng: np.random.Generator,
+        probes,
+        noise_boost_db: Optional[float] = None,
+    ):
         """One packet's channel + RF path: TX waveform to RX baseband.
 
         Covers everything between the transmitter and receiver spans —
@@ -265,6 +297,11 @@ class WlanTestbench:
         front end (or the ideal decimator), output normalization and the
         genie-timing slice — including all the per-packet probe taps, in
         the exact per-packet order of the scalar chain.
+
+        Returns ``(baseband, log_weight)``: the log weight is the AWGN
+        importance-sampling log likelihood ratio when
+        ``noise_boost_db`` is set, 0.0 otherwise (the plain channel and
+        the 0 dB-boost proposal make identical random draws).
         """
         cfg = self.config
         guard = np.zeros(cfg.guard_samples * self.oversample, dtype=complex)
@@ -284,14 +321,21 @@ class WlanTestbench:
             # the mask is relative (dBr) so level adaptation is moot.
             probes.tap_mask("tx", wave, sample_rate)
 
+        log_weight = 0.0
         with obs.span("block:channel", samples=len(sig)):
             sig = cfg.interference.apply(sig, rng)
             if cfg.fading is not None:
                 sig = cfg.fading.process(sig, rng)
-            sig = AwgnChannel(
+            channel = AwgnChannel(
                 snr_db=cfg.snr_db,
                 include_thermal_floor=cfg.thermal_floor,
-            ).process(sig, rng)
+            )
+            if noise_boost_db is None:
+                sig = channel.process(sig, rng)
+            else:
+                sig, log_weight = channel.process_importance(
+                    sig, rng, 10.0 ** (noise_boost_db / 10.0)
+                )
 
         if probes.enabled:
             probes.tap("channel", sig.samples, sig.sample_rate)
@@ -334,7 +378,7 @@ class WlanTestbench:
             # Genie timing: hand the receiver the exact packet start.  Only
             # valid without a front end (whose group delay would shift it).
             baseband = baseband[cfg.guard_samples :]
-        return baseband
+        return baseband, log_weight
 
     def _tap_evm(self, probes, result: RxResult, tx_symbols, probe_tag):
         """Fire the equalizer-output EVM probe for one decoded packet."""
@@ -354,19 +398,29 @@ class WlanTestbench:
                 )
 
     def _packet_outcome(
-        self, result: RxResult, psdu: np.ndarray, tx_symbols: np.ndarray
+        self,
+        result: RxResult,
+        psdu: np.ndarray,
+        tx_symbols: np.ndarray,
+        log_weight: float = 0.0,
     ) -> PacketOutcome:
         """Score one reception against its transmitted payload."""
         n_bits = 8 * self.config.psdu_bytes
         if not result.success or result.psdu.size != psdu.size:
-            return PacketOutcome(n_bits / 2.0, n_bits, True, result, tx_symbols)
+            return PacketOutcome(
+                n_bits / 2.0, n_bits, True, result, tx_symbols, log_weight
+            )
         errors = int(
             np.unpackbits(result.psdu ^ psdu, bitorder="little").sum()
         )
-        return PacketOutcome(float(errors), n_bits, False, result, tx_symbols)
+        return PacketOutcome(
+            float(errors), n_bits, False, result, tx_symbols, log_weight
+        )
 
     # ------------------------------------------------------------------
-    def run_packet_batch(self, rngs, probe_tags=None) -> list:
+    def run_packet_batch(
+        self, rngs, probe_tags=None, noise_boost_db: Optional[float] = None
+    ) -> list:
         """Run a batch of packets with the PHY chain evaluated stacked.
 
         The transmitter's bit chain and OFDM modulation run once over
@@ -394,10 +448,14 @@ class WlanTestbench:
         ) as sp:
             waves, tx_symbol_stack = self._transmitter.transmit_batch(psdus)
             sp.set(samples=int(waves.size))
-        basebands = [
-            self._propagate(waves[k], rngs[k], probes)
+        propagated = [
+            self._propagate(
+                waves[k], rngs[k], probes, noise_boost_db=noise_boost_db
+            )
             for k in range(len(rngs))
         ]
+        basebands = [baseband for baseband, _ in propagated]
+        log_weights = [log_weight for _, log_weight in propagated]
         with obs.span(
             "block:receiver",
             samples=int(sum(b.size for b in basebands)),
@@ -408,7 +466,10 @@ class WlanTestbench:
         for k, result in enumerate(results):
             self._tap_evm(probes, result, tx_symbol_stack[k], probe_tags[k])
             outcomes.append(
-                self._packet_outcome(result, psdus[k], tx_symbol_stack[k])
+                self._packet_outcome(
+                    result, psdus[k], tx_symbol_stack[k],
+                    log_weight=log_weights[k],
+                )
             )
         return outcomes
 
@@ -425,6 +486,8 @@ class WlanTestbench:
         batch_size: Optional[int] = None,
         retries: Optional[int] = None,
         task_timeout: Optional[float] = None,
+        estimator: str = "mc",
+        boost_db: Optional[float] = None,
     ) -> BerMeasurement:
         """Run ``n_packets`` packets and accumulate the BER.
 
@@ -468,25 +531,46 @@ class WlanTestbench:
                 None defers to the ambient ``--retries`` default.
             task_timeout: per-chunk wall-clock budget in seconds; None
                 defers to the ambient ``--task-timeout`` default.
+            estimator: ``"mc"`` (plain Monte-Carlo, the classic path)
+                or ``"is"`` (importance sampling on the AWGN noise: the
+                channel draws from a boosted-variance proposal and the
+                measurement is the unbiased weighted estimate, a
+                :class:`repro.perf.rare.WeightedBerMeasurement`).  The
+                weighted state accumulates parent-side in chunk order,
+                so the IS path keeps the exact bit-identity guarantee
+                across ``jobs``/``batch_size`` settings.
+            boost_db: noise-variance boost of the IS proposal in dB;
+                None picks :func:`repro.perf.rare.auto_boost_db` (a
+                target-BER boost capped by the packet's noise
+                dimensionality).  Ignored under ``estimator="mc"``.
         """
         from repro import perf
+        from repro.perf import rare as _rare
 
+        if estimator not in ("mc", "is"):
+            raise ValueError(f"unknown estimator {estimator!r}")
+        weighted = estimator == "is"
+        if not weighted:
+            boost_db = None
+        elif boost_db is None:
+            boost_db = _rare.auto_boost_db(self.config)
         batch = perf.resolve_batch_size(batch_size)
         if chunk_size is None:
             chunk_size = batch
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
         counter = BerCounter()
+        state = _rare.WeightedBerState() if weighted else None
         children = perf.spawn(seed, n_packets)
         chunks = [
-            (self.config, children[i:i + chunk_size], batch)
+            (self.config, children[i:i + chunk_size], batch, boost_db)
             for i in range(0, n_packets, chunk_size)
         ]
 
         emit = obs.as_listener(None)
 
         def accumulate(index, chunk_outcomes):
-            for bit_errors, n_bits, lost in chunk_outcomes:
+            for bit_errors, n_bits, lost, log_weight in chunk_outcomes:
                 if lost:
                     counter.add_packet(np.zeros(n_bits, dtype=np.uint8), None)
                 else:
@@ -497,11 +581,31 @@ class WlanTestbench:
                     counter.bit_errors += bit_errors
                     if bit_errors:
                         counter.packets_errored += 1
+                if state is not None:
+                    state.add(bit_errors, n_bits, log_weight)
             # Runs parent-side in chunk order (serial and pooled alike),
             # so the live monitor sees the same cumulative convergence
             # trajectory at every jobs setting.  Inside a sweep point
             # these events are suppressed/worker-local; a direct BER
             # measurement streams its Wilson-CI state chunk by chunk.
+            data = {
+                "bit_errors": counter.bit_errors,
+                "bits_total": counter.bits_total,
+                "packets": counter.packets,
+            }
+            if state is not None:
+                # The weighted CI drives convergence classification:
+                # the effective counts replace the raw ones (the live
+                # monitor's Wilson machinery then *is* the weighted
+                # interval), with the raw counts alongside.
+                data.update(
+                    bit_errors=state.k_eff,
+                    bits_total=state.effective_trials,
+                    raw_bit_errors=counter.bit_errors,
+                    raw_bits_total=counter.bits_total,
+                    estimator="is",
+                    ess=state.ess,
+                )
             emit(obs.ProgressEvent(
                 stage="ber",
                 current=index + 1,
@@ -511,14 +615,17 @@ class WlanTestbench:
                     f"{counter.bit_errors} errors / "
                     f"{counter.bits_total} bits"
                 ),
-                data={
-                    "bit_errors": counter.bit_errors,
-                    "bits_total": counter.bits_total,
-                    "packets": counter.packets,
-                },
+                data=data,
             ))
 
         def crossed(index, chunk_outcomes):
+            # Early stop keys on the RAW (unweighted) error count in
+            # both estimators.  Stopping on the weighted error mass
+            # would couple the stopping time to the weights and bias
+            # the weighted estimator (a stopped sequential mean is only
+            # unbiased when the stopping rule is independent of the
+            # summand values); raw errors are plentiful at the boosted
+            # operating point, so the raw threshold stays meaningful.
             return (
                 max_bit_errors is not None
                 and counter.bit_errors >= max_bit_errors
@@ -534,7 +641,15 @@ class WlanTestbench:
             retries=retries,
             task_timeout=task_timeout,
         )
-        measurement = counter.result()
+        if state is not None:
+            measurement = state.result(
+                packets=counter.packets,
+                packets_lost=counter.packets_lost,
+                estimator="is",
+                boost_db=boost_db,
+            )
+        else:
+            measurement = counter.result()
         registry = obs.get_registry()
         registry.counter(
             "packets_simulated", "packets run through the test bench"
@@ -543,18 +658,29 @@ class WlanTestbench:
             "ber", "bit error rate per BER measurement"
         ).observe(measurement.ber, rate_mbps=self.config.rate_mbps)
         if store is not None:
+            kpis = {
+                "ber": measurement.ber,
+                "per": measurement.per,
+                "packets": float(measurement.packets),
+                "packets_lost": float(measurement.packets_lost),
+            }
+            if state is not None:
+                kpis.update({
+                    "estimator_is": 1.0,
+                    "boost_db": float(boost_db),
+                    "ess": measurement.ess,
+                    "ess_fraction": measurement.ess_fraction,
+                    "mean_weight": measurement.mean_weight,
+                    "max_weight_share": measurement.max_weight_share,
+                    "vr_estimate": measurement.vr_estimate,
+                })
             obs.contribute(
                 store,
                 kind="ber",
                 name=run_name,
                 seed=perf.seed_entropy(seed),
                 config=self.config,
-                kpis={
-                    "ber": measurement.ber,
-                    "per": measurement.per,
-                    "packets": float(measurement.packets),
-                    "packets_lost": float(measurement.packets_lost),
-                },
+                kpis=kpis,
                 ambient=False,
             )
         return measurement

@@ -266,7 +266,10 @@ class LiveMonitor:
         point["bits"] = bits
         point["events"] += 1
         point["ber"] = errors / bits if bits > 0 else 0.0
-        for extra in ("per", "packets", "memoized"):
+        # "estimator"/"ess" arrive on importance-sampled events, whose
+        # bit_errors/bits_total already carry the *effective* counts —
+        # the Wilson classification below therefore is the weighted CI.
+        for extra in ("per", "packets", "memoized", "estimator", "ess"):
             if extra in data:
                 point[extra] = data[extra]
         duration = self._pending_duration.pop(stage, None)

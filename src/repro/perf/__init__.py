@@ -66,6 +66,18 @@ from repro.perf.pool import (
     set_default_jobs,
     set_default_memoize,
 )
+from repro.perf.rare import (
+    WeightedBerMeasurement,
+    WeightedBerState,
+    auto_boost_db,
+    boost_for,
+    dimension_capped_boost_db,
+    ebn0_for_ber,
+    measure_uncoded_ber,
+    noise_log_weight,
+    packet_noise_dimension,
+    run_adaptive_sweep,
+)
 from repro.perf.resilience import (
     TaskError,
     TaskFailedError,
@@ -103,9 +115,15 @@ __all__ = [
     "TaskError",
     "TaskFailedError",
     "TaskTimeoutError",
+    "WeightedBerMeasurement",
+    "WeightedBerState",
     "as_seed_sequence",
     "attempt_seed",
+    "auto_boost_db",
+    "boost_for",
     "cpu_count",
+    "dimension_capped_boost_db",
+    "ebn0_for_ber",
     "fault_plan",
     "get_default_batch_size",
     "get_default_jobs",
@@ -115,12 +133,16 @@ __all__ = [
     "get_default_task_timeout",
     "get_fault_plan",
     "in_worker",
+    "measure_uncoded_ber",
+    "noise_log_weight",
+    "packet_noise_dimension",
     "parallel_map",
     "parse_fault_spec",
     "resolve_batch_size",
     "resolve_jobs",
     "resolve_retries",
     "resolve_task_timeout",
+    "run_adaptive_sweep",
     "seed_entropy",
     "seed_fingerprint",
     "set_default_batch_size",

@@ -23,6 +23,7 @@ from repro.qa.harness import (
     run_fuzz_checks,
     run_oracle_checks,
     run_qa,
+    run_rare_checks,
     run_vector_checks,
 )
 from repro.qa.oracles import (
@@ -49,6 +50,7 @@ __all__ = [
     "run_vector_checks",
     "run_oracle_checks",
     "run_fuzz_checks",
+    "run_rare_checks",
     "OracleCheck",
     "theoretical_ber",
     "simulate_uncoded_ber",

@@ -449,12 +449,220 @@ def run_resilience_checks(
     return checks
 
 
+def run_rare_checks(
+    seed: int = 0,
+    jobs: Optional[int] = None,
+    quick: bool = False,
+) -> List[QaCheck]:
+    """Statistical acceptance of the rare-event (importance sampling) path.
+
+    Unbiasedness is the whole game for a variance-reduction estimator,
+    so every check is an agreement test in the *overlap regime* where
+    plain Monte-Carlo, importance sampling and the Cho-Yoon closed
+    forms all exist:
+
+    * the IS weighted CI (z=4.5) must contain exact theory at a deep
+      (BER ~ 1e-4) BPSK point, and so must the plain-MC Wilson CI at
+      the same bit budget;
+    * IS and MC must agree with each other within combined error bars;
+    * the measured variance-reduction factor — the squared ratio of the
+      equal-budget MC and IS confidence widths — must be at least 10
+      (it is ~100 at this operating point), i.e. the IS run buys the
+      same CI width with >= 10x fewer packets;
+    * the weights must satisfy their own law: ``mean(w)`` within
+      sampling error of 1, ESS fraction in (0, 1];
+    * the full coded chain under a dimension-capped boost must keep a
+      healthy ESS and agree with its own MC measurement;
+    * the adaptive allocator must spend exactly its budget,
+      deterministically.
+    """
+    from repro.channel.awgn import ebn0_to_snr_db
+    from repro.core.metrics import binomial_confidence
+    from repro.core.testbench import TestbenchConfig, WlanTestbench
+    from repro.dsp.params import RATES
+    from repro.perf import rare
+    from repro.qa.oracles import theoretical_ber
+
+    z = 4.5
+    checks: List[QaCheck] = []
+
+    def add(name, ok, detail="", measured=None, expected=None):
+        checks.append(
+            QaCheck("rare", name, bool(ok), detail,
+                    measured=measured, expected=expected)
+        )
+
+    # -- uncoded overlap point: BPSK at analytic BER ~= 1e-4 -----------
+    ebn0 = rare.ebn0_for_ber("BPSK", 1e-4)
+    theory = theoretical_ber("BPSK", ebn0)
+    n_packets = 120 if quick else 400
+    symbols = 256
+    is_meas = rare.measure_uncoded_ber(
+        "BPSK", ebn0, n_packets=n_packets, symbols_per_packet=symbols,
+        estimator="is", seed=seed, jobs=jobs,
+    )
+    mc_meas = rare.measure_uncoded_ber(
+        "BPSK", ebn0, n_packets=n_packets, symbols_per_packet=symbols,
+        estimator="mc", seed=seed, jobs=jobs,
+    )
+    budget = f"{is_meas.bits_total} bits at Eb/N0={ebn0:.2f} dB"
+
+    low, high = is_meas.confidence(z=z)
+    add(
+        "rare_is_vs_oracle",
+        low <= theory <= high,
+        f"weighted CI [{low:.3g}, {high:.3g}] at z={z:g}, {budget}, "
+        f"boost {is_meas.boost_db:.2f} dB",
+        measured=is_meas.ber,
+        expected=theory,
+    )
+    mlow, mhigh = binomial_confidence(
+        mc_meas.bit_errors, mc_meas.bits_total, z=z
+    )
+    add(
+        "rare_mc_vs_oracle",
+        mlow <= theory <= mhigh,
+        f"Wilson CI [{mlow:.3g}, {mhigh:.3g}] at z={z:g}, {budget}",
+        measured=mc_meas.ber,
+        expected=theory,
+    )
+    # IS vs MC agreement within combined error bars.  The pooled rate
+    # guards the MC variance term against a lucky 0-error draw.
+    pooled = max(mc_meas.ber, is_meas.ber, 1.0 / mc_meas.bits_total)
+    sigma = float(
+        np.sqrt(is_meas.stderr**2 + pooled / mc_meas.bits_total)
+    )
+    add(
+        "rare_is_vs_mc",
+        abs(is_meas.ber - mc_meas.ber) <= z * sigma,
+        f"|{is_meas.ber:.3g} - {mc_meas.ber:.3g}| <= {z:g} * {sigma:.3g}",
+        measured=is_meas.ber,
+        expected=mc_meas.ber,
+    )
+    # Measured variance reduction: squared ratio of equal-budget CI
+    # widths == the factor fewer packets IS needs for the same width.
+    ilow, ihigh = is_meas.confidence(z=1.96)
+    clow, chigh = mc_meas.confidence(z=1.96)
+    width_is = max(ihigh - ilow, 1e-300)
+    vr_measured = ((chigh - clow) / width_is) ** 2
+    add(
+        "rare_variance_reduction",
+        vr_measured >= 10.0,
+        f"(MC width / IS width)^2 at equal {budget}; gate >= 10",
+        measured=float(vr_measured),
+        expected=10.0,
+    )
+    add(
+        "rare_vr_estimate",
+        is_meas.vr_estimate >= 10.0,
+        "estimator-internal variance-reduction KPI; gate >= 10",
+        measured=is_meas.vr_estimate,
+        expected=10.0,
+    )
+    # Weight law: unnormalized weights must average to 1 within their
+    # own sampling error (variance recovered from the Kish ESS).
+    trials = is_meas.trials
+    var_w = max(
+        trials * is_meas.mean_weight**2 / max(is_meas.ess, 1e-300)
+        - is_meas.mean_weight**2,
+        0.0,
+    )
+    w_sigma = float(np.sqrt(var_w / trials))
+    add(
+        "rare_weight_normalization",
+        abs(is_meas.mean_weight - 1.0) <= z * w_sigma,
+        f"|mean(w) - 1| <= {z:g} * {w_sigma:.3g} over {trials} weights",
+        measured=is_meas.mean_weight,
+        expected=1.0,
+    )
+    add(
+        "rare_ess_fraction",
+        0.0 < is_meas.ess_fraction <= 1.0 + 1e-12,
+        f"ESS {is_meas.ess:.1f} of {trials} trials",
+        measured=is_meas.ess_fraction,
+    )
+
+    # -- full coded chain under a dimension-capped boost ---------------
+    chain_ebn0 = 2.0
+    config = TestbenchConfig(
+        rate_mbps=6,
+        psdu_bytes=20,
+        snr_db=ebn0_to_snr_db(chain_ebn0, RATES[6]),
+        genie_rx=True,
+    )
+    boost = rare.dimension_capped_boost_db(
+        rare.packet_noise_dimension(config)
+    )
+    bench = WlanTestbench(config)
+    chain_packets = 16 if quick else 24
+    chain_is = bench.measure_ber(
+        n_packets=chain_packets, seed=seed, jobs=jobs,
+        estimator="is", boost_db=boost,
+    )
+    chain_mc = bench.measure_ber(
+        n_packets=chain_packets, seed=seed, jobs=jobs,
+    )
+    add(
+        "rare_chain_ess",
+        chain_is.ess_fraction >= 0.1,
+        f"{chain_packets} coded packets at {boost:.3f} dB boost "
+        f"(dimension-capped); ESS fraction must stay healthy",
+        measured=chain_is.ess_fraction,
+        expected=float(np.exp(-1.0)),
+    )
+    ilow, ihigh = chain_is.confidence(z=z)
+    try:
+        mlow, mhigh = binomial_confidence(
+            chain_mc.bit_errors, chain_mc.bits_total, z=z
+        )
+    except ValueError:
+        mlow, mhigh = 0.0, 1.0
+    add(
+        "rare_full_chain_unbiased",
+        ilow <= mhigh and mlow <= ihigh,
+        f"weighted CI [{ilow:.3g}, {ihigh:.3g}] overlaps MC Wilson CI "
+        f"[{mlow:.3g}, {mhigh:.3g}] at z={z:g}, Eb/N0={chain_ebn0:g} dB",
+        measured=chain_is.ber,
+        expected=chain_mc.ber,
+    )
+
+    # -- adaptive allocation: exact budget, deterministic --------------
+    budget_packets = 12 if quick else 18
+    sweep = _qa_sweep(seed)
+    first = rare.run_adaptive_sweep(
+        sweep, budget_packets, jobs=jobs
+    )
+    second = rare.run_adaptive_sweep(
+        sweep, budget_packets, jobs=jobs
+    )
+    spent = sum(p.measurement.packets for p in first.points)
+    add(
+        "rare_adaptive_budget",
+        spent == budget_packets
+        and all(p.measurement.packets >= 1 for p in first.points),
+        f"{spent}/{budget_packets} packets allocated over "
+        f"{len(first.points)} points, every point warmed up",
+        measured=float(spent),
+        expected=float(budget_packets),
+    )
+    add(
+        "rare_adaptive_determinism",
+        list(first.bers) == list(second.bers)
+        and [p.measurement.packets for p in first.points]
+        == [p.measurement.packets for p in second.points],
+        "two adaptive runs with the same seed allocate and measure "
+        "identically",
+    )
+    return checks
+
+
 def run_qa(
     seed: int = 0,
     jobs: Optional[int] = None,
     quick: bool = False,
     store=None,
     faults: bool = False,
+    rare: bool = False,
 ) -> QaReport:
     """Run the complete QA harness.
 
@@ -466,6 +674,9 @@ def run_qa(
             to the ambient run writer when the CLI installed one.
         faults: additionally run the fault-injection resilience section
             (retry/fallback/timeout/resume determinism).
+        rare: additionally run the rare-event estimator section
+            (importance-sampling unbiasedness vs MC and closed-form
+            oracles, variance-reduction gate, adaptive allocation).
 
     Returns:
         The aggregated :class:`QaReport`.
@@ -488,12 +699,17 @@ def run_qa(
             report.checks.extend(
                 run_resilience_checks(seed=seed, jobs=jobs)
             )
+    if rare:
+        with obs.span("qa:rare"):
+            report.checks.extend(
+                run_rare_checks(seed=seed, jobs=jobs, quick=quick)
+            )
     obs.contribute(
         store,
         kind="qa",
         name="qa",
         seed=seed,
-        config={"quick": quick, "faults": faults},
+        config={"quick": quick, "faults": faults, "rare": rare},
         tables={"qa_checks": report.as_table()},
         kpis=report.kpis(),
     )

@@ -18,7 +18,7 @@ class TestParser:
         assert commands == {
             "quickstart", "fig5", "fig6", "table2", "sensitivity",
             "flow", "netlist", "campaign", "profile", "runs", "report",
-            "qa", "probe", "watch",
+            "qa", "probe", "watch", "rare",
         }
 
     def test_missing_command_errors(self):

@@ -5,10 +5,91 @@ import pytest
 
 from repro.core.metrics import (
     BerCounter,
+    binomial_confidence,
     error_vector_magnitude,
     evm_to_snr_db,
     snr_to_evm_percent,
+    weighted_binomial_confidence,
 )
+
+
+def _wilson_reference(k, n, z):
+    """Independent scipy-free Wilson interval for cross-checking."""
+    p = k / n
+    z2 = z * z
+    center = (p + z2 / (2 * n)) / (1 + z2 / n)
+    half = (
+        z * np.sqrt(p * (1 - p) / n + z2 / (4 * n * n)) / (1 + z2 / n)
+    )
+    return max(center - half, 0.0), min(center + half, 1.0)
+
+
+class TestBinomialConfidence:
+    def test_zero_errors(self):
+        low, high = binomial_confidence(0, 1000, z=1.96)
+        assert low == 0.0
+        assert 0.0 < high < 0.01
+
+    def test_all_errors(self):
+        low, high = binomial_confidence(1000, 1000, z=1.96)
+        assert high == 1.0
+        assert 0.99 < low < 1.0
+
+    def test_single_trial(self):
+        for k in (0, 1):
+            low, high = binomial_confidence(k, 1, z=1.96)
+            assert 0.0 <= low <= k <= high <= 1.0
+            assert high - low > 0.5  # one trial: nearly uninformative
+
+    def test_huge_n_stability(self):
+        low, high = binomial_confidence(int(1e8), int(1e12), z=4.5)
+        assert np.isfinite(low) and np.isfinite(high)
+        assert low < 1e-4 < high
+        assert (high - low) < 1e-7
+
+    def test_zero_trials_raises(self):
+        with pytest.raises(ValueError):
+            binomial_confidence(0, 0)
+
+    def test_matches_reference_formula(self):
+        for k, n, z in ((3, 100, 1.96), (0, 50, 4.5), (49, 50, 2.5)):
+            assert binomial_confidence(k, n, z=z) == pytest.approx(
+                _wilson_reference(k, n, z)
+            )
+
+    def test_interval_shrinks_with_n(self):
+        w1 = np.diff(binomial_confidence(5, 100))[0]
+        w2 = np.diff(binomial_confidence(50, 1000))[0]
+        assert w2 < w1
+
+
+class TestWeightedBinomialConfidence:
+    def test_reduces_to_integer_wilson(self):
+        # Integer effective counts must reproduce the plain interval
+        # bit for bit — the weighted CI *is* Wilson on effective counts.
+        for k, n in ((0, 10), (3, 100), (10, 10)):
+            assert weighted_binomial_confidence(
+                float(k), float(n), z=4.5
+            ) == binomial_confidence(k, n, z=4.5)
+
+    def test_fractional_effective_counts(self):
+        low, high = weighted_binomial_confidence(2.5, 317.3, z=1.96)
+        assert np.isfinite(low) and np.isfinite(high)
+        assert 0.0 <= low <= 2.5 / 317.3 <= high <= 1.0
+        assert (low, high) == pytest.approx(
+            _wilson_reference(2.5, 317.3, 1.96)
+        )
+
+    def test_degenerate_trials_give_vacuous_interval(self):
+        assert weighted_binomial_confidence(0.0, 0.0) == (0.0, 1.0)
+        assert weighted_binomial_confidence(1.0, -2.0) == (0.0, 1.0)
+
+    def test_overweight_errors_clipped(self):
+        # Weighted error mass can numerically exceed the effective
+        # trial count; the proportion must clip into [0, 1].
+        low, high = weighted_binomial_confidence(12.0, 10.0, z=1.96)
+        assert high == 1.0
+        assert 0.0 <= low <= 1.0
 
 
 class TestBerCounter:

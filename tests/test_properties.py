@@ -119,6 +119,82 @@ class TestOfdmProperties:
         assert np.allclose(demod.extract_data(rows), data, atol=1e-10)
 
 
+class TestRareEstimatorProperties:
+    @given(
+        nu=st.floats(1.05, 4.0),
+        n=st.integers(2_000, 20_000),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_weights_sum_to_n_in_expectation(self, nu, n, seed):
+        # E_q[w] = 1 per draw, so sum(w) concentrates on n with the
+        # known per-sample weight variance nu^2/(2 nu - 1) - 1.
+        rng = np.random.default_rng(seed)
+        z2 = 0.5 * (rng.standard_normal(n) ** 2 + rng.standard_normal(n) ** 2)
+        w = np.exp(np.log(nu) - (nu - 1.0) * z2)
+        var_w = nu**2 / (2.0 * nu - 1.0) - 1.0
+        assert abs(w.sum() - n) <= 6.0 * np.sqrt(var_w * n) + 1e-9
+
+    @given(
+        seed=st.integers(0, 2**31),
+        n_trials=st.integers(1, 60),
+        scale=st.floats(0.0, 3.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_weighted_ber_stays_in_unit_interval(
+        self, seed, n_trials, scale
+    ):
+        from repro.perf.rare import WeightedBerState
+
+        rng = np.random.default_rng(seed)
+        state = WeightedBerState()
+        for _ in range(n_trials):
+            state.add(
+                float(rng.integers(0, 9)), 8, float(rng.normal(0.0, scale))
+            )
+        assert 0.0 <= state.ber <= 1.0
+        assert 0.0 <= state.per_weighted <= 1.0
+        assert 0.0 < state.ess <= state.trials + 1e-9
+        low, high = state.confidence(z=4.5)
+        assert 0.0 <= low <= high <= 1.0
+
+    @given(
+        seed=st.integers(0, 2**31),
+        sizes=st.lists(st.integers(1, 12), min_size=2, max_size=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_state_merge_is_order_independent(self, seed, sizes):
+        from repro.perf.rare import WeightedBerState
+
+        rng = np.random.default_rng(seed)
+        chunks = []
+        for size in sizes:
+            c = WeightedBerState()
+            for _ in range(size):
+                c.add(
+                    float(rng.integers(0, 3)), 6, float(rng.normal(0, 0.5))
+                )
+            chunks.append(c)
+        folded = WeightedBerState()
+        for c in chunks:
+            folded = folded.merge(c)
+        reversed_fold = WeightedBerState()
+        for c in reversed(chunks):
+            reversed_fold = reversed_fold.merge(c)
+        assert folded.trials == reversed_fold.trials
+        assert folded.error_trials == reversed_fold.error_trials
+        assert folded.sum_wp == pytest.approx(
+            reversed_fold.sum_wp, rel=1e-9, abs=1e-12
+        )
+        assert folded.ber == pytest.approx(
+            reversed_fold.ber, rel=1e-9, abs=1e-12
+        )
+        assert folded.ess == pytest.approx(
+            reversed_fold.ess, rel=1e-9, abs=1e-12
+        )
+        assert folded.max_w == reversed_fold.max_w
+
+
 class TestRfProperties:
     @given(
         gain=st.floats(-10.0, 30.0),
