@@ -8,6 +8,31 @@ the sampling theorem."
 The 802.11a receiver requirement (17.3.10.2, quoted in section 2.2 of the
 paper): the adjacent channel may be 16 dB above the wanted level, the
 non-adjacent (alternate) channel 32 dB above.
+
+Power convention
+----------------
+
+An 802.11a interferer is bursty: packets separated by idle gaps.  Two
+power references are therefore meaningful, and ``excess_db`` must name
+one explicitly (mixing them was a real bias — scaling the *active-burst*
+power against a *time-averaged* wanted reference skews the realized
+excess by the duty factors involved):
+
+* ``"active"`` (default): ``excess_db`` relates **on-air burst powers**
+  — interferer power while transmitting over wanted power while
+  transmitting.  This matches the receiver-blocking test of 17.3.10.2,
+  where both signal generators are measured mid-burst.
+* ``"average"``: ``excess_db`` relates **time-averaged powers** over the
+  full simulated window, idle gaps included.
+
+Randomness
+----------
+
+Each interference source draws its timing jitter and payloads from its
+own child stream forked off a snapshot of the caller's generator state
+(:func:`repro.channel.streams.fork_stream`, scheme ``emitter-fork-v1``,
+recorded in run manifests) — enabling an interferer no longer shifts the
+wanted path's subsequent noise/payload draws.
 """
 
 from __future__ import annotations
@@ -17,6 +42,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.channel.streams import fork_stream
 from repro.dsp.params import CHANNEL_SPACING
 from repro.dsp.transmitter import Transmitter, TxConfig, random_psdu
 from repro.rf.signal import Signal
@@ -27,6 +53,69 @@ ADJACENT_EXCESS_DB = 16.0
 #: Non-adjacent (alternate) channel excess level (dB).
 NON_ADJACENT_EXCESS_DB = 32.0
 
+#: Valid ``power_convention`` values (see the module docstring).
+POWER_CONVENTIONS = ("active", "average")
+
+
+def active_power_watts(samples: np.ndarray) -> float:
+    """Mean on-air power: ``|x|**2`` averaged over *nonzero* samples."""
+    samples = np.asarray(samples)
+    inst = np.abs(samples[samples != 0]) ** 2
+    if inst.size == 0:
+        return 0.0
+    return float(np.mean(inst))
+
+
+def reference_power_watts(samples: np.ndarray, convention: str) -> float:
+    """The wanted-signal power an ``excess_db`` is measured against.
+
+    ``"active"`` averages over the wanted signal's nonzero (on-air)
+    samples; ``"average"`` over the full window, guard zeros included.
+    """
+    if convention not in POWER_CONVENTIONS:
+        raise ValueError(
+            f"unknown power convention {convention!r}; "
+            f"choose from {', '.join(POWER_CONVENTIONS)}"
+        )
+    samples = np.asarray(samples)
+    if convention == "active":
+        return active_power_watts(samples)
+    if samples.size == 0:
+        return 0.0
+    return float(np.mean(np.abs(samples) ** 2))
+
+
+def scale_to_excess(
+    samples: np.ndarray,
+    reference_power_watts_: float,
+    excess_db: float,
+    convention: str,
+) -> np.ndarray:
+    """Scale an emitter waveform to ``reference + excess_db`` consistently.
+
+    Under ``"active"`` the emitter's on-air (nonzero-sample) power lands
+    at the target; under ``"average"`` its full-window mean power does.
+    Either way the convention on both sides of the ratio is the same —
+    the duty-cycle bias of mixing them is exactly what this helper
+    exists to prevent.
+    """
+    if convention not in POWER_CONVENTIONS:
+        raise ValueError(
+            f"unknown power convention {convention!r}; "
+            f"choose from {', '.join(POWER_CONVENTIONS)}"
+        )
+    samples = np.asarray(samples, dtype=complex)
+    if convention == "active":
+        current = active_power_watts(samples)
+    else:
+        current = (
+            float(np.mean(np.abs(samples) ** 2)) if samples.size else 0.0
+        )
+    if current <= 0 or reference_power_watts_ <= 0:
+        return samples
+    target = reference_power_watts_ * 10.0 ** (excess_db / 10.0)
+    return samples * np.sqrt(target / current)
+
 
 @dataclass
 class AdjacentChannelSource:
@@ -35,11 +124,15 @@ class AdjacentChannelSource:
     Attributes:
         offset_channels: channel offset from the wanted signal (+1 is the
             first adjacent channel at +20 MHz, +2 the non-adjacent at
-            +40 MHz; negative offsets are allowed).
-        excess_db: interferer power relative to the wanted signal power.
+            +40 MHz; negative offsets are allowed; 0 is co-channel).
+        excess_db: interferer power relative to the wanted signal power,
+            in the sense of ``power_convention``.
         rate_mbps: data rate of the interfering transmitter.
         psdu_bytes: payload size of the interfering packets.
         timing_jitter_samples: maximum random start-time offset.
+        power_convention: ``"active"`` (on-air burst powers, the
+            802.11a blocking-test convention, default) or ``"average"``
+            (time-averaged powers, idle gaps included).
     """
 
     offset_channels: int = 1
@@ -47,11 +140,17 @@ class AdjacentChannelSource:
     rate_mbps: int = 24
     psdu_bytes: int = 256
     timing_jitter_samples: int = 400
+    power_convention: str = "active"
 
     @property
     def offset_hz(self) -> float:
         """Frequency offset of the interferer in Hz."""
         return self.offset_channels * CHANNEL_SPACING
+
+    @property
+    def required_halfband_hz(self) -> float:
+        """One-sided bandwidth the envelope must represent (Nyquist)."""
+        return abs(self.offset_hz) + 10e6
 
     def generate(
         self,
@@ -64,21 +163,24 @@ class AdjacentChannelSource:
 
         The interferer is a stream of back-to-back packets from a duplicate
         transmitter, frequency-shifted to its channel and scaled to
-        ``wanted_power + excess_db``.
+        ``wanted_power + excess_db`` under this source's power convention.
 
         Args:
             n_samples: number of samples to cover.
             sample_rate: envelope sample rate (must be an oversampled
                 multiple of 20 MHz large enough to represent the offset).
-            wanted_power_watts: average power of the wanted signal.
-            rng: random generator.
+            wanted_power_watts: reference power of the wanted signal,
+                measured under the *same* convention as this source
+                (:func:`reference_power_watts` computes it).
+            rng: this source's own random stream (the scenario layer
+                forks one per source; passing the wanted path's shared
+                generator here would re-couple the draws).
         """
         oversample = sample_rate / 20e6
         if abs(oversample - round(oversample)) > 1e-9:
             raise ValueError("sample rate must be a multiple of 20 MHz")
         oversample = int(round(oversample))
-        needed_band = abs(self.offset_hz) + 10e6
-        if needed_band > sample_rate / 2.0:
+        if self.required_halfband_hz > sample_rate / 2.0:
             raise ValueError(
                 f"sample rate {sample_rate:g} Hz cannot represent an "
                 f"interferer at {self.offset_hz:g} Hz offset; oversample "
@@ -100,15 +202,14 @@ class AdjacentChannelSource:
             total += wave.size + gap.size
         samples = np.concatenate(pieces)[:n_samples]
         interferer = Signal(samples, sample_rate).shifted(self.offset_hz)
-        # Scale relative to the wanted signal power (excess in dB).
-        current = np.mean(np.abs(interferer.samples[interferer.samples != 0]) ** 2) \
-            if np.any(interferer.samples != 0) else 0.0
-        if current > 0 and wanted_power_watts > 0:
-            target = wanted_power_watts * 10.0 ** (self.excess_db / 10.0)
-            interferer = interferer.with_samples(
-                interferer.samples * np.sqrt(target / current)
+        return interferer.with_samples(
+            scale_to_excess(
+                interferer.samples,
+                wanted_power_watts,
+                self.excess_db,
+                self.power_convention,
             )
-        return interferer
+        )
 
 
 @dataclass
@@ -118,6 +219,11 @@ class InterferenceScenario:
     Factory helpers build the two standard cases of the paper's figure 6:
     ``adjacent()`` (+16 dB at +20 MHz) and ``non_adjacent()`` (+32 dB at
     +40 MHz).
+
+    (The richer declarative layer — co-channel traffic, Bluetooth-style
+    frequency hoppers, microwave-oven bursts, multipath — lives in
+    :mod:`repro.scenario`; its 802.11a emitter subsumes
+    :class:`AdjacentChannelSource` draw-for-draw.)
     """
 
     sources: List[AdjacentChannelSource] = field(default_factory=list)
@@ -144,14 +250,26 @@ class InterferenceScenario:
         ])
 
     def apply(self, wanted: Signal, rng: np.random.Generator) -> Signal:
-        """Sum all interferers onto the wanted signal."""
+        """Sum all interferers onto the wanted signal.
+
+        Source ``i`` draws from its own stream forked off a snapshot of
+        ``rng``'s state (``emitter-fork-v1``); ``rng`` itself is never
+        advanced, so the wanted path's subsequent draws are identical
+        with and without interference enabled.
+        """
         if not self.sources:
             return wanted
         out = wanted.samples.copy()
-        power = wanted.power_watts()
-        for source in self.sources:
+        references = {
+            convention: reference_power_watts(wanted.samples, convention)
+            for convention in {s.power_convention for s in self.sources}
+        }
+        for index, source in enumerate(self.sources):
             interferer = source.generate(
-                out.size, wanted.sample_rate, power, rng
+                out.size,
+                wanted.sample_rate,
+                references[source.power_convention],
+                fork_stream(rng, index),
             )
             out += interferer.samples[: out.size]
         return wanted.with_samples(out)

@@ -9,8 +9,9 @@ Usage::
     repro sensitivity [--rates 6,24,54]
     repro flow
     repro netlist
-    repro qa [--quick] [--faults] [--rare] [--store DIR]
+    repro qa [--quick] [--faults] [--rare] [--scenarios] [--store DIR]
     repro rare [--rate 6] [--ebn0 8.4,9.6,10.5] [--packets N]
+    repro scenario [--preset NAME | --config FILE] [--snr 8,12,16]
     repro profile fig5 [--packets N] [--chrome-trace out.json]
 
 Conformance: ``repro qa`` runs the :mod:`repro.qa` harness — frozen
@@ -747,12 +748,62 @@ def _cmd_rare(args) -> int:
     return 0
 
 
+def _cmd_scenario(args) -> int:
+    from repro.core.sweep import ParameterSweep
+    from repro.core.testbench import TestbenchConfig
+    from repro.scenario import PRESETS, Scenario, preset_names
+
+    if args.list_presets:
+        for name in preset_names():
+            preset = PRESETS[name]
+            parts = [
+                f"{e['type']}{e['excess_db']:+g}dB"
+                for e in preset.get("emitters", [])
+            ]
+            if "fading" in preset:
+                parts.append("fading")
+            print(f"{name}: {', '.join(parts) or '(clean)'}")
+        return 0
+    if args.config:
+        with open(args.config, "r", encoding="utf-8") as fh:
+            scenario = Scenario.from_json(fh.read())
+    elif args.preset:
+        scenario = Scenario.preset(args.preset)
+    else:
+        print(
+            "scenario: pass --preset NAME, --config PATH, or "
+            "--list-presets",
+            file=sys.stderr,
+        )
+        return 2
+    snrs = [float(tok) for tok in args.snr.split(",") if tok.strip()]
+    if not snrs:
+        print("scenario: --snr needs at least one value", file=sys.stderr)
+        return 2
+    sweep = ParameterSweep(
+        base_config=TestbenchConfig(
+            rate_mbps=args.rate,
+            psdu_bytes=args.bytes,
+            scenario=scenario,
+        ),
+        parameter="snr_db",
+        values=snrs,
+        n_packets=args.packets,
+        seed=args.seed,
+    )
+    result = sweep.run(run_name=f"scenario:{scenario.name}")
+    print(scenario.describe())
+    print()
+    print(result.as_table())
+    return 0
+
+
 def _cmd_qa(args) -> int:
     from repro.qa import run_qa
 
     report = run_qa(
         seed=args.seed, jobs=args.jobs, quick=args.quick,
-        faults=args.faults, rare=args.rare,
+        faults=args.faults, rare=args.rare, scenarios=args.scenarios,
     )
     print(report.as_table())
     n = len(report.checks)
@@ -1009,7 +1060,43 @@ def build_parser() -> argparse.ArgumentParser:
              "variance-reduction gate, weight diagnostics, and "
              "adaptive-allocation determinism",
     )
+    p.add_argument(
+        "--scenarios",
+        action="store_true",
+        help="additionally run the multi-emitter scenario section: "
+             "emitter stream isolation, legacy-interference-path "
+             "equivalence, power-convention accuracy, and serial vs "
+             "parallel schedule invariance",
+    )
     p.set_defaults(func=_cmd_qa)
+
+    p = sub.add_parser(
+        "scenario",
+        help="measure BER over an SNR sweep inside a declarative "
+             "multi-emitter RF scenario (built-in preset or JSON "
+             "config)",
+    )
+    p.add_argument(
+        "--preset", default=None,
+        help="built-in scenario name (see --list-presets)",
+    )
+    p.add_argument(
+        "--config", metavar="PATH", default=None,
+        help="JSON scenario config file (overrides --preset)",
+    )
+    p.add_argument(
+        "--list-presets", action="store_true",
+        help="list the built-in scenario presets and exit",
+    )
+    p.add_argument(
+        "--snr", default="8,12,16,20",
+        help="comma-separated SNR points [dB]",
+    )
+    p.add_argument("--rate", type=int, default=24, help="PHY rate [Mb/s]")
+    p.add_argument("--bytes", type=int, default=60, help="PSDU size")
+    p.add_argument("--packets", type=int, default=4,
+                   help="packets per SNR point")
+    p.set_defaults(func=_cmd_scenario)
 
     p = sub.add_parser(
         "rare",

@@ -4,7 +4,8 @@ Bundles the paper's key results and the standard's compliance checks into
 one declarative campaign a verification team would run before signing off
 an RF design: PHY loopback at every rate, transmit-mask compliance,
 sensitivity and adjacent-channel rejection, the figure-5 filter valley,
-the figure-6 linearity waterfall, and the co-simulation noise-gap check.
+the figure-6 linearity waterfall, the co-simulation noise-gap check,
+and the scenario-library/legacy-interference equivalence check.
 
 Each check is a named, independently runnable item; the campaign records
 status, wall-clock and details, and renders a sign-off report.  The
@@ -350,6 +351,41 @@ class VerificationCampaign:
             timer.elapsed,
         )
 
+    def check_scenario_equivalence(self) -> CheckResult:
+        """The scenario library reproduces the legacy adjacent path exactly."""
+        from repro.channel.interference import InterferenceScenario
+        from repro.core.testbench import TestbenchConfig, WlanTestbench
+        from repro.scenario import Scenario
+
+        def measure(**channel):
+            cfg = TestbenchConfig(
+                rate_mbps=36,
+                psdu_bytes=60,
+                thermal_floor=True,
+                frontend=self.frontend,
+                input_level_dbm=-60.0,
+                **channel,
+            )
+            return WlanTestbench(cfg).measure_ber(
+                n_packets=self._n, seed=self.seed
+            )
+
+        with obs.timed("check:scenario_equivalence") as timer:
+            legacy = measure(interference=InterferenceScenario.adjacent())
+            scenario = measure(scenario=Scenario.preset("adjacent-16db"))
+        ok = (
+            legacy.bit_errors == scenario.bit_errors
+            and legacy.bits_total == scenario.bits_total
+        )
+        return CheckResult(
+            "scenario library equivalence",
+            ok,
+            f"adjacent +16 dB: legacy {legacy.bit_errors:g}/"
+            f"{legacy.bits_total:g} vs scenario {scenario.bit_errors:g}/"
+            f"{scenario.bits_total:g} bit errors",
+            timer.elapsed,
+        )
+
     #: Check registry in execution order.
     CHECKS = (
         "check_phy_loopback",
@@ -359,6 +395,7 @@ class VerificationCampaign:
         "check_filter_valley",
         "check_linearity_waterfall",
         "check_cosim_consistency",
+        "check_scenario_equivalence",
     )
 
     def _checkpoint_store(self, store):

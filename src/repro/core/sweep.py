@@ -350,7 +350,12 @@ class ParameterSweep:
         estimator = self.estimator
         if estimator == "auto":
             estimator = "mc"
-            if config.snr_db is not None:
+            # Fading or non-AWGN emitters invalidate the IS weights;
+            # auto points stay Monte-Carlo there instead of erroring.
+            if (
+                config.snr_db is not None
+                and _rare.is_incompatibility(config) is None
+            ):
                 from repro.channel.awgn import snr_to_ebn0_db
                 from repro.dsp.params import RATES
                 from repro.qa.oracles import RATE_MODULATIONS, theoretical_ber

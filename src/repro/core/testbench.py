@@ -31,6 +31,7 @@ from repro.dsp.receiver import Receiver, RxConfig, RxResult
 from repro.dsp.transmitter import Transmitter, TxConfig, random_psdu
 from repro.rf.frontend import DoubleConversionReceiver, FrontendConfig
 from repro.rf.signal import Signal
+from repro.scenario import Scenario
 
 
 def _build_frontend(config):
@@ -138,6 +139,10 @@ class TestbenchConfig:
             absolute input levels and the RF front end).
         fading: optional multipath channel.
         interference: adjacent-channel scenario.
+        scenario: optional declarative RF environment
+            (:class:`repro.scenario.Scenario`): arbitrary emitters
+            IQ-mixed after ``interference``, plus optional multipath
+            (used when ``fading`` is unset).
         frontend: RF front-end configuration; None bypasses the RF
             subsystem entirely (pure DSP system, the paper's baseline
             demo-system configuration).
@@ -156,6 +161,7 @@ class TestbenchConfig:
     interference: InterferenceScenario = field(
         default_factory=InterferenceScenario.none
     )
+    scenario: Optional[Scenario] = None
     frontend: Optional[FrontendConfig] = None
     input_level_dbm: float = -55.0
     guard_samples: int = 150
@@ -212,13 +218,29 @@ class WlanTestbench:
         oversample = 1
         if config.frontend is not None:
             oversample = config.frontend.decimation
-        elif config.interference.sources:
-            # The paper: the baseband is oversampled to fulfil the sampling
-            # theorem once an adjacent channel is present.
-            max_offset = max(
-                abs(s.offset_channels) for s in config.interference.sources
-            )
-            oversample = 2 * (max_offset + 1)
+            if (
+                config.scenario is not None
+                and config.scenario.max_halfband_hz() > oversample * 10e6
+            ):
+                raise ValueError(
+                    f"the RF front end fixes the envelope rate at "
+                    f"{oversample * 20e6:g} Hz, too narrow for a scenario "
+                    f"emitter needing "
+                    f"{config.scenario.max_halfband_hz():g} Hz half-band"
+                )
+        else:
+            if config.interference.sources:
+                # The paper: the baseband is oversampled to fulfil the
+                # sampling theorem once an adjacent channel is present.
+                max_offset = max(
+                    abs(s.offset_channels)
+                    for s in config.interference.sources
+                )
+                oversample = 2 * (max_offset + 1)
+            if config.scenario is not None:
+                oversample = max(
+                    oversample, config.scenario.required_oversample()
+                )
         self.oversample = oversample
         self._tx_config = TxConfig(
             rate_mbps=config.rate_mbps, oversample=oversample
@@ -324,8 +346,13 @@ class WlanTestbench:
         log_weight = 0.0
         with obs.span("block:channel", samples=len(sig)):
             sig = cfg.interference.apply(sig, rng)
-            if cfg.fading is not None:
-                sig = cfg.fading.process(sig, rng)
+            if cfg.scenario is not None:
+                sig = cfg.scenario.apply(sig, rng)
+            fading = cfg.fading
+            if fading is None and cfg.scenario is not None:
+                fading = cfg.scenario.fading
+            if fading is not None:
+                sig = fading.process(sig, rng)
             channel = AwgnChannel(
                 snr_db=cfg.snr_db,
                 include_thermal_floor=cfg.thermal_floor,
@@ -550,6 +577,18 @@ class WlanTestbench:
         if estimator not in ("mc", "is"):
             raise ValueError(f"unknown estimator {estimator!r}")
         weighted = estimator == "is"
+        if weighted:
+            # The IS weights reweight only the AWGN draw; any other
+            # randomness in the error mechanism silently biases the
+            # weighted estimate, so refuse instead of mismeasuring.
+            reason = _rare.is_incompatibility(self.config)
+            if reason is not None:
+                raise ValueError(
+                    f"estimator='is' is only valid for AWGN-dominated "
+                    f"errors, but {reason}; use estimator='mc' (or "
+                    f"estimator='auto' in a sweep, which falls back to "
+                    f"Monte-Carlo automatically)"
+                )
         if not weighted:
             boost_db = None
         elif boost_db is None:

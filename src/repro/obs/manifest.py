@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 __all__ = [
+    "EMITTER_SCHEME",
     "RETRY_SCHEME",
     "RunManifest",
     "SEEDING_SCHEME",
@@ -38,6 +39,13 @@ SEEDING_SCHEME = "seedseq-spawn-v2"
 #: tasks and must not perturb the base derivation (or the memoization
 #: keys hashed from it).
 RETRY_SCHEME = "retry-spawn-v1"
+
+#: Identifier of the interference-emitter stream derivation (see
+#: :func:`repro.channel.streams.fork_stream`).  Each scenario emitter
+#: draws from its own child stream forked off a *snapshot* of the wanted
+#: path's generator state, so enabling an emitter never advances — and
+#: therefore never perturbs — the wanted path's noise/payload draws.
+EMITTER_SCHEME = "emitter-fork-v1"
 
 
 def source_revision() -> Optional[str]:
@@ -107,6 +115,8 @@ class RunManifest:
             :mod:`repro.perf.seeding`).
         retry_seeding: retry-attempt seed derivation in effect (see
             :func:`repro.perf.seeding.attempt_seed`).
+        emitter_seeding: interference-emitter stream derivation in
+            effect (see :func:`repro.channel.streams.fork_stream`).
     """
 
     run_id: str
@@ -119,6 +129,7 @@ class RunManifest:
     platform: str = ""
     seeding: str = SEEDING_SCHEME
     retry_seeding: str = RETRY_SCHEME
+    emitter_seeding: str = EMITTER_SCHEME
 
     def as_dict(self) -> Dict[str, Any]:
         d = dataclasses.asdict(self)
@@ -161,4 +172,5 @@ def build_manifest(
         platform=platform.platform(),
         seeding=SEEDING_SCHEME,
         retry_seeding=RETRY_SCHEME,
+        emitter_seeding=EMITTER_SCHEME,
     )

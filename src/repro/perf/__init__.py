@@ -73,6 +73,7 @@ from repro.perf.rare import (
     boost_for,
     dimension_capped_boost_db,
     ebn0_for_ber,
+    is_incompatibility,
     measure_uncoded_ber,
     noise_log_weight,
     packet_noise_dimension,
@@ -133,6 +134,7 @@ __all__ = [
     "get_default_task_timeout",
     "get_fault_plan",
     "in_worker",
+    "is_incompatibility",
     "measure_uncoded_ber",
     "noise_log_weight",
     "packet_noise_dimension",

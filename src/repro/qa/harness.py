@@ -656,6 +656,123 @@ def run_rare_checks(
     return checks
 
 
+def run_scenario_checks(
+    seed: int = 0, jobs: Optional[int] = None
+) -> List[QaCheck]:
+    """Correctness of the multi-emitter scenario library.
+
+    The scenario path earns its keep only if it is *provably* the same
+    physics as the legacy interference path and just as deterministic:
+
+    * mixing emitters must not perturb the wanted path's random streams
+      (the per-emitter streams are forked, never drawn from the caller);
+    * the ``adjacent-16db`` preset must reproduce the legacy
+      ``InterferenceScenario.adjacent()`` measurement bit-for-bit;
+    * every emitter's burst-active power must honour its configured
+      excess over the wanted reference;
+    * a scenario sweep must be schedule-invariant (serial == jobs=2).
+    """
+    import numpy as np
+
+    from repro.channel.interference import (
+        InterferenceScenario,
+        active_power_watts,
+    )
+    from repro.core.sweep import ParameterSweep
+    from repro.core.testbench import TestbenchConfig, WlanTestbench
+    from repro.scenario import Scenario
+
+    checks: List[QaCheck] = []
+
+    def add(name, ok, detail="", measured=None, expected=None):
+        checks.append(
+            QaCheck("scenario", name, bool(ok), detail,
+                    measured=measured, expected=expected)
+        )
+
+    # 1. Emitter streams are forked: applying a scenario leaves the
+    # caller's generator state untouched.
+    rng = np.random.default_rng(seed)
+    wanted = np.exp(2j * np.pi * rng.random(4096))
+    from repro.rf.signal import Signal
+
+    state_before = rng.bit_generator.state
+    Scenario.preset("hostile-coexistence").apply(
+        Signal(wanted.copy(), 80e6), rng
+    )
+    add(
+        "emitter_stream_isolation",
+        rng.bit_generator.state == state_before,
+        "three-emitter scenario applied; caller RNG state unchanged",
+    )
+
+    # 2. Legacy equivalence at baseband: same bits, same errors.
+    def measure(**channel):
+        cfg = TestbenchConfig(rate_mbps=36, psdu_bytes=60, snr_db=14.0,
+                              **channel)
+        return WlanTestbench(cfg).measure_ber(
+            n_packets=4, seed=seed, jobs=jobs
+        )
+
+    legacy = measure(interference=InterferenceScenario.adjacent())
+    mixed = measure(scenario=Scenario.preset("adjacent-16db"))
+    add(
+        "legacy_equivalence",
+        legacy.bit_errors == mixed.bit_errors
+        and legacy.bits_total == mixed.bits_total,
+        "adjacent +16 dB via scenario library matches the legacy "
+        "interference path bit-for-bit",
+        measured=mixed.ber,
+        expected=legacy.ber,
+    )
+
+    # 3. Power convention: each preset emitter's burst-active power must
+    # sit at its configured excess over the wanted reference.
+    rng = np.random.default_rng(seed + 1)
+    wanted = np.exp(2j * np.pi * rng.random(1 << 15))
+    reference = active_power_watts(wanted)
+    worst = 0.0
+    for name in ("adjacent-16db", "bluetooth-hop", "microwave-oven"):
+        scenario = Scenario.preset(name)
+        for index, emitter in enumerate(scenario.emitters):
+            burst = emitter.generate(
+                wanted.size, 80e6, reference, np.random.default_rng(seed)
+            )
+            measured_db = 10.0 * np.log10(
+                active_power_watts(burst.samples) / reference
+            )
+            worst = max(worst, abs(measured_db - emitter.excess_db))
+    add(
+        "power_convention",
+        worst < 0.2,
+        "burst-active power of every preset emitter within 0.2 dB of "
+        "its configured excess",
+        measured=worst,
+        expected=0.0,
+    )
+
+    # 4. Schedule invariance: serial and 2-worker scenario sweeps agree
+    # exactly (per-point streams come from coordinates, not schedule).
+    sweep = ParameterSweep(
+        base_config=TestbenchConfig(
+            rate_mbps=6, psdu_bytes=20,
+            scenario=Scenario.preset("co-channel"),
+        ),
+        parameter="snr_db",
+        values=[4.0, 8.0, 12.0],
+        n_packets=1,
+        seed=seed,
+    )
+    serial = sweep.run(jobs=1)
+    parallel = sweep.run(jobs=2)
+    add(
+        "parallel_determinism",
+        list(serial.bers) == list(parallel.bers),
+        "co-channel scenario sweep: serial and jobs=2 BERs identical",
+    )
+    return checks
+
+
 def run_qa(
     seed: int = 0,
     jobs: Optional[int] = None,
@@ -663,6 +780,7 @@ def run_qa(
     store=None,
     faults: bool = False,
     rare: bool = False,
+    scenarios: bool = False,
 ) -> QaReport:
     """Run the complete QA harness.
 
@@ -677,6 +795,9 @@ def run_qa(
         rare: additionally run the rare-event estimator section
             (importance-sampling unbiasedness vs MC and closed-form
             oracles, variance-reduction gate, adaptive allocation).
+        scenarios: additionally run the multi-emitter scenario section
+            (stream isolation, legacy-path equivalence, power
+            convention, schedule invariance).
 
     Returns:
         The aggregated :class:`QaReport`.
@@ -704,12 +825,18 @@ def run_qa(
             report.checks.extend(
                 run_rare_checks(seed=seed, jobs=jobs, quick=quick)
             )
+    if scenarios:
+        with obs.span("qa:scenario"):
+            report.checks.extend(
+                run_scenario_checks(seed=seed, jobs=jobs)
+            )
     obs.contribute(
         store,
         kind="qa",
         name="qa",
         seed=seed,
-        config={"quick": quick, "faults": faults, "rare": rare},
+        config={"quick": quick, "faults": faults, "rare": rare,
+                "scenarios": scenarios},
         tables={"qa_checks": report.as_table()},
         kpis=report.kpis(),
     )

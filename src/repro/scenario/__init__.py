@@ -1,0 +1,23 @@
+"""Declarative multi-emitter scenario library (see :mod:`.scenario`)."""
+
+from repro.scenario.emitters import (
+    BluetoothFhEmitter,
+    MicrowaveOvenEmitter,
+    WlanEmitter,
+)
+from repro.scenario.scenario import (
+    EMITTER_TYPES,
+    PRESETS,
+    Scenario,
+    preset_names,
+)
+
+__all__ = [
+    "BluetoothFhEmitter",
+    "EMITTER_TYPES",
+    "MicrowaveOvenEmitter",
+    "PRESETS",
+    "Scenario",
+    "WlanEmitter",
+    "preset_names",
+]

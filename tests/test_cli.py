@@ -18,7 +18,7 @@ class TestParser:
         assert commands == {
             "quickstart", "fig5", "fig6", "table2", "sensitivity",
             "flow", "netlist", "campaign", "profile", "runs", "report",
-            "qa", "probe", "watch", "rare",
+            "qa", "probe", "watch", "rare", "scenario",
         }
 
     def test_missing_command_errors(self):
